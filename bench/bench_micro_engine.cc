@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark) for the engine substrates: expression
+// construction, interval propagation, solver queries (including the
+// propagation-only ablation), concrete interpretation and symbolic
+// execution throughput, and monitor logging overhead at different sampling
+// rates.
+#include <benchmark/benchmark.h>
+
+#include "apps/registry.h"
+#include "apps/workload.h"
+#include "monitor/monitor.h"
+#include "solver/solver.h"
+#include "statsym/engine.h"
+
+using namespace statsym;
+
+namespace {
+
+void BM_ExprConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    solver::ExprPool pool;
+    const auto x = pool.var_expr(pool.new_var("x", 0, 255));
+    solver::ExprId e = pool.constant(0);
+    for (int i = 0; i < 64; ++i) {
+      e = pool.add(e, pool.eq(x, pool.constant(i)));
+    }
+    benchmark::DoNotOptimize(e);
+  }
+}
+BENCHMARK(BM_ExprConstruction);
+
+void BM_HashConsingHitPath(benchmark::State& state) {
+  solver::ExprPool pool;
+  const auto x = pool.var_expr(pool.new_var("x", 0, 255));
+  for (auto _ : state) {
+    // All constructions after the first are intern-table hits.
+    benchmark::DoNotOptimize(pool.lt(x, pool.constant(57)));
+  }
+}
+BENCHMARK(BM_HashConsingHitPath);
+
+void BM_Propagation(benchmark::State& state) {
+  solver::ExprPool pool;
+  std::vector<solver::ExprId> cs;
+  for (int i = 0; i < state.range(0); ++i) {
+    const auto v = pool.new_var("b" + std::to_string(i), 0, 255);
+    cs.push_back(pool.ne(pool.var_expr(v), pool.constant(0)));
+  }
+  for (auto _ : state) {
+    solver::DomainMap d;
+    bool ok = true;
+    for (auto c : cs) ok = ok && solver::propagate(pool, c, true, d);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Propagation)->Arg(64)->Arg(512);
+
+void BM_SolverQuery(benchmark::State& state) {
+  const bool propagation_only = state.range(0) == 1;
+  solver::ExprPool pool;
+  solver::SolverOptions opts;
+  opts.propagation_only = propagation_only;
+  solver::Solver solver(pool, opts);
+  const auto x = pool.var_expr(pool.new_var("x", 0, 255));
+  const auto y = pool.var_expr(pool.new_var("y", 0, 255));
+  const std::vector<solver::ExprId> cs{
+      pool.lt(x, y), pool.eq(pool.add(x, y), pool.constant(300)),
+      pool.ne(x, pool.constant(100))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.check(cs).sat);
+  }
+}
+BENCHMARK(BM_SolverQuery)->Arg(0)->Arg(1);
+
+void BM_SolverCountingRepair(benchmark::State& state) {
+  solver::ExprPool pool;
+  solver::Solver solver(pool, {});
+  solver::ExprId sum = pool.constant(0);
+  for (int i = 0; i < 64; ++i) {
+    const auto v = pool.new_var("b" + std::to_string(i), 1, 255);
+    sum = pool.add(sum, pool.eq(pool.var_expr(v), pool.constant(46)));
+  }
+  const std::vector<solver::ExprId> cs{pool.le(pool.constant(20), sum)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.check(cs).sat);
+  }
+}
+BENCHMARK(BM_SolverCountingRepair);
+
+void BM_ConcreteRun(benchmark::State& state) {
+  const apps::AppSpec app =
+      apps::make_app(state.range(0) == 0 ? "polymorph" : "thttpd");
+  Rng rng(7);
+  for (auto _ : state) {
+    Rng r = rng.split();
+    interp::Interpreter it(app.module, app.workload(r));
+    benchmark::DoNotOptimize(it.run().steps);
+  }
+}
+BENCHMARK(BM_ConcreteRun)->Arg(0)->Arg(1);
+
+void BM_MonitoredRun(benchmark::State& state) {
+  const apps::AppSpec app = apps::make_polymorph();
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  Rng rng(7);
+  for (auto _ : state) {
+    Rng r = rng.split();
+    auto run = monitor::run_monitored(app.module, app.workload(r),
+                                      {.sampling_rate = rate}, rng.split(), 0);
+    benchmark::DoNotOptimize(run.log.records.size());
+  }
+}
+BENCHMARK(BM_MonitoredRun)->Arg(0)->Arg(30)->Arg(100);
+
+void BM_SymbolicThroughput(benchmark::State& state) {
+  // Instructions per second through the symbolic executor on the fig2
+  // program (bounded exploration).
+  const apps::AppSpec app = apps::make_fig2();
+  for (auto _ : state) {
+    symexec::ExecOptions opts;
+    opts.stop_at_first_fault = true;
+    symexec::SymExecutor ex(app.module, app.sym_spec, opts);
+    const auto r = ex.run();
+    benchmark::DoNotOptimize(r.stats.instructions);
+  }
+}
+BENCHMARK(BM_SymbolicThroughput);
+
+void BM_GuidedPolymorphEndToEnd(benchmark::State& state) {
+  // Full pipeline cost on the flagship target (log collection + statistics
+  // + guided search).
+  const apps::AppSpec app = apps::make_polymorph();
+  for (auto _ : state) {
+    core::EngineOptions o;
+    o.monitor.sampling_rate = 0.3;
+    o.candidate_timeout_seconds = 60.0;
+    o.seed = 5;
+    core::StatSymEngine engine(app.module, app.sym_spec, o);
+    engine.collect_logs(app.workload);
+    benchmark::DoNotOptimize(engine.run().found);
+  }
+}
+BENCHMARK(BM_GuidedPolymorphEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,28 @@
+// Table III: number of detours and per-module time breakdown at 30%
+// sampling — partial logging increases detours slightly and shifts the
+// balance between the modules.
+#include "bench_common.h"
+
+using namespace statsym;
+
+int main() {
+  bench::print_header(
+      "Table III: detours and module time breakdown, sampling 30%",
+      "polymorph 2 detours, 1.6s/213.0s — CTree 1, 43.2s/2.4s — "
+      "thttpd 7, 428.0s/1263.0s — Grep 31, 518.7s/44.3s");
+
+  TextTable t({"Benchmark", "detours", "stat time(s)", "symexec time(s)",
+               "log KB", "candidates", "won with", "found"});
+  for (const std::string& name : apps::app_names()) {
+    const bench::StatSymRun g = bench::run_statsym(name, 0.3);
+    t.add_row({name, std::to_string(g.result.construction.detours.size()),
+               bench::seconds(g.result.stat_seconds),
+               bench::seconds(g.result.symexec_seconds),
+               std::to_string(g.result.log_bytes / 1024),
+               std::to_string(g.result.construction.candidates.size()),
+               "#" + std::to_string(g.result.winning_candidate),
+               g.result.found ? "yes" : "NO"});
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table V + Fig. 8: the instrumented locations of polymorph and the top-10
+// ranked predicates. The paper's list is dominated by len(suspect)/
+// len(original) lower bounds just above the 512-byte buffer, followed by
+// "< -infinity" predicates at locations only correct runs reach.
+#include "bench_common.h"
+#include "statsym/report.h"
+
+using namespace statsym;
+
+int main() {
+  bench::print_header(
+      "Table V / Fig. 8: polymorph instrumented locations & top predicates",
+      "P1 len(suspect FUNCPARAM) > 536.5 @ does_newnameExist():enter ... "
+      "P7-P10 track/wd/clean GLOBAL < -infinity @ convert_fileName():leave, "
+      "main():leave");
+
+  const bench::StatSymRun g = bench::run_statsym("polymorph", 0.3);
+
+  std::printf("%s\n",
+              core::format_locations(g.app.module).c_str());
+  std::printf("Instrumented variables: GLOBAL: target, wd, hidden, track, "
+              "clean, init_file, hidden_file, have_target; FUNCPARAM: argc, "
+              "original, suspect\n\n");
+
+  // Top 10 with the threshold kind, plus the first unreached predicates to
+  // show the "< -infinity" rows.
+  std::printf("%s\n",
+              core::format_predicates(g.app.module, g.result.predicates, 10)
+                  .c_str());
+  std::printf("Unreached-location predicates (paper's P7-P10 style):\n");
+  TextTable t({"Predicate", "Score", "Loc"});
+  std::size_t shown = 0;
+  for (const auto& p : g.result.predicates) {
+    if (p.pk != stats::PredKind::kUnreached) continue;
+    t.add_row({p.display(), fmt_double(p.score, 3),
+               monitor::loc_name(g.app.module, p.loc)});
+    if (++shown == 6) break;
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,320 @@
+// CTree (NIST STONESOUP) — directory-tree renderer.
+//
+// The STONESOUP injection pattern (§VII-C3): an environment variable
+// STONESOUP_STACK_BUFFER_64 is read by stonesoup_read_taint() into a global
+// buffer (stonesoup_tainted_buff); initlinedraw() later copies it into a
+// fixed 64-byte stack buffer with an unchecked strcpy — values longer than
+// 63 bytes overflow it. The tree-building/printing machinery around it is a
+// faithful miniature of ctree: option parsing (-n, -q, -d), a synthetic
+// directory walk, sibling sorting and indented printing.
+//
+// stonesoup_validate() scans the tainted string with *branching* per-
+// character comparisons — the paper's tight-loop state-explosion pattern
+// that defeats pure symbolic execution on this target (Table IV: Failed).
+#include "apps/registry.h"
+
+#include "apps/stdlib.h"
+#include "ir/builder.h"
+
+namespace statsym::apps {
+
+namespace {
+
+constexpr std::int64_t kLineBufSize = 64;   // the vulnerable stack buffer
+constexpr std::int64_t kTaintCap = 400;     // symbolic env capacity
+constexpr const char* kTaintVar = "STONESOUP_STACK_BUFFER_64";
+
+ir::Module build_ctree() {
+  ir::ModuleBuilder mb("ctree");
+  emit_stdlib(mb);
+
+  mb.global_buf("stonesoup_tainted_buff", kTaintCap + 16);
+  mb.global_int("taint_len", 0);
+  mb.global_int("opt_no_color", 0);   // -n
+  mb.global_int("opt_quiet", 0);      // -q
+  mb.global_int("opt_max_depth", 3);  // -d <n>
+  mb.global_int("nodes_built", 0);
+  mb.global_int("nodes_printed", 0);
+  mb.global_int("taint_specials", 0);
+
+  // parse_args(argc): -n, -q, -d <depth>; unknown flags abort.
+  {
+    auto f = mb.func("parse_args", {"argc"});
+    const ir::Reg argc = f.param(0);
+    const ir::Reg i = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto not_n = f.block();
+    const auto not_q = f.block();
+    const auto not_d = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(1));
+    f.jmp(loop);
+    f.at(loop);
+    f.br(f.ge(i, argc), done, body);
+    f.at(body);
+    const ir::Reg a = f.arg(i);
+    const auto set_n = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-n")}), set_n, not_n);
+    f.at(set_n);
+    f.store_global("opt_no_color", f.ci(1));
+    f.jmp(cont);
+    f.at(not_n);
+    const auto set_q = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-q")}), set_q, not_q);
+    f.at(set_q);
+    f.store_global("opt_quiet", f.ci(1));
+    f.jmp(cont);
+    f.at(not_q);
+    const auto set_d = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-d")}), set_d, not_d);
+    f.at(set_d);
+    f.assign(i, f.addi(i, 1));
+    const auto have_d = f.block();
+    const auto bad_d = f.block();
+    f.br(f.ge(i, argc), bad_d, have_d);
+    f.at(bad_d);
+    f.call_ext_void("fprintf_usage", {});
+    f.ret(f.ci(1));
+    f.at(have_d);
+    f.store_global("opt_max_depth", f.call("__atoi", {f.arg(i)}));
+    f.jmp(cont);
+    f.at(not_d);
+    f.call_ext_void("fprintf_usage", {});
+    f.ret(f.ci(1));
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(f.ci(0));
+  }
+
+  // stonesoup_read_taint(): copies the env var into the global buffer.
+  // The paper's predicate for CTree lives at this function's leave:
+  // len(stonesoup_tainted_buff) > 306.5 on the vulnerable path.
+  {
+    auto f = mb.func("stonesoup_read_taint", {});
+    const ir::Reg e = f.env(kTaintVar);
+    const ir::Reg buf = f.load_global("stonesoup_tainted_buff");
+    const auto have = f.block();
+    const auto missing = f.block();
+    const auto out = f.block();
+    f.br(e, have, missing);
+    f.at(missing);
+    f.call_void("__strcpy", {buf, f.str_const("ascii")});
+    f.store_global("taint_len", f.ci(5));
+    f.jmp(out);
+    f.at(have);
+    // Bounded copy: the global buffer is large enough for the whole env
+    // value; the overflow happens later, in initlinedraw's 64-byte buffer.
+    const ir::Reg n = f.call("__strncpy", {buf, e, f.ci(kTaintCap + 16)});
+    f.store_global("taint_len", n);
+    f.jmp(out);
+    f.at(out);
+    f.ret(f.load_global("taint_len"));
+  }
+
+  // stonesoup_validate(): counts '@' markers in the tainted string with a
+  // branching comparison per character (the explosion source).
+  {
+    auto f = mb.func("stonesoup_validate", {});
+    const ir::Reg buf = f.load_global("stonesoup_tainted_buff");
+    const ir::Reg cnt = f.call("__count_char", {buf, f.ci('@')});
+    f.store_global("taint_specials", cnt);
+    const auto noisy = f.block();
+    const auto quiet = f.block();
+    f.br(f.gti(cnt, 3), noisy, quiet);
+    f.at(noisy);
+    f.call_ext_void("syslog", {cnt});
+    f.ret(cnt);
+    f.at(quiet);
+    f.ret(cnt);
+  }
+
+  // alloc_node(depth): models node allocation; returns a node id.
+  {
+    auto f = mb.func("alloc_node", {"depth"});
+    const ir::Reg d = f.param(0);
+    f.call_ext_void("malloc", {});
+    const ir::Reg built = f.load_global("nodes_built");
+    f.store_global("nodes_built", f.bini(ir::BinOp::kAdd, built, 1));
+    f.ret(f.add(built, f.bini(ir::BinOp::kMul, d, 0)));
+  }
+
+  // build_tree(depth): bounded synthetic directory walk — three children
+  // per level up to opt_max_depth. Returns the subtree node count.
+  {
+    auto f = mb.func("build_tree", {"depth"});
+    const ir::Reg d = f.param(0);
+    const ir::Reg total = f.reg();
+    const ir::Reg k = f.reg();
+    const auto recurse = f.block();
+    const auto leaf = f.block();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.call_ext_void("opendir", {d});
+    f.call_void("alloc_node", {d});
+    f.assign(total, f.ci(1));
+    f.br(f.ge(d, f.load_global("opt_max_depth")), leaf, recurse);
+    f.at(leaf);
+    f.call_ext_void("closedir", {d});
+    f.ret(total);
+    f.at(recurse);
+    f.assign(k, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    f.br(f.gei(k, 3), done, body);
+    f.at(body);
+    const ir::Reg sub = f.call("build_tree", {f.addi(d, 1)});
+    f.assign(total, f.add(total, sub));
+    f.assign(k, f.addi(k, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.call_ext_void("closedir", {d});
+    f.ret(total);
+  }
+
+  // sort_siblings(n): decorative bounded bubble pass over n synthetic keys.
+  {
+    auto f = mb.func("sort_siblings", {"n"});
+    const ir::Reg n = f.param(0);
+    const ir::Reg i = f.reg();
+    const ir::Reg swaps = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.assign(swaps, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    f.br(f.ge(i, n), done, body);
+    f.at(body);
+    f.call_ext_void("strcoll", {i});
+    f.assign(swaps, f.add(swaps, f.bini(ir::BinOp::kAnd, i, 1)));
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(swaps);
+  }
+
+  // initlinedraw(opt): THE BUG — unchecked strcpy of the tainted string
+  // into a 64-byte stack buffer (STONESOUP's classic stack smash).
+  {
+    auto f = mb.func("initlinedraw", {"opt"});
+    const ir::Reg opt = f.param(0);
+    const ir::Reg linebuf = f.alloca_buf(kLineBufSize);
+    const ir::Reg taint = f.load_global("stonesoup_tainted_buff");
+    f.call_void("__strcpy", {linebuf, taint});  // overflow when len >= 64
+    const auto color = f.block();
+    const auto plain = f.block();
+    const auto out = f.block();
+    f.br(opt, plain, color);
+    f.at(color);
+    f.call_ext_void("tputs", {});
+    f.jmp(out);
+    f.at(plain);
+    f.jmp(out);
+    f.at(out);
+    f.ret(f.ci(0));
+  }
+
+  // print_node(id, depth): one output line.
+  {
+    auto f = mb.func("print_node", {"id", "depth"});
+    const ir::Reg id = f.param(0);
+    const auto quiet_b = f.block();
+    const auto loud = f.block();
+    const auto out = f.block();
+    f.br(f.load_global("opt_quiet"), quiet_b, loud);
+    f.at(loud);
+    f.call_ext_void("printf_node", {id, f.param(1)});
+    f.jmp(out);
+    f.at(quiet_b);
+    f.jmp(out);
+    f.at(out);
+    const ir::Reg p = f.load_global("nodes_printed");
+    f.store_global("nodes_printed", f.bini(ir::BinOp::kAdd, p, 1));
+    f.ret(f.ci(0));
+  }
+
+  // print_tree(count): draws the line art (faults here via initlinedraw
+  // when the taint is oversized) then prints every node.
+  {
+    auto f = mb.func("print_tree", {"count"});
+    const ir::Reg count = f.param(0);
+    f.call_void("initlinedraw", {f.load_global("opt_no_color")});
+    const ir::Reg i = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    f.br(f.ge(i, count), done, body);
+    f.at(body);
+    f.call_void("print_node", {i, f.ci(0)});
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(f.ci(0));
+  }
+
+  {
+    auto f = mb.func("main", {});
+    const ir::Reg ac = f.argc();
+    const ir::Reg rc = f.call("parse_args", {ac});
+    const auto ok = f.block();
+    const auto bad = f.block();
+    f.br(f.eqi(rc, 0), ok, bad);
+    f.at(bad);
+    f.ret(f.ci(1));
+    f.at(ok);
+    f.call_void("stonesoup_read_taint", {});
+    f.call_void("stonesoup_validate", {});
+    const ir::Reg n = f.call("build_tree", {f.ci(0)});
+    f.call_void("sort_siblings", {n});
+    f.call_void("print_tree", {n});
+    f.ret(f.ci(0));
+  }
+
+  return mb.build();
+}
+
+interp::RuntimeInput ctree_workload(Rng& rng) {
+  interp::RuntimeInput in;
+  in.argv = {"ctree"};
+  if (rng.chance(0.3)) in.argv.push_back("-n");
+  if (rng.chance(0.3)) in.argv.push_back("-q");
+  if (rng.chance(0.5)) {
+    const std::int64_t len = rng.uniform(1, kTaintCap - 2);
+    std::string v;
+    v.reserve(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; ++i) {
+      v.push_back(static_cast<char>(rng.uniform(33, 126)));
+    }
+    in.env[kTaintVar] = v;
+  }
+  return in;
+}
+
+}  // namespace
+
+AppSpec make_ctree() {
+  AppSpec app;
+  app.name = "ctree";
+  app.module = build_ctree();
+  app.sym_spec.argv = {symexec::SymStr::fixed("ctree"),
+                       symexec::SymStr::fixed("-n")};
+  app.sym_spec.env = {
+      {kTaintVar, symexec::SymStr::sym("taint", kTaintCap)},
+  };
+  app.workload = ctree_workload;
+  app.vuln_function = "initlinedraw";
+  app.vuln_kind = interp::FaultKind::kOobStore;
+  app.crash_threshold = kLineBufSize;  // env values of length >= 64 crash
+  return app;
+}
+
+}  // namespace statsym::apps

@@ -1,0 +1,95 @@
+// The motivating example of the paper's Fig. 2a:
+//
+//   void vul_func(int a) { if (a >= 3) assert(0); }
+//   void f1(int x) {
+//     if (x >= 1000 || x < 0) { ... }
+//     else { int i = 0; while (i < x) { vul_func(i); i++; } printf(i); }
+//   }
+//   void main() { int m; make_symbolic(&m); f1(m); }
+//
+// Pure symbolic execution forks a fresh state per loop iteration (Fig. 2b);
+// the statistics-guided run prunes everything except the x >= 3 region
+// (Fig. 2c).
+#include "apps/registry.h"
+
+#include "ir/builder.h"
+
+namespace statsym::apps {
+
+namespace {
+
+ir::Module build_fig2() {
+  ir::ModuleBuilder mb("fig2");
+
+  {
+    auto f = mb.func("vul_func", {"a"});
+    const ir::Reg a = f.param(0);
+    const auto bad = f.block();
+    const auto ok = f.block();
+    f.br(f.gei(a, 3), bad, ok);
+    f.at(bad);
+    f.assert_true(f.ci(0));  // assert(0)
+    f.ret();
+    f.at(ok);
+    f.ret();
+  }
+
+  {
+    auto f = mb.func("f1", {"x"});
+    const ir::Reg x = f.param(0);
+    const auto big = f.block();
+    const auto loop_pre = f.block();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.br(f.lor(f.gei(x, 1000), f.lti(x, 0)), big, loop_pre);
+    f.at(big);
+    f.call_ext_void("printf", {x});
+    f.ret();
+    f.at(loop_pre);
+    const ir::Reg i = f.reg();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    f.br(f.lt(i, x), body, done);
+    f.at(body);
+    f.call_void("vul_func", {i});
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.call_ext_void("printf", {i});
+    f.ret();
+  }
+
+  {
+    auto f = mb.func("main", {});
+    const ir::Reg m = f.reg();
+    f.make_sym_int(m, "sym_m", -2048, 2047);
+    f.call_void("f1", {m});
+    f.ret(f.ci(0));
+  }
+
+  return mb.build();
+}
+
+}  // namespace
+
+AppSpec make_fig2() {
+  AppSpec app;
+  app.name = "fig2";
+  app.module = build_fig2();
+  // No argv/env; the symbolic integer is declared in the program itself.
+  app.workload = [](Rng& rng) {
+    interp::RuntimeInput in;
+    in.sym_ints["sym_m"] = rng.uniform(-64, 64);
+    return in;
+  };
+  app.vuln_function = "vul_func";
+  app.vuln_kind = interp::FaultKind::kAssertFail;
+  // The loop body runs with i = 0..m-1, so vul_func sees a >= 3 (and the
+  // assertion fires) exactly when 4 <= m < 1000.
+  app.crash_threshold = 4;
+  return app;
+}
+
+}  // namespace statsym::apps

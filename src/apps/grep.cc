@@ -1,0 +1,440 @@
+// Grep (NIST STONESOUP) — command-line plain-text search.
+//
+// The largest target (paper Table I: 6.6k SLOC, 143 external calls): full
+// option parsing (-i -v -c -n -e), a literal/'.'/'*' pattern matcher run
+// over a synthetic corpus of input lines, match counting and printing — and
+// the STONESOUP injection: a GREP_STONESOUP_BUF environment variable read
+// into a global, "decoded" by branching per-character scans, and finally
+// copied unchecked into a 256-byte stack buffer in stonesoup_handle_taint()
+// (the paper notes Grep's injection "is similar to CTree").
+#include "apps/registry.h"
+
+#include "apps/stdlib.h"
+#include "ir/builder.h"
+
+namespace statsym::apps {
+
+namespace {
+
+constexpr std::int64_t kTaintBufSize = 256;  // the vulnerable stack buffer
+constexpr std::int64_t kTaintCap = 480;
+constexpr const char* kTaintVar = "GREP_STONESOUP_BUF";
+
+// The synthetic corpus grep scans (real grep reads stdin/files; external
+// input is modelled as fixed text so the matcher runs concrete loops).
+constexpr const char* kCorpus[] = {
+    "the quick brown fox jumps over the lazy dog",
+    "pack my box with five dozen liquor jugs",
+    "grep searches the named input files",
+    "a line containing the needle pattern sits here",
+    "empty handed we return to the shore",
+    "needle in a haystack is proverbial",
+    "final line of the synthetic corpus",
+};
+
+ir::Module build_grep() {
+  ir::ModuleBuilder mb("grep");
+  emit_stdlib(mb);
+
+  mb.global_int("opt_ignore_case", 0);  // -i
+  mb.global_int("opt_invert", 0);       // -v
+  mb.global_int("opt_count_only", 0);   // -c
+  mb.global_int("opt_line_numbers", 0); // -n
+  mb.global_int("pattern", 0);          // compiled pattern string
+  mb.global_int("have_pattern", 0);
+  mb.global_int("match_count", 0);
+  mb.global_int("lines_scanned", 0);
+  mb.global_buf("stonesoup_tainted_buff", kTaintCap + 16);
+  mb.global_int("taint_len", 0);
+  mb.global_int("taint_at_signs", 0);
+  mb.global_int("taint_colons", 0);
+
+  // usage(): error path helper.
+  {
+    auto f = mb.func("usage", {});
+    f.call_ext_void("fprintf_usage", {});
+    f.call_ext_void("fflush", {});
+    f.ret(f.ci(2));
+  }
+
+  // init_locale(): startup i18n boilerplate (external-call surface — Grep
+  // carries the largest Ext. Call count in the paper's Table I).
+  {
+    auto f = mb.func("init_locale", {});
+    f.call_ext_void("setlocale", {});
+    f.call_ext_void("bindtextdomain", {});
+    f.call_ext_void("textdomain", {});
+    f.call_ext_void("atexit", {});
+    f.ret(f.ci(0));
+  }
+
+  // open_corpus()/close_corpus(): model the file plumbing around the fixed
+  // corpus (fopen/fstat/mmap on real grep).
+  {
+    auto f = mb.func("open_corpus", {});
+    f.call_ext_void("fopen", {});
+    f.call_ext_void("fstat", {});
+    f.call_ext_void("mmap", {});
+    f.call_ext_void("posix_fadvise", {});
+    f.ret(f.ci(0));
+  }
+  {
+    auto f = mb.func("close_corpus", {});
+    f.call_ext_void("munmap", {});
+    f.call_ext_void("fclose", {});
+    f.ret(f.ci(0));
+  }
+
+  // report_stats(matches): summary diagnostics on exit.
+  {
+    auto f = mb.func("report_stats", {"matches"});
+    const auto some = f.block();
+    const auto none = f.block();
+    f.br(f.param(0), some, none);
+    f.at(some);
+    f.call_ext_void("fprintf_summary", {f.param(0)});
+    f.call_ext_void("fflush", {});
+    f.ret(f.ci(0));
+    f.at(none);
+    f.call_ext_void("fprintf_nomatch", {});
+    f.ret(f.ci(1));
+  }
+
+  // parse_options(argc): GNU-ish flag parsing; "-e <pat>" or a bare first
+  // non-flag argument supplies the pattern.
+  {
+    auto f = mb.func("parse_options", {"argc"});
+    const ir::Reg argc = f.param(0);
+    const ir::Reg i = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto not_i = f.block();
+    const auto not_v = f.block();
+    const auto not_c = f.block();
+    const auto not_n = f.block();
+    const auto not_e = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(1));
+    f.jmp(loop);
+    f.at(loop);
+    f.br(f.ge(i, argc), done, body);
+    f.at(body);
+    const ir::Reg a = f.arg(i);
+    const auto set_i = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-i")}), set_i, not_i);
+    f.at(set_i);
+    f.store_global("opt_ignore_case", f.ci(1));
+    f.jmp(cont);
+    f.at(not_i);
+    const auto set_v = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-v")}), set_v, not_v);
+    f.at(set_v);
+    f.store_global("opt_invert", f.ci(1));
+    f.jmp(cont);
+    f.at(not_v);
+    const auto set_c = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-c")}), set_c, not_c);
+    f.at(set_c);
+    f.store_global("opt_count_only", f.ci(1));
+    f.jmp(cont);
+    f.at(not_c);
+    const auto set_n = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-n")}), set_n, not_n);
+    f.at(set_n);
+    f.store_global("opt_line_numbers", f.ci(1));
+    f.jmp(cont);
+    f.at(not_n);
+    const auto take_e = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-e")}), take_e, not_e);
+    f.at(take_e);
+    f.assign(i, f.addi(i, 1));
+    const auto have_e = f.block();
+    const auto bad_e = f.block();
+    f.br(f.ge(i, argc), bad_e, have_e);
+    f.at(bad_e);
+    f.ret(f.call("usage", {}));
+    f.at(have_e);
+    f.store_global("pattern", f.arg(i));
+    f.store_global("have_pattern", f.ci(1));
+    f.jmp(cont);
+    f.at(not_e);
+    // Bare argument: first one is the pattern, extras are ignored (files
+    // are modelled by the fixed corpus).
+    const auto bare_pat = f.block();
+    f.br(f.load_global("have_pattern"), cont, bare_pat);
+    f.at(bare_pat);
+    f.store_global("pattern", a);
+    f.store_global("have_pattern", f.ci(1));
+    f.jmp(cont);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(f.ci(0));
+  }
+
+  // lower_char(c): branch-free ASCII lowering used by -i matching.
+  {
+    auto f = mb.func("lower_char", {"c"});
+    const ir::Reg c = f.param(0);
+    const ir::Reg is_up = f.land(f.gei(c, 'A'), f.lei(c, 'Z'));
+    f.ret(f.add(c, f.bini(ir::BinOp::kMul, is_up, 32)));
+  }
+
+  // chars_equal(a, b): honours opt_ignore_case.
+  {
+    auto f = mb.func("chars_equal", {"a", "b"});
+    const auto ci_b = f.block();
+    const auto cs_b = f.block();
+    f.br(f.load_global("opt_ignore_case"), ci_b, cs_b);
+    f.at(ci_b);
+    const ir::Reg la = f.call("lower_char", {f.param(0)});
+    const ir::Reg lb = f.call("lower_char", {f.param(1)});
+    f.ret(f.eq(la, lb));
+    f.at(cs_b);
+    f.ret(f.eq(f.param(0), f.param(1)));
+  }
+
+  // match_here(line, li, pat, pi): anchored match supporting '.' (any char)
+  // and trailing-position recursion; returns 1 on match.
+  {
+    auto f = mb.func("match_here", {"line", "li", "pat", "pi"});
+    const ir::Reg line = f.param(0);
+    const ir::Reg li = f.param(1);
+    const ir::Reg pat = f.param(2);
+    const ir::Reg pi = f.param(3);
+    const auto pat_end = f.block();
+    const auto check_line = f.block();
+    const auto line_end = f.block();
+    const auto compare = f.block();
+    const auto ok = f.block();
+    const auto fail = f.block();
+    const ir::Reg pc = f.load(pat, pi);
+    f.br(f.eqi(pc, 0), pat_end, check_line);
+    f.at(pat_end);
+    f.ret(f.ci(1));
+    f.at(check_line);
+    const ir::Reg lc = f.load(line, li);
+    f.br(f.eqi(lc, 0), line_end, compare);
+    f.at(line_end);
+    f.ret(f.ci(0));
+    f.at(compare);
+    const ir::Reg any = f.eqi(pc, '.');
+    const ir::Reg same = f.call("chars_equal", {lc, pc});
+    f.br(f.lor(any, same), ok, fail);
+    f.at(ok);
+    f.ret(f.call("match_here",
+                 {line, f.addi(li, 1), pat, f.addi(pi, 1)}));
+    f.at(fail);
+    f.ret(f.ci(0));
+  }
+
+  // match_line(line, pat): unanchored search — try every start offset.
+  {
+    auto f = mb.func("match_line", {"line", "pat"});
+    const ir::Reg line = f.param(0);
+    const ir::Reg pat = f.param(1);
+    const ir::Reg i = f.reg();
+    const auto loop = f.block();
+    const auto attempt = f.block();
+    const auto hit = f.block();
+    const auto miss = f.block();
+    const auto out_no = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const ir::Reg m = f.call("match_here", {line, i, pat, f.ci(0)});
+    f.br(m, hit, attempt);
+    f.at(hit);
+    f.ret(f.ci(1));
+    f.at(attempt);
+    const ir::Reg c = f.load(line, i);
+    f.br(f.eqi(c, 0), out_no, miss);
+    f.at(miss);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(out_no);
+    f.ret(f.ci(0));
+  }
+
+  // print_match(idx, line): output path for a matching line.
+  {
+    auto f = mb.func("print_match", {"idx", "line"});
+    const auto with_num = f.block();
+    const auto plain = f.block();
+    const auto out = f.block();
+    f.br(f.load_global("opt_line_numbers"), with_num, plain);
+    f.at(with_num);
+    f.call_ext_void("printf_lineno", {f.param(0)});
+    f.jmp(out);
+    f.at(plain);
+    f.jmp(out);
+    f.at(out);
+    f.call_ext_void("puts", {f.param(1)});
+    f.ret(f.ci(0));
+  }
+
+  // scan_corpus(): runs the matcher over every corpus line, honouring -v/-c.
+  {
+    auto f = mb.func("scan_corpus", {});
+    const ir::Reg pat = f.load_global("pattern");
+    const ir::Reg count = f.reg();
+    f.assign(count, f.ci(0));
+    std::int64_t idx = 0;
+    for (const char* line_text : kCorpus) {
+      const ir::Reg line = f.str_const(line_text);
+      const ir::Reg m = f.call("match_line", {line, pat});
+      const ir::Reg inv = f.load_global("opt_invert");
+      const ir::Reg selected = f.ne(m, inv);
+      const auto sel_b = f.block();
+      const auto next_b = f.block();
+      f.br(selected, sel_b, next_b);
+      f.at(sel_b);
+      f.assign(count, f.addi(count, 1));
+      const auto do_print = f.block();
+      f.br(f.load_global("opt_count_only"), next_b, do_print);
+      f.at(do_print);
+      f.call_void("print_match", {f.ci(idx), line});
+      f.jmp(next_b);
+      f.at(next_b);
+      const ir::Reg scanned = f.load_global("lines_scanned");
+      f.store_global("lines_scanned", f.addi(scanned, 1));
+      ++idx;
+    }
+    f.store_global("match_count", count);
+    const auto report = f.block();
+    const auto quiet = f.block();
+    f.br(f.load_global("opt_count_only"), report, quiet);
+    f.at(report);
+    f.call_ext_void("printf_count", {count});
+    f.ret(count);
+    f.at(quiet);
+    f.ret(count);
+  }
+
+  // stonesoup_read_env(): pulls the injected env var into the global.
+  {
+    auto f = mb.func("stonesoup_read_env", {});
+    const ir::Reg e = f.env(kTaintVar);
+    const ir::Reg buf = f.load_global("stonesoup_tainted_buff");
+    const auto have = f.block();
+    const auto missing = f.block();
+    f.br(e, have, missing);
+    f.at(missing);
+    f.store_global("taint_len", f.ci(0));
+    f.ret(f.ci(0));
+    f.at(have);
+    const ir::Reg n = f.call("__strncpy", {buf, e, f.ci(kTaintCap + 16)});
+    f.store_global("taint_len", n);
+    f.ret(n);
+  }
+
+  // stonesoup_decode(): branching per-character scans over the taint — the
+  // state-explosion pattern (two passes compound it).
+  {
+    auto f = mb.func("stonesoup_decode", {});
+    const ir::Reg buf = f.load_global("stonesoup_tainted_buff");
+    const ir::Reg ats = f.call("__count_char", {buf, f.ci('@')});
+    f.store_global("taint_at_signs", ats);
+    const ir::Reg cols = f.call("__count_char", {buf, f.ci(':')});
+    f.store_global("taint_colons", cols);
+    f.ret(f.add(ats, cols));
+  }
+
+  // stonesoup_handle_taint(): THE BUG — unchecked copy of the taint into a
+  // 256-byte stack buffer.
+  {
+    auto f = mb.func("stonesoup_handle_taint", {});
+    const auto have = f.block();
+    const auto none = f.block();
+    f.br(f.load_global("taint_len"), have, none);
+    f.at(none);
+    f.ret(f.ci(0));
+    f.at(have);
+    const ir::Reg stack_buf = f.alloca_buf(kTaintBufSize);
+    const ir::Reg taint = f.load_global("stonesoup_tainted_buff");
+    f.call_void("__strcpy", {stack_buf, taint});  // overflow when len >= 256
+    f.call_ext_void("setenv_cleaned", {stack_buf});
+    f.ret(f.ci(1));
+  }
+
+  {
+    auto f = mb.func("main", {});
+    const ir::Reg ac = f.argc();
+    const ir::Reg rc = f.call("parse_options", {ac});
+    const auto ok = f.block();
+    const auto bad = f.block();
+    f.br(f.eqi(rc, 0), ok, bad);
+    f.at(bad);
+    f.ret(rc);
+    f.at(ok);
+    const auto have_pat = f.block();
+    const auto no_pat = f.block();
+    f.br(f.load_global("have_pattern"), have_pat, no_pat);
+    f.at(no_pat);
+    f.ret(f.call("usage", {}));
+    f.at(have_pat);
+    f.call_void("init_locale", {});
+    f.call_void("open_corpus", {});
+    f.call_void("stonesoup_read_env", {});
+    f.call_void("stonesoup_decode", {});
+    f.call_void("stonesoup_handle_taint", {});
+    const ir::Reg matches = f.call("scan_corpus", {});
+    f.call_void("close_corpus", {});
+    f.call_void("report_stats", {matches});
+    const auto found = f.block();
+    const auto not_found = f.block();
+    f.br(matches, found, not_found);
+    f.at(found);
+    f.ret(f.ci(0));
+    f.at(not_found);
+    f.ret(f.ci(1));
+  }
+
+  return mb.build();
+}
+
+interp::RuntimeInput grep_workload(Rng& rng) {
+  interp::RuntimeInput in;
+  in.argv = {"grep"};
+  if (rng.chance(0.25)) in.argv.push_back("-i");
+  if (rng.chance(0.15)) in.argv.push_back("-v");
+  if (rng.chance(0.20)) in.argv.push_back("-c");
+  if (rng.chance(0.20)) in.argv.push_back("-n");
+  static const char* kPatterns[] = {"needle", "the", "corpus", "xyzzy",
+                                    "b.x", "line"};
+  in.argv.push_back("-e");
+  in.argv.push_back(kPatterns[static_cast<std::size_t>(rng.uniform(0, 5))]);
+  if (rng.chance(0.55)) {
+    const std::int64_t len = rng.uniform(1, kTaintCap - 2);
+    std::string v;
+    v.reserve(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; ++i) {
+      v.push_back(static_cast<char>(rng.uniform(33, 126)));
+    }
+    in.env[kTaintVar] = v;
+  }
+  return in;
+}
+
+}  // namespace
+
+AppSpec make_grep() {
+  AppSpec app;
+  app.name = "grep";
+  app.module = build_grep();
+  app.sym_spec.argv = {symexec::SymStr::fixed("grep"),
+                       symexec::SymStr::fixed("-e"),
+                       symexec::SymStr::fixed("needle")};
+  app.sym_spec.env = {
+      {kTaintVar, symexec::SymStr::sym("taint", kTaintCap)},
+  };
+  app.workload = grep_workload;
+  app.vuln_function = "stonesoup_handle_taint";
+  app.vuln_kind = interp::FaultKind::kOobStore;
+  app.crash_threshold = kTaintBufSize;  // env values of length >= 256 crash
+  return app;
+}
+
+}  // namespace statsym::apps

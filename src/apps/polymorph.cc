@@ -1,0 +1,375 @@
+// polymorph (BugBench) — file-name conversion utility.
+//
+// Function/global/parameter inventory mirrors the paper's Fig. 8:
+//   functions: main, grok_commandLine, convert_fileName, is_fileHidden,
+//              does_nameHaveUppers, does_newnameExist
+//   globals:   target, wd, hidden, track, clean, init_file, hidden_file
+//   params:    argc, original, suspect
+//
+// The vulnerability (§VII-C1): convert_fileName() copies the user-provided
+// file name character by character into a 512-byte stack buffer `newName`
+// with no bounds check; names of length >= 512 overflow it (the terminating
+// store lands at index == length). The fault point is the copy loop, the
+// failure manifests before convert_fileName() returns — so faulty logs never
+// contain convert_fileName():leave / main():leave, which is what produces
+// the "< -infinity" predicates of Table V.
+#include "apps/registry.h"
+
+#include "apps/stdlib.h"
+#include "ir/builder.h"
+
+namespace statsym::apps {
+
+namespace {
+
+constexpr std::int64_t kNewNameSize = 512;
+constexpr std::int64_t kNameCap = 640;  // symbolic file-name capacity
+
+constexpr std::int64_t kOutDirSize = 64;  // multibug variant's second sink
+
+ir::Module build_polymorph(bool with_second_bug = false) {
+  ir::ModuleBuilder mb(with_second_bug ? "polymorph-multibug" : "polymorph");
+  emit_stdlib(mb);
+  if (with_second_bug) {
+    mb.global_buf("outdir", kOutDirSize);
+    mb.global_int("have_outdir", 0);
+    // set_outdir(dir): the second vulnerability — the "-o" argument is
+    // copied into the fixed 64-byte outdir global without a bounds check.
+    auto f = mb.func("set_outdir", {"dir"});
+    const ir::Reg buf = f.load_global("outdir");
+    f.call_void("__strcpy", {buf, f.param(0)});  // overflow when len >= 64
+    f.store_global("have_outdir", f.ci(1));
+    f.call_ext_void("mkdir", {buf});
+    f.ret(f.ci(0));
+  }
+
+  mb.global_int("target", 0);       // set to the -f argument string
+  mb.global_buf("wd", 256);         // working directory (decorative)
+  mb.global_int("hidden", 0);       // last is_fileHidden verdict
+  mb.global_int("track", 0);        // processed-file counter
+  mb.global_int("clean", 0);        // -c: overwrite existing
+  mb.global_int("init_file", 0);    // -i: process rc file
+  mb.global_int("hidden_file", 0);  // -h: include hidden files
+  mb.global_int("have_target", 0);
+
+  // grok_commandLine(argc): option parsing; stores the -f argument into the
+  // `target` global. Returns 0 on success.
+  {
+    auto f = mb.func("grok_commandLine", {"argc"});
+    const ir::Reg argc = f.param(0);
+    const ir::Reg i = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto not_f = f.block();
+    const auto take_name = f.block();
+    const auto bad_f = f.block();
+    const auto not_c = f.block();
+    const auto not_i = f.block();
+    const auto not_h = f.block();
+    const auto not_v = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+
+    f.call_ext_void("getcwd", {f.load_global("wd")});
+    f.assign(i, f.ci(1));
+    f.jmp(loop);
+
+    f.at(loop);
+    f.br(f.ge(i, argc), done, body);
+
+    f.at(body);
+    const ir::Reg a = f.arg(i);
+    f.br(f.call("__streq", {a, f.str_const("-f")}), take_name, not_f);
+
+    f.at(take_name);
+    f.assign(i, f.addi(i, 1));
+    const auto have_arg = f.block();
+    f.br(f.ge(i, argc), bad_f, have_arg);
+    f.at(have_arg);
+    f.store_global("target", f.arg(i));
+    f.store_global("have_target", f.ci(1));
+    f.jmp(cont);
+    f.at(bad_f);
+    f.call_ext_void("fprintf_usage", {});
+    f.ret(f.ci(1));
+
+    f.at(not_f);
+    const auto set_c = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-c")}), set_c, not_c);
+    f.at(set_c);
+    f.store_global("clean", f.ci(1));
+    f.jmp(cont);
+
+    f.at(not_c);
+    const auto set_i = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-i")}), set_i, not_i);
+    f.at(set_i);
+    f.store_global("init_file", f.ci(1));
+    f.jmp(cont);
+
+    f.at(not_i);
+    if (with_second_bug) {
+      const auto take_o = f.block();
+      const auto not_o = f.block();
+      f.br(f.call("__streq", {a, f.str_const("-o")}), take_o, not_o);
+      f.at(take_o);
+      f.assign(i, f.addi(i, 1));
+      const auto have_o = f.block();
+      const auto bad_o = f.block();
+      f.br(f.ge(i, argc), bad_o, have_o);
+      f.at(bad_o);
+      f.call_ext_void("fprintf_usage", {});
+      f.ret(f.ci(1));
+      f.at(have_o);
+      f.call_void("set_outdir", {f.arg(i)});
+      f.jmp(cont);
+      f.at(not_o);
+    }
+    const auto set_h = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-h")}), set_h, not_h);
+    f.at(set_h);
+    f.store_global("hidden_file", f.ci(1));
+    f.jmp(cont);
+
+    f.at(not_h);
+    const auto show_v = f.block();
+    f.br(f.call("__streq", {a, f.str_const("-v")}), show_v, not_v);
+    f.at(show_v);
+    f.call_ext_void("printf_version", {});
+    f.jmp(cont);
+
+    f.at(not_v);
+    f.call_ext_void("fprintf_usage", {});
+    f.ret(f.ci(1));
+
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+
+    f.at(done);
+    f.ret(f.ci(0));
+  }
+
+  // is_fileHidden(suspect): leading '.' means a hidden file.
+  {
+    auto f = mb.func("is_fileHidden", {"suspect"});
+    const ir::Reg s = f.param(0);
+    f.call_ext_void("lstat", {s});
+    const ir::Reg c0 = f.load(s, f.ci(0));
+    const ir::Reg r = f.eqi(c0, '.');
+    f.store_global("hidden", r);
+    f.ret(r);
+  }
+
+  // does_nameHaveUppers(suspect): branch-free accumulation per character —
+  // only the string-termination test forks.
+  {
+    auto f = mb.func("does_nameHaveUppers", {"suspect"});
+    const ir::Reg s = f.param(0);
+    const ir::Reg i = f.reg();
+    const ir::Reg has = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.assign(has, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const ir::Reg c = f.load(s, i);
+    f.br(f.eqi(c, 0), done, body);
+    f.at(body);
+    f.assign(has, f.lor(has, f.land(f.gei(c, 'A'), f.lei(c, 'Z'))));
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(has);
+  }
+
+  // does_newnameExist(suspect): builds the prospective lower-case name in a
+  // bounded scratch buffer and stats it (modelled: never exists).
+  {
+    auto f = mb.func("does_newnameExist", {"suspect"});
+    const ir::Reg s = f.param(0);
+    const ir::Reg scratch = f.alloca_buf(kNameCap + 8);
+    f.call_void("__strncpy", {scratch, s, f.ci(kNameCap + 8)});
+    f.call_void("__tolower_str", {scratch});
+    const ir::Reg st = f.call_ext("stat", {scratch});
+    f.ret(f.nei(st, 0));
+  }
+
+  // convert_fileName(original): THE BUG. Lower-cases `original` into a
+  // 512-byte stack buffer with no bounds check (paper §VII-C1).
+  {
+    auto f = mb.func("convert_fileName", {"original"});
+    const ir::Reg orig = f.param(0);
+    const ir::Reg new_name = f.alloca_buf(kNewNameSize);
+    const ir::Reg i = f.reg();
+    const auto loop = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const ir::Reg c = f.load(orig, i);
+    const ir::Reg is_up = f.land(f.gei(c, 'A'), f.lei(c, 'Z'));
+    const ir::Reg low = f.add(c, f.bini(ir::BinOp::kMul, is_up, 32));
+    // Unchecked store: overflows new_name when i reaches 512 — which
+    // happens whenever strlen(original) >= 512 (the NUL store included).
+    f.store(new_name, i, low);
+    f.br(f.eqi(c, 0), done, cont);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.call_ext_void("rename", {orig, new_name});
+    f.call_ext_void("chmod", {new_name});
+    f.call_ext_void("utime", {new_name});
+    f.ret(i);
+  }
+
+  // main: the paper's flow — parse, filter hidden files, skip names without
+  // uppercase characters, honour -c for existing targets, then convert.
+  {
+    auto f = mb.func("main", {});
+    const ir::Reg ac = f.argc();
+    const ir::Reg rc = f.call("grok_commandLine", {ac});
+    const auto parse_ok = f.block();
+    const auto parse_bad = f.block();
+    f.br(f.eqi(rc, 0), parse_ok, parse_bad);
+    f.at(parse_bad);
+    f.ret(f.ci(1));
+
+    f.at(parse_ok);
+    const auto have_t = f.block();
+    const auto no_t = f.block();
+    f.br(f.load_global("have_target"), have_t, no_t);
+    f.at(no_t);
+    f.call_ext_void("fprintf_usage", {});
+    f.ret(f.ci(1));
+
+    f.at(have_t);
+    const ir::Reg t = f.load_global("target");
+    const ir::Reg h = f.call("is_fileHidden", {t});
+    const auto not_hidden = f.block();
+    const auto hidden_b = f.block();
+    f.br(h, hidden_b, not_hidden);
+    f.at(hidden_b);
+    const auto keep_going = f.block();
+    const auto skip = f.block();
+    f.br(f.load_global("hidden_file"), keep_going, skip);
+    f.at(skip);
+    f.ret(f.ci(0));
+    f.at(keep_going);
+    f.jmp(not_hidden);
+
+    f.at(not_hidden);
+    const ir::Reg u = f.call("does_nameHaveUppers", {t});
+    const auto check_exist = f.block();
+    const auto no_work = f.block();
+    f.br(u, check_exist, no_work);
+    f.at(no_work);
+    f.store_global("track", f.bini(ir::BinOp::kAdd, f.load_global("track"), 1));
+    f.ret(f.ci(0));
+
+    f.at(check_exist);
+    const ir::Reg ex = f.call("does_newnameExist", {t});
+    const auto conv = f.block();
+    const auto exist_b = f.block();
+    f.br(ex, exist_b, conv);
+    f.at(exist_b);
+    const auto conv2 = f.block();
+    const auto refuse = f.block();
+    f.br(f.load_global("clean"), conv2, refuse);
+    f.at(refuse);
+    f.call_ext_void("fprintf_exists", {});
+    f.ret(f.ci(1));
+    f.at(conv2);
+    f.jmp(conv);
+
+    f.at(conv);
+    f.call_void("convert_fileName", {t});
+    f.store_global("track", f.bini(ir::BinOp::kAdd, f.load_global("track"), 1));
+    f.ret(f.ci(0));
+  }
+
+  return mb.build();
+}
+
+// Random printable file names; ~22% exceed the 512-byte buffer, ~10% are
+// hidden (leading '.'), occasional extra flags — the mixed correct/faulty
+// population the statistics need.
+interp::RuntimeInput polymorph_workload(Rng& rng) {
+  interp::RuntimeInput in;
+  in.argv.push_back("polymorph");
+  if (rng.chance(0.15)) in.argv.push_back("-c");
+  if (rng.chance(0.10)) in.argv.push_back("-i");
+  in.argv.push_back("-f");
+  const std::int64_t len = rng.uniform(1, kNameCap - 2);
+  std::string name;
+  name.reserve(static_cast<std::size_t>(len));
+  if (rng.chance(0.10)) name.push_back('.');
+  while (static_cast<std::int64_t>(name.size()) < len) {
+    // Mixed-case letters, digits, separators; never NUL.
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+    name.push_back(
+        kAlphabet[static_cast<std::size_t>(rng.uniform(0, 63))]);
+  }
+  in.argv.push_back(name);
+  return in;
+}
+
+}  // namespace
+
+AppSpec make_polymorph() {
+  AppSpec app;
+  app.name = "polymorph";
+  app.module = build_polymorph();
+  app.sym_spec.argv = {
+      symexec::SymStr::fixed("polymorph"),
+      symexec::SymStr::fixed("-f"),
+      symexec::SymStr::sym("fname", kNameCap),
+  };
+  app.workload = polymorph_workload;
+  app.vuln_function = "convert_fileName";
+  app.vuln_kind = interp::FaultKind::kOobStore;
+  app.crash_threshold = kNewNameSize;  // names of length >= 512 crash
+  return app;
+}
+
+AppSpec make_polymorph_multibug() {
+  AppSpec app;
+  app.name = "polymorph-multibug";
+  app.module = build_polymorph(/*with_second_bug=*/true);
+  app.sym_spec.argv = {
+      symexec::SymStr::fixed("polymorph"),
+      symexec::SymStr::fixed("-o"),
+      symexec::SymStr::sym("outdir", 128),
+      symexec::SymStr::fixed("-f"),
+      symexec::SymStr::sym("fname", kNameCap),
+  };
+  // Workload: both failure modes occur — long output directories crash
+  // set_outdir (during parsing), long file names crash convert_fileName.
+  app.workload = [](Rng& rng) {
+    interp::RuntimeInput in = polymorph_workload(rng);
+    if (rng.chance(0.5)) {
+      const std::int64_t len = rng.uniform(1, 120);
+      std::string dir;
+      for (std::int64_t i = 0; i < len; ++i) {
+        dir.push_back(static_cast<char>(rng.uniform('a', 'z')));
+      }
+      // Insert "-o <dir>" right after argv[0].
+      in.argv.insert(in.argv.begin() + 1, dir);
+      in.argv.insert(in.argv.begin() + 1, "-o");
+    }
+    return in;
+  };
+  // Ground truth for the dominant (parse-time) bug; the second one is
+  // convert_fileName as in the base app.
+  app.vuln_function = "set_outdir";
+  app.vuln_kind = interp::FaultKind::kOobStore;
+  app.crash_threshold = kOutDirSize;
+  return app;
+}
+
+}  // namespace statsym::apps

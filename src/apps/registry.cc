@@ -1,0 +1,21 @@
+#include "apps/registry.h"
+
+#include <stdexcept>
+
+namespace statsym::apps {
+
+std::vector<std::string> app_names() {
+  return {"polymorph", "ctree", "grep", "thttpd"};
+}
+
+AppSpec make_app(const std::string& name) {
+  if (name == "polymorph") return make_polymorph();
+  if (name == "polymorph-multibug") return make_polymorph_multibug();
+  if (name == "ctree") return make_ctree();
+  if (name == "grep") return make_grep();
+  if (name == "thttpd") return make_thttpd();
+  if (name == "fig2") return make_fig2();
+  throw std::invalid_argument("unknown app: " + name);
+}
+
+}  // namespace statsym::apps

@@ -1,0 +1,63 @@
+// The benchmark applications (§VII-A): mini-IR re-implementations of the
+// paper's four targets plus the Fig. 2a motivating example, each packaged
+// with its symbolic-input configuration, a random-workload generator (the
+// "testing inputs" that produce correct and faulty logs), and the expected
+// vulnerability for validation.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "ir/module.h"
+#include "support/rng.h"
+#include "symexec/executor.h"
+
+namespace statsym::apps {
+
+using WorkloadGen = std::function<interp::RuntimeInput(Rng&)>;
+
+struct AppSpec {
+  std::string name;
+  ir::Module module;
+  symexec::SymInputSpec sym_spec;  // how inputs are made symbolic (§VII-A)
+  WorkloadGen workload;            // random-input generator for log collection
+  std::string vuln_function;       // fault-point function (ground truth)
+  interp::FaultKind vuln_kind{interp::FaultKind::kNone};
+  // Smallest input magnitude (string length) that triggers the fault —
+  // used by tests to validate workload labelling.
+  std::int64_t crash_threshold{0};
+};
+
+// polymorph (BugBench): file-name conversion utility; stack buffer overflow
+// in convert_fileName for names longer than 512 bytes.
+AppSpec make_polymorph();
+
+// polymorph variant carrying a second, independent overflow (the "-o"
+// output-directory argument smashes a 64-byte global in set_outdir) — the
+// multi-vulnerability scenario of the paper's §III-C, driven through
+// StatSymEngine::run_all.
+AppSpec make_polymorph_multibug();
+
+// CTree (STONESOUP): directory-tree renderer; 64-byte stack buffer
+// overflow in initlinedraw fed by the STONESOUP_STACK_BUFFER_64 env var.
+AppSpec make_ctree();
+
+// Grep (STONESOUP): line matcher; STONESOUP env-var injection overflowing a
+// fixed buffer in stonesoup_handle_taint, buried under a large call surface.
+AppSpec make_grep();
+
+// thttpd 2.25b (CVE-2003-0899): web server; defang() expands '<'/'>' into
+// "&lt;"/"&gt;" in a fixed buffer — long request paths overflow it.
+AppSpec make_thttpd();
+
+// The paper's Fig. 2a sample program (assertion reachable when the symbolic
+// integer is >= 3 inside the guarded loop).
+AppSpec make_fig2();
+
+// All four evaluation targets, in the paper's order.
+std::vector<std::string> app_names();
+AppSpec make_app(const std::string& name);
+
+}  // namespace statsym::apps

@@ -1,0 +1,250 @@
+#include "apps/stdlib.h"
+
+namespace statsym::apps {
+
+using ir::BinOp;
+using ir::Reg;
+
+void emit_stdlib(ir::ModuleBuilder& mb) {
+  // __strlen(s): index of the first NUL.
+  {
+    auto f = mb.func("__strlen", {"s"});
+    const Reg s = f.param(0);
+    const Reg i = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const Reg c = f.load(s, i);
+    f.br(f.eqi(c, 0), done, body);  // exit branch first: short strings first
+    f.at(body);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(i);
+  }
+
+  // __strcpy(dst, src): UNCHECKED copy including the terminating NUL —
+  // the canonical buffer-overflow sink. Returns the copied length.
+  // Continue-first branch order, like __strncpy: a depth-first dive commits
+  // to the longest symbolic source, reaching the overflow (if the
+  // destination is too small) on its first descent instead of wandering
+  // sub-boundary lengths.
+  {
+    auto f = mb.func("__strcpy", {"dst", "src"});
+    const Reg dst = f.param(0);
+    const Reg src = f.param(1);
+    const Reg i = f.reg();
+    const auto loop = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const Reg c = f.load(src, i);
+    f.store(dst, i, c);  // store before the test: the NUL is copied too
+    f.br(f.nei(c, 0), cont, done);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(i);
+  }
+
+  // __strncpy(dst, src, n): copies at most n-1 bytes and always
+  // NUL-terminates — the safe counterpart used at taint-ingestion sites.
+  //
+  // Branch order matters for depth-first exploration: the continue side is
+  // the then-branch, so a guided dive commits to the *longest* symbolic
+  // string first. Taint-sink crashes trigger at or above a length boundary,
+  // and statistical thresholds sit slightly below it; a shortest-first
+  // order would send the dive into the sliver of lengths that satisfy the
+  // predicates yet cannot crash, whose downstream fork subtrees then trap
+  // the scheduler (see DESIGN.md, "boundary slivers").
+  {
+    auto f = mb.func("__strncpy", {"dst", "src", "n"});
+    const Reg dst = f.param(0);
+    const Reg src = f.param(1);
+    const Reg n = f.param(2);
+    const Reg i = f.reg();
+    const auto loop = f.block();
+    const auto check = f.block();
+    const auto cont = f.block();
+    const auto term = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    f.br(f.ge(i, f.bini(BinOp::kSub, n, 1)), term, check);
+    f.at(check);
+    const Reg c = f.load(src, i);
+    const auto store_b = f.block();
+    f.br(f.nei(c, 0), store_b, term);  // continue first: longest dive
+    f.at(store_b);
+    f.store(dst, i, c);
+    f.jmp(cont);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(term);
+    f.store(dst, i, f.ci(0));
+    f.ret(i);
+  }
+
+  // __streq(a, b): 1 when equal C strings.
+  {
+    auto f = mb.func("__streq", {"a", "b"});
+    const Reg a = f.param(0);
+    const Reg b = f.param(1);
+    const Reg i = f.reg();
+    const auto loop = f.block();
+    const auto same = f.block();
+    const auto endq = f.block();
+    const auto cont = f.block();
+    const auto eq_b = f.block();
+    const auto ne_b = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const Reg ca = f.load(a, i);
+    const Reg cb = f.load(b, i);
+    f.br(f.eq(ca, cb), same, ne_b);
+    f.at(same);
+    f.br(f.eqi(ca, 0), eq_b, endq);
+    f.at(endq);
+    f.jmp(cont);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(eq_b);
+    f.ret(f.ci(1));
+    f.at(ne_b);
+    f.ret(f.ci(0));
+  }
+
+  // __strcat(dst, src): unchecked append including NUL; returns new length.
+  {
+    auto f = mb.func("__strcat", {"dst", "src"});
+    const Reg dst = f.param(0);
+    const Reg src = f.param(1);
+    const Reg base = f.reg();
+    const Reg i = f.reg();
+    const auto loop = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(base, f.call("__strlen", {dst}));
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const Reg c = f.load(src, i);
+    f.store(dst, f.add(base, i), c);
+    f.br(f.nei(c, 0), cont, done);  // continue first (see __strcpy)
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(f.add(base, i));
+  }
+
+  // __atoi(s): decimal with optional leading '-'.
+  {
+    auto f = mb.func("__atoi", {"s"});
+    const Reg s = f.param(0);
+    const Reg i = f.reg();
+    const Reg val = f.reg();
+    const Reg neg = f.reg();
+    const auto after_sign = f.block();
+    const auto sign_b = f.block();
+    const auto loop = f.block();
+    const auto digit = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.assign(val, f.ci(0));
+    f.assign(neg, f.ci(0));
+    const Reg c0 = f.load(s, f.ci(0));
+    f.br(f.eqi(c0, '-'), sign_b, after_sign);
+    f.at(sign_b);
+    f.assign(neg, f.ci(1));
+    f.assign(i, f.ci(1));
+    f.jmp(after_sign);
+    f.at(after_sign);
+    f.jmp(loop);
+    f.at(loop);
+    const Reg c = f.load(s, i);
+    const Reg is_digit = f.land(f.gei(c, '0'), f.lei(c, '9'));
+    f.br(is_digit, digit, done);
+    f.at(digit);
+    f.assign(val, f.add(f.bini(BinOp::kMul, val, 10), f.bini(BinOp::kSub, c, '0')));
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    const auto neg_b = f.block();
+    const auto pos_b = f.block();
+    f.br(neg, neg_b, pos_b);
+    f.at(neg_b);
+    f.ret(f.neg(val));
+    f.at(pos_b);
+    f.ret(val);
+  }
+
+  // __tolower_str(s): branchless per-character lowering in place; returns
+  // whether anything changed. No value forks — only the termination fork.
+  {
+    auto f = mb.func("__tolower_str", {"s"});
+    const Reg s = f.param(0);
+    const Reg i = f.reg();
+    const Reg changed = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.assign(changed, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const Reg c = f.load(s, i);
+    f.br(f.eqi(c, 0), done, body);
+    f.at(body);
+    const Reg is_up = f.land(f.gei(c, 'A'), f.lei(c, 'Z'));
+    f.store(s, i, f.add(c, f.bini(BinOp::kMul, is_up, 32)));
+    f.assign(changed, f.lor(changed, is_up));
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(changed);
+  }
+
+  // __count_char(s, ch): occurrence count with a *branching* comparison —
+  // the per-character value fork that drives state explosion in the larger
+  // applications (the paper's switch-in-a-tight-loop pattern).
+  {
+    auto f = mb.func("__count_char", {"s", "ch"});
+    const Reg s = f.param(0);
+    const Reg ch = f.param(1);
+    const Reg i = f.reg();
+    const Reg n = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto hit = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.assign(n, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const Reg c = f.load(s, i);
+    f.br(f.eqi(c, 0), done, body);
+    f.at(body);
+    f.br(f.eq(c, ch), hit, cont);
+    f.at(hit);
+    f.assign(n, f.addi(n, 1));
+    f.jmp(cont);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(n);
+  }
+}
+
+}  // namespace statsym::apps

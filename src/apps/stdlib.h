@@ -1,0 +1,27 @@
+// Shared IR "libc" routines emitted into every target application.
+//
+// Functions are prefixed "__": the monitor does not instrument them (Fjalar
+// instruments user code, not libc) and statistics-guidance treats their
+// entry/exit events as invisible. Their *loops* still execute symbolically,
+// which is where string-termination forking — the engine's main source of
+// path branching — happens, exactly as KLEE forks inside real libc string
+// routines compiled to bitcode.
+#pragma once
+
+#include "ir/builder.h"
+
+namespace statsym::apps {
+
+// Emits the routines below into `mb`:
+//   __strlen(s) -> n                 (loop; forks on termination)
+//   __strcpy(dst, src) -> n          (UNCHECKED copy incl. NUL — faults when
+//                                     dst is too small: the classic sink)
+//   __strncpy(dst, src, n) -> copied (bounded, always NUL-terminates; safe)
+//   __streq(a, b) -> 0/1
+//   __strcat(dst, src) -> len        (unchecked append incl. NUL)
+//   __atoi(s) -> value               (decimal, optional leading '-')
+//   __tolower_str(s) -> changed      (branchless per-char lowering in place)
+//   __count_char(s, c) -> n          (value-branching scan: forks per char)
+void emit_stdlib(ir::ModuleBuilder& mb);
+
+}  // namespace statsym::apps

@@ -1,0 +1,415 @@
+// thttpd 2.25b (CVE-2003-0899) — web server with the defang() overflow.
+//
+// §VII-C2: a buffer-overflow in defang(), which rewrites '<' and '>' in an
+// input string into "&lt;" / "&gt;" while copying into a fixed-size dfstr
+// buffer — a sufficiently long (or '<'-rich) request path overflows it with
+// potential remote code execution. The paper highlights thttpd's two
+// KLEE-killers: a long chain of internal calls between the string-injection
+// point (handle_read) and the vulnerability site, and the tight
+// loop+switch inside defang that multiplies states per character.
+//
+// The server is modelled for a single request: accept → read → parse →
+// a realistic processing chain (de_dotdot, tilde_map, vhost_map, auth_check,
+// figure_mime, make_log_entry, ...) → the request fails lookup → the error
+// response path calls defang() on the request path.
+#include "apps/registry.h"
+
+#include "apps/stdlib.h"
+#include "ir/builder.h"
+
+namespace statsym::apps {
+
+namespace {
+
+constexpr std::int64_t kDfstrSize = 1000;  // the vulnerable buffer (CVE)
+constexpr std::int64_t kReqCap = 1200;     // symbolic request capacity
+constexpr const char* kRequestVar = "REQUEST";  // models recv() payload
+
+ir::Module build_thttpd() {
+  ir::ModuleBuilder mb("thttpd");
+  emit_stdlib(mb);
+
+  mb.global_buf("conn_request", kReqCap + 16);  // connection read buffer
+  mb.global_int("req_len", 0);
+  mb.global_int("req_path", 0);        // ref into conn_request after "GET "
+  mb.global_int("req_method_ok", 0);
+  mb.global_int("vhost_enabled", 0);
+  mb.global_int("auth_required", 0);
+  mb.global_int("do_logging", 1);
+  mb.global_int("status_code", 0);
+  mb.global_int("bytes_sent", 0);
+  mb.global_int("numconnects", 0);
+  mb.global_int("dotdot_count", 0);
+
+  // httpd_initialize(): socket setup decoration.
+  {
+    auto f = mb.func("httpd_initialize", {});
+    f.call_ext_void("socket", {});
+    f.call_ext_void("bind", {});
+    f.call_ext_void("listen", {});
+    f.call_ext_void("getaddrinfo", {});
+    f.ret(f.ci(0));
+  }
+
+  // handle_newconnect(): accept() bookkeeping.
+  {
+    auto f = mb.func("handle_newconnect", {});
+    f.call_ext_void("accept", {});
+    const ir::Reg n = f.load_global("numconnects");
+    f.store_global("numconnects", f.bini(ir::BinOp::kAdd, n, 1));
+    f.ret(f.ci(0));
+  }
+
+  // handle_read(): copies the network payload (modelled by the REQUEST env
+  // var) into the connection buffer. This is the string-injection point the
+  // paper names; the candidate-path predicate on the request length lives
+  // at this function's leave.
+  {
+    auto f = mb.func("handle_read", {});
+    const ir::Reg e = f.env(kRequestVar);
+    const auto have = f.block();
+    const auto empty = f.block();
+    f.br(e, have, empty);
+    f.at(empty);
+    f.store_global("req_len", f.ci(0));
+    f.ret(f.ci(0));
+    f.at(have);
+    const ir::Reg buf = f.load_global("conn_request");
+    const ir::Reg n = f.call("__strncpy", {buf, e, f.ci(kReqCap + 16)});
+    f.store_global("req_len", n);
+    f.ret(n);
+  }
+
+  // httpd_parse_request(): verifies the "GET " prefix and points req_path
+  // at the rest of the request. Returns 0 on success.
+  {
+    auto f = mb.func("httpd_parse_request", {});
+    const ir::Reg buf = f.load_global("conn_request");
+    const char kPrefix[] = {'G', 'E', 'T', ' '};
+    const auto bad = f.block();
+    for (int i = 0; i < 4; ++i) {
+      const ir::Reg c = f.load(buf, f.ci(i));
+      const auto next = f.block();
+      f.br(f.eqi(c, kPrefix[i]), next, bad);
+      f.at(next);
+    }
+    f.store_global("req_method_ok", f.ci(1));
+    // req_path = &conn_request[4]; references carry offsets natively.
+    const ir::Reg p4 = f.call("__path_at4", {buf});
+    f.store_global("req_path", p4);
+    f.ret(f.ci(0));
+    f.at(bad);
+    f.store_global("req_method_ok", f.ci(0));
+    f.ret(f.ci(1));
+  }
+
+  // de_dotdot(path): counts '.' occurrences branch-free (the comparison is
+  // a value, not a fork), so the scan does not pin path bytes — matching
+  // thttpd's table-driven character classification.
+  {
+    auto f = mb.func("de_dotdot", {"path"});
+    const ir::Reg path = f.param(0);
+    const ir::Reg i = f.reg();
+    const ir::Reg dots = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.assign(dots, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const ir::Reg c = f.load(path, i);
+    f.br(f.eqi(c, 0), done, body);
+    f.at(body);
+    f.assign(dots, f.add(dots, f.eqi(c, '.')));
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.store_global("dotdot_count", dots);
+    const auto dirty = f.block();
+    const auto clean_b = f.block();
+    f.br(f.gti(dots, 0), dirty, clean_b);
+    f.at(dirty);
+    f.call_ext_void("syslog_dotdot", {dots});
+    f.ret(dots);
+    f.at(clean_b);
+    f.ret(f.ci(0));
+  }
+
+  // tilde_map(path): "~user" expansion check (first char only).
+  {
+    auto f = mb.func("tilde_map", {"path"});
+    const ir::Reg c0 = f.load(f.param(0), f.ci(0));
+    const auto is_tilde = f.block();
+    const auto plain = f.block();
+    f.br(f.eqi(c0, '~'), is_tilde, plain);
+    f.at(is_tilde);
+    f.call_ext_void("getpwnam", {});
+    f.ret(f.ci(1));
+    f.at(plain);
+    f.ret(f.ci(0));
+  }
+
+  // vhost_map(path): virtual-host prefixing (disabled by default).
+  {
+    auto f = mb.func("vhost_map", {"path"});
+    const auto on = f.block();
+    const auto off = f.block();
+    f.br(f.load_global("vhost_enabled"), on, off);
+    f.at(on);
+    f.call_ext_void("gethostbyname", {});
+    f.ret(f.ci(1));
+    f.at(off);
+    f.ret(f.ci(0));
+  }
+
+  // auth_check(path): HTTP auth (disabled by default).
+  {
+    auto f = mb.func("auth_check", {"path"});
+    const auto on = f.block();
+    const auto off = f.block();
+    f.br(f.load_global("auth_required"), on, off);
+    f.at(on);
+    f.call_ext_void("b64_decode", {});
+    f.ret(f.ci(401));
+    f.at(off);
+    f.ret(f.ci(0));
+  }
+
+  // figure_mime(path): suffix → mime type via last character class.
+  {
+    auto f = mb.func("figure_mime", {"path"});
+    const ir::Reg n = f.call("__strlen", {f.param(0)});
+    const auto nonempty = f.block();
+    const auto empty = f.block();
+    f.br(n, nonempty, empty);
+    f.at(empty);
+    f.ret(f.ci(0));
+    f.at(nonempty);
+    const ir::Reg last = f.load(f.param(0), f.bini(ir::BinOp::kSub, n, 1));
+    const ir::Reg is_alpha =
+        f.land(f.gei(last, 'a'), f.lei(last, 'z'));
+    f.ret(is_alpha);
+  }
+
+  // make_log_entry(path): access logging decoration.
+  {
+    auto f = mb.func("make_log_entry", {"path"});
+    const auto on = f.block();
+    const auto off = f.block();
+    f.br(f.load_global("do_logging"), on, off);
+    f.at(on);
+    f.call_ext_void("fprintf_log", {f.param(0)});
+    f.ret(f.ci(1));
+    f.at(off);
+    f.ret(f.ci(0));
+  }
+
+  // really_check_referer(path): trivially permissive (decoration).
+  {
+    auto f = mb.func("really_check_referer", {"path"});
+    f.call_ext_void("strstr", {f.param(0)});
+    f.ret(f.ci(1));
+  }
+
+  // defang(str, dfstr): THE BUG (CVE-2003-0899). Rewrites '<' and '>' into
+  // "&lt;"/"&gt;" while copying into the fixed dfstr buffer without bounds
+  // checks — the write index grows by up to 4 per input character.
+  {
+    auto f = mb.func("defang", {"str", "dfstr"});
+    const ir::Reg str = f.param(0);
+    const ir::Reg df = f.param(1);
+    const ir::Reg i = f.reg();
+    const ir::Reg d = f.reg();
+    const auto loop = f.block();
+    const auto body = f.block();
+    const auto lt_case = f.block();
+    const auto not_lt = f.block();
+    const auto gt_case = f.block();
+    const auto plain = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.assign(d, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const ir::Reg c = f.load(str, i);
+    f.br(f.eqi(c, 0), done, body);
+    f.at(body);
+    f.br(f.eqi(c, '<'), lt_case, not_lt);
+    f.at(lt_case);
+    f.store(df, d, f.ci('&'));
+    f.store(df, f.addi(d, 1), f.ci('l'));
+    f.store(df, f.addi(d, 2), f.ci('t'));
+    f.store(df, f.addi(d, 3), f.ci(';'));
+    f.assign(d, f.addi(d, 4));
+    f.jmp(cont);
+    f.at(not_lt);
+    f.br(f.eqi(c, '>'), gt_case, plain);
+    f.at(gt_case);
+    f.store(df, d, f.ci('&'));
+    f.store(df, f.addi(d, 1), f.ci('g'));
+    f.store(df, f.addi(d, 2), f.ci('t'));
+    f.store(df, f.addi(d, 3), f.ci(';'));
+    f.assign(d, f.addi(d, 4));
+    f.jmp(cont);
+    f.at(plain);
+    f.store(df, d, c);
+    f.assign(d, f.addi(d, 1));
+    f.jmp(cont);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.store(df, d, f.ci(0));
+    f.ret(d);
+  }
+
+  // send_err_response(path): the error path that reaches defang — exactly
+  // how CVE-2003-0899 is triggered (the 404 page echoes the defanged path).
+  {
+    auto f = mb.func("send_err_response", {"path"});
+    const ir::Reg dfstr = f.alloca_buf(kDfstrSize);
+    const ir::Reg n = f.call("defang", {f.param(0), dfstr});
+    f.store_global("status_code", f.ci(404));
+    f.store_global("bytes_sent", n);
+    f.call_ext_void("send", {dfstr});
+    f.ret(n);
+  }
+
+  // send_response(path): success path (never taken for the modelled docroot
+  // — every file lookup fails, as for a request against an empty docroot).
+  {
+    auto f = mb.func("send_response", {"path"});
+    f.store_global("status_code", f.ci(200));
+    f.call_ext_void("send", {f.param(0)});
+    f.ret(f.ci(0));
+  }
+
+  // handle_request(path): the documented long internal chain between the
+  // injection point and defang.
+  {
+    auto f = mb.func("handle_request", {"path"});
+    const ir::Reg path = f.param(0);
+    f.call_void("de_dotdot", {path});
+    f.call_void("tilde_map", {path});
+    f.call_void("vhost_map", {path});
+    const ir::Reg auth = f.call("auth_check", {path});
+    const auto authed = f.block();
+    const auto denied = f.block();
+    f.br(f.eqi(auth, 0), authed, denied);
+    f.at(denied);
+    f.ret(f.call("send_err_response", {path}));
+    f.at(authed);
+    f.call_void("figure_mime", {path});
+    f.call_void("really_check_referer", {path});
+    f.call_void("make_log_entry", {path});
+    const ir::Reg found = f.call_ext("stat_docroot", {path});
+    const auto hit = f.block();
+    const auto miss = f.block();
+    f.br(found, hit, miss);
+    f.at(hit);
+    f.ret(f.call("send_response", {path}));
+    f.at(miss);
+    // Empty docroot: every lookup 404s through the defang path.
+    f.ret(f.call("send_err_response", {path}));
+  }
+
+  // __path_at4(buf): library helper returning &buf[4] (pointer arithmetic
+  // is expressed through a bounded scan so the IR needs no ptr-add opcode).
+  {
+    auto f = mb.func("__path_at4", {"buf"});
+    const ir::Reg buf = f.param(0);
+    // A 4-byte scratch copy trick would lose aliasing with the request
+    // buffer; instead rebuild the reference by loading through an offset
+    // loop is impossible in this IR — so thttpd stores the path as the
+    // buffer itself plus a skip count handled by callers. To keep callers
+    // simple the helper copies the tail into a dedicated path buffer.
+    const ir::Reg path_buf = f.alloca_buf(kReqCap + 8);
+    const ir::Reg i = f.reg();
+    const auto loop = f.block();
+    const auto cont = f.block();
+    const auto done = f.block();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    const ir::Reg c = f.load(buf, f.addi(i, 4));
+    f.store(path_buf, i, c);
+    f.br(f.eqi(c, 0), done, cont);
+    f.at(cont);
+    f.assign(i, f.addi(i, 1));
+    f.jmp(loop);
+    f.at(done);
+    f.ret(path_buf);
+  }
+
+  {
+    auto f = mb.func("main", {});
+    f.call_void("httpd_initialize", {});
+    f.call_void("handle_newconnect", {});
+    const ir::Reg n = f.call("handle_read", {});
+    const auto got = f.block();
+    const auto nothing = f.block();
+    f.br(n, got, nothing);
+    f.at(nothing);
+    f.ret(f.ci(1));
+    f.at(got);
+    const ir::Reg rc = f.call("httpd_parse_request", {});
+    const auto ok = f.block();
+    const auto bad_req = f.block();
+    f.br(f.eqi(rc, 0), ok, bad_req);
+    f.at(bad_req);
+    f.store_global("status_code", f.ci(400));
+    f.call_ext_void("send_400", {});
+    f.ret(f.ci(1));
+    f.at(ok);
+    f.call_void("handle_request", {f.load_global("req_path")});
+    f.ret(f.ci(0));
+  }
+
+  return mb.build();
+}
+
+interp::RuntimeInput thttpd_workload(Rng& rng) {
+  interp::RuntimeInput in;
+  in.argv = {"thttpd"};
+  std::string req = "GET /";
+  const std::int64_t len = rng.uniform(1, kReqCap - 8);
+  for (std::int64_t i = 1; i < len; ++i) {
+    // URL-ish characters with a realistic sprinkle of '<' and '>' — the
+    // characters defang expands 4x.
+    const std::int64_t roll = rng.uniform(0, 99);
+    if (roll < 3) {
+      req.push_back('<');
+    } else if (roll < 6) {
+      req.push_back('>');
+    } else {
+      static const char kUrl[] =
+          "abcdefghijklmnopqrstuvwxyz0123456789/_-.%";
+      req.push_back(kUrl[static_cast<std::size_t>(rng.uniform(0, 40))]);
+    }
+  }
+  in.env[kRequestVar] = req;
+  return in;
+}
+
+}  // namespace
+
+AppSpec make_thttpd() {
+  AppSpec app;
+  app.name = "thttpd";
+  app.module = build_thttpd();
+  app.sym_spec.argv = {symexec::SymStr::fixed("thttpd")};
+  app.sym_spec.env = {
+      {kRequestVar, symexec::SymStr::sym("request", kReqCap)},
+  };
+  app.workload = thttpd_workload;
+  app.vuln_function = "defang";
+  app.vuln_kind = interp::FaultKind::kOobStore;
+  // The expanded length (len + 3 * specials) reaching 1000 overflows dfstr;
+  // for plain paths that is a path length of 1000.
+  app.crash_threshold = kDfstrSize;
+  return app;
+}
+
+}  // namespace statsym::apps

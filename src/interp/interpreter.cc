@@ -1,0 +1,353 @@
+#include "interp/interpreter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace statsym::interp {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kOobStore: return "oob-store";
+    case FaultKind::kOobLoad: return "oob-load";
+    case FaultKind::kNullDeref: return "null-deref";
+    case FaultKind::kAssertFail: return "assert-fail";
+    case FaultKind::kDivByZero: return "div-by-zero";
+    case FaultKind::kBadArgIndex: return "bad-arg-index";
+    case FaultKind::kStackOverflow: return "stack-overflow";
+  }
+  return "?";
+}
+
+Interpreter::Interpreter(const ir::Module& m, RuntimeInput input,
+                         InterpOptions opts)
+    : m_(m), input_(std::move(input)), opts_(opts) {
+  // Materialise globals: ints hold their initial value, buffers are
+  // allocated up front and the slot holds a reference to them.
+  globals_.reserve(m_.globals().size());
+  for (const auto& g : m_.globals()) {
+    if (g.kind == ir::Global::Kind::kInt) {
+      globals_.push_back(Value::make_int(g.init_int));
+    } else {
+      globals_.push_back(Value::make_ref(mem_.alloc(g.buf_size, g.name)));
+    }
+  }
+  for (std::size_t i = 0; i < input_.argv.size(); ++i) {
+    argv_objs_.push_back(
+        mem_.alloc_string(input_.argv[i], "argv" + std::to_string(i)));
+  }
+  for (const auto& [name, val] : input_.env) {
+    env_objs_[name] = mem_.alloc_string(val, "env:" + name);
+  }
+}
+
+Value Interpreter::global_value(const std::string& name) const {
+  const std::int32_t idx = m_.find_global(name);
+  assert(idx >= 0);
+  return globals_[static_cast<std::size_t>(idx)];
+}
+
+std::int64_t Interpreter::string_length(const Value& v) const {
+  if (!v.is_ref() || v.is_null_ref()) return 0;
+  return mem_.c_strlen(v.obj, v.off);
+}
+
+void Interpreter::fault(FaultKind kind, std::string detail) {
+  const Frame& f = stack_.back();
+  result_.outcome = RunOutcome::kFault;
+  result_.fault.kind = kind;
+  result_.fault.function = m_.function(f.func).name;
+  if (!opts_.library_prefix.empty()) {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      const std::string& name = m_.function(it->func).name;
+      if (!name.starts_with(opts_.library_prefix)) {
+        result_.fault.function = name;
+        break;
+      }
+    }
+  }
+  result_.fault.block = f.block;
+  result_.fault.instr = f.idx;
+  result_.fault.detail = std::move(detail);
+  done_ = true;
+}
+
+void Interpreter::enter_function(ir::FuncId id, std::vector<Value> args,
+                                 ir::Reg ret_dst) {
+  const ir::Function& fn = m_.function(id);
+  Frame f;
+  f.func = id;
+  f.ret_dst = ret_dst;
+  f.regs.assign(static_cast<std::size_t>(fn.num_regs), Value::make_int(0));
+  for (std::size_t i = 0; i < args.size(); ++i) f.regs[i] = args[i];
+  f.params = std::move(args);
+  stack_.push_back(std::move(f));
+  if (listener_ != nullptr) {
+    listener_->on_enter(*this, fn, stack_.back().params);
+  }
+}
+
+void Interpreter::leave_function(std::optional<Value> ret) {
+  const Frame& f = stack_.back();
+  const ir::Function& fn = m_.function(f.func);
+  if (listener_ != nullptr) {
+    listener_->on_leave(*this, fn, f.params, ret);
+  }
+  const ir::Reg dst = f.ret_dst;
+  stack_.pop_back();
+  if (stack_.empty()) {
+    result_.outcome = RunOutcome::kOk;
+    result_.main_ret = ret;
+    done_ = true;
+    return;
+  }
+  if (dst != ir::kNoReg) {
+    stack_.back().regs[static_cast<std::size_t>(dst)] =
+        ret.value_or(Value::make_int(0));
+  }
+}
+
+RunResult Interpreter::run() {
+  assert(!done_ && stack_.empty() && "run() may be called once");
+  enter_function(m_.entry(), {}, ir::kNoReg);
+  while (!done_) {
+    if (result_.steps >= opts_.max_steps) {
+      result_.outcome = RunOutcome::kStepLimit;
+      break;
+    }
+    if (!step()) break;
+  }
+  return result_;
+}
+
+bool Interpreter::step() {
+  Frame& f = stack_.back();
+  const ir::Function& fn = m_.function(f.func);
+  const ir::Instr& in = fn.blocks[static_cast<std::size_t>(f.block)]
+                            .instrs[static_cast<std::size_t>(f.idx)];
+  ++result_.steps;
+
+  auto r = [&](ir::Reg reg) -> Value& {
+    return f.regs[static_cast<std::size_t>(reg)];
+  };
+  auto set = [&](ir::Reg reg, Value v) {
+    f.regs[static_cast<std::size_t>(reg)] = v;
+  };
+  // Advances to the next instruction in the current block.
+  auto advance = [&] { ++f.idx; };
+
+  switch (in.op) {
+    case ir::Opcode::kConst:
+      set(in.dst, Value::make_int(in.imm));
+      advance();
+      break;
+    case ir::Opcode::kMove:
+      set(in.dst, r(in.a));
+      advance();
+      break;
+    case ir::Opcode::kBin: {
+      const Value a = r(in.a);
+      const Value b = r(in.b);
+      // Reference equality compares identity; every other operator requires
+      // integer operands (ref arithmetic is not part of the IR).
+      if (a.is_ref() || b.is_ref()) {
+        if (in.bin == ir::BinOp::kEq || in.bin == ir::BinOp::kNe) {
+          const bool same = a.is_ref() && b.is_ref() && a.obj == b.obj &&
+                            a.off == b.off;
+          const bool both_null = a.is_null_ref() && b.is_null_ref();
+          const bool eq = same || both_null;
+          set(in.dst,
+              Value::make_int(in.bin == ir::BinOp::kEq ? eq : !eq));
+          advance();
+          break;
+        }
+        fault(FaultKind::kNullDeref, "arithmetic on reference");
+        return false;
+      }
+      if ((in.bin == ir::BinOp::kDiv || in.bin == ir::BinOp::kRem) &&
+          b.i == 0) {
+        fault(FaultKind::kDivByZero, "");
+        return false;
+      }
+      set(in.dst, Value::make_int(ir::eval_binop(in.bin, a.i, b.i)));
+      advance();
+      break;
+    }
+    case ir::Opcode::kNot:
+      set(in.dst, Value::make_int(r(in.a).truthy() ? 0 : 1));
+      advance();
+      break;
+    case ir::Opcode::kNeg: {
+      const Value a = r(in.a);
+      if (!a.is_int()) {
+        fault(FaultKind::kNullDeref, "negate reference");
+        return false;
+      }
+      set(in.dst, Value::make_int(
+                      -static_cast<std::int64_t>(static_cast<std::uint64_t>(a.i))));
+      advance();
+      break;
+    }
+    case ir::Opcode::kAlloca:
+      set(in.dst, Value::make_ref(mem_.alloc(in.imm, fn.name + ":alloca")));
+      advance();
+      break;
+    case ir::Opcode::kStrConst:
+      set(in.dst, Value::make_ref(mem_.alloc_string(in.str, "strconst")));
+      advance();
+      break;
+    case ir::Opcode::kLoad: {
+      const Value ref = r(in.a);
+      const Value idx = r(in.b);
+      if (!ref.is_ref() || ref.is_null_ref()) {
+        fault(FaultKind::kNullDeref, "load through null/int");
+        return false;
+      }
+      const std::int64_t addr = ref.off + idx.i;
+      if (!mem_.in_bounds(ref.obj, addr)) {
+        fault(FaultKind::kOobLoad,
+              mem_.label(ref.obj) + "[" + std::to_string(addr) + "]");
+        return false;
+      }
+      set(in.dst, Value::make_int(mem_.read(ref.obj, addr)));
+      advance();
+      break;
+    }
+    case ir::Opcode::kStore: {
+      const Value ref = r(in.a);
+      const Value idx = r(in.b);
+      const Value val = r(in.c);
+      if (!ref.is_ref() || ref.is_null_ref()) {
+        fault(FaultKind::kNullDeref, "store through null/int");
+        return false;
+      }
+      const std::int64_t addr = ref.off + idx.i;
+      if (!mem_.in_bounds(ref.obj, addr)) {
+        fault(FaultKind::kOobStore,
+              mem_.label(ref.obj) + "[" + std::to_string(addr) + "]");
+        return false;
+      }
+      mem_.write(ref.obj, addr, static_cast<std::uint8_t>(val.i & 0xff));
+      advance();
+      break;
+    }
+    case ir::Opcode::kBufSize: {
+      const Value ref = r(in.a);
+      if (!ref.is_ref() || ref.is_null_ref()) {
+        fault(FaultKind::kNullDeref, "bufsize of null/int");
+        return false;
+      }
+      set(in.dst, Value::make_int(mem_.size(ref.obj)));
+      advance();
+      break;
+    }
+    case ir::Opcode::kLoadG:
+      set(in.dst, globals_[static_cast<std::size_t>(m_.find_global(in.str))]);
+      advance();
+      break;
+    case ir::Opcode::kStoreG:
+      globals_[static_cast<std::size_t>(m_.find_global(in.str))] = r(in.a);
+      advance();
+      break;
+    case ir::Opcode::kJmp:
+      f.block = in.t0;
+      f.idx = 0;
+      break;
+    case ir::Opcode::kBr:
+      f.block = r(in.a).truthy() ? in.t0 : in.t1;
+      f.idx = 0;
+      break;
+    case ir::Opcode::kCall: {
+      if (static_cast<std::int32_t>(stack_.size()) >= opts_.max_call_depth) {
+        fault(FaultKind::kStackOverflow, in.str);
+        return false;
+      }
+      std::vector<Value> args;
+      args.reserve(in.args.size());
+      for (ir::Reg a : in.args) args.push_back(r(a));
+      advance();  // resume after the call on return
+      enter_function(static_cast<ir::FuncId>(in.imm), std::move(args), in.dst);
+      break;
+    }
+    case ir::Opcode::kCallExt: {
+      std::vector<Value> args;
+      args.reserve(in.args.size());
+      for (ir::Reg a : in.args) args.push_back(r(a));
+      Value res = Value::make_int(0);
+      if (extern_model_) res = extern_model_(in.str, args);
+      if (in.dst != ir::kNoReg) set(in.dst, res);
+      advance();
+      break;
+    }
+    case ir::Opcode::kRet: {
+      std::optional<Value> ret;
+      if (in.a != ir::kNoReg) ret = r(in.a);
+      leave_function(ret);
+      break;
+    }
+    case ir::Opcode::kArgc:
+      set(in.dst, Value::make_int(static_cast<std::int64_t>(argv_objs_.size())));
+      advance();
+      break;
+    case ir::Opcode::kArg: {
+      const Value idx = r(in.a);
+      if (idx.i < 0 || idx.i >= static_cast<std::int64_t>(argv_objs_.size())) {
+        fault(FaultKind::kBadArgIndex, std::to_string(idx.i));
+        return false;
+      }
+      set(in.dst, Value::make_ref(argv_objs_[static_cast<std::size_t>(idx.i)]));
+      advance();
+      break;
+    }
+    case ir::Opcode::kEnv: {
+      auto it = env_objs_.find(in.str);
+      set(in.dst, it == env_objs_.end() ? Value::null_ref()
+                                        : Value::make_ref(it->second));
+      advance();
+      break;
+    }
+    case ir::Opcode::kMakeSymInt: {
+      std::int64_t v = in.imm;  // default: domain minimum
+      if (auto it = input_.sym_ints.find(in.str); it != input_.sym_ints.end()) {
+        v = std::clamp(it->second, in.imm, in.imm2);
+      }
+      set(in.dst, Value::make_int(v));
+      advance();
+      break;
+    }
+    case ir::Opcode::kMakeSymBuf: {
+      const Value ref = r(in.a);
+      if (!ref.is_ref() || ref.is_null_ref()) {
+        fault(FaultKind::kNullDeref, "make_symbolic on null/int");
+        return false;
+      }
+      if (auto it = input_.sym_bufs.find(in.str); it != input_.sym_bufs.end()) {
+        // Copy as much of the concrete content as fits, leaving at least one
+        // NUL terminator inside the object.
+        const std::int64_t cap = mem_.size(ref.obj) - ref.off;
+        const auto n = std::min<std::int64_t>(
+            static_cast<std::int64_t>(it->second.size()), cap - 1);
+        for (std::int64_t i = 0; i < n; ++i) {
+          mem_.write(ref.obj, ref.off + i,
+                     static_cast<std::uint8_t>(it->second[static_cast<std::size_t>(i)]));
+        }
+        if (cap > 0) mem_.write(ref.obj, ref.off + n, 0);
+      }
+      advance();
+      break;
+    }
+    case ir::Opcode::kAssert:
+      if (!r(in.a).truthy()) {
+        fault(FaultKind::kAssertFail, "");
+        return false;
+      }
+      advance();
+      break;
+    case ir::Opcode::kPrint:
+      advance();
+      break;
+  }
+  return !done_;
+}
+
+}  // namespace statsym::interp

@@ -1,0 +1,149 @@
+// Concrete interpreter for the mini-IR.
+//
+// Runs a module against a RuntimeInput (argv strings, environment variables,
+// values for symbolic markers) with full bounds checking. A run terminates
+// in one of three ways: normal return from main, a fault (the failure model
+// of the paper — buffer overflow, failed assertion, division by zero, null
+// dereference, runaway recursion), or exhaustion of the step budget.
+//
+// The interpreter publishes function entry/exit events to an optional
+// InterpListener; the monitor module implements the listener to produce the
+// sampled runtime logs that feed statistical analysis.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "interp/memory.h"
+#include "ir/module.h"
+
+namespace statsym::interp {
+
+// Inputs to one program run.
+struct RuntimeInput {
+  std::vector<std::string> argv;
+  std::map<std::string, std::string> env;
+  std::map<std::string, std::int64_t> sym_ints;   // values for kMakeSymInt
+  std::map<std::string, std::string> sym_bufs;    // contents for kMakeSymBuf
+};
+
+enum class FaultKind : std::uint8_t {
+  kNone,
+  kOobStore,   // buffer overflow on write (the vulnerability trigger)
+  kOobLoad,    // out-of-bounds read
+  kNullDeref,
+  kAssertFail,
+  kDivByZero,
+  kBadArgIndex,
+  kStackOverflow,
+};
+
+const char* fault_kind_name(FaultKind k);
+
+struct FaultInfo {
+  FaultKind kind{FaultKind::kNone};
+  std::string function;   // function containing the faulting instruction
+  ir::BlockId block{ir::kNoBlock};
+  std::int32_t instr{-1};
+  std::string detail;     // human-readable specifics (object, index, ...)
+};
+
+enum class RunOutcome : std::uint8_t { kOk, kFault, kStepLimit };
+
+struct RunResult {
+  RunOutcome outcome{RunOutcome::kOk};
+  FaultInfo fault;                 // valid when outcome == kFault
+  std::int64_t steps{0};           // instructions executed
+  std::optional<Value> main_ret;   // valid when outcome == kOk
+};
+
+class Interpreter;
+
+// Observer of function entry/exit (the instrumentation points of the paper's
+// program monitor). `params` are the argument values; `ret` is present only
+// on on_leave of value-returning functions.
+class InterpListener {
+ public:
+  virtual ~InterpListener() = default;
+  virtual void on_enter(const Interpreter& interp, const ir::Function& fn,
+                        std::span<const Value> params) = 0;
+  virtual void on_leave(const Interpreter& interp, const ir::Function& fn,
+                        std::span<const Value> params,
+                        const std::optional<Value>& ret) = 0;
+};
+
+// Models external calls (libc/syscall stand-ins). Returns the call's result;
+// the default model is a pure function returning 0 so external calls are
+// logged structure, not behaviour.
+using ExternModel =
+    std::function<Value(const std::string& name, std::span<const Value> args)>;
+
+struct InterpOptions {
+  std::int64_t max_steps{50'000'000};
+  std::int32_t max_call_depth{256};
+  // Faults inside functions with this prefix are attributed to the first
+  // caller outside it (the IR stdlib convention; matches the symbolic
+  // executor's reporting).
+  std::string library_prefix{"__"};
+};
+
+class Interpreter {
+ public:
+  Interpreter(const ir::Module& m, RuntimeInput input,
+              InterpOptions opts = {});
+
+  void set_listener(InterpListener* l) { listener_ = l; }
+  void set_extern_model(ExternModel em) { extern_model_ = std::move(em); }
+
+  // Executes main() to completion. May be called once per Interpreter.
+  RunResult run();
+
+  // --- introspection (valid during listener callbacks and after run) ------
+  const ir::Module& module() const { return m_; }
+  const Memory& memory() const { return mem_; }
+
+  // Value of a module global by name.
+  Value global_value(const std::string& name) const;
+
+  // Length of the C string a ref points at (0 for null/ints — callers use
+  // this to log "len(x)" for string-typed variables).
+  std::int64_t string_length(const Value& v) const;
+
+ private:
+  struct Frame {
+    ir::FuncId func{ir::kNoFunc};
+    ir::BlockId block{0};
+    std::int32_t idx{0};
+    std::vector<Value> regs;
+    ir::Reg ret_dst{ir::kNoReg};  // caller register receiving the result
+    std::vector<Value> params;    // snapshot for on_leave
+  };
+
+  // Steps one instruction of the top frame. Returns false when execution
+  // must stop (fault recorded in result_).
+  bool step();
+
+  void fault(FaultKind kind, std::string detail);
+  void enter_function(ir::FuncId id, std::vector<Value> args, ir::Reg ret_dst);
+  // Pops the top frame delivering `ret` to the caller; handles main return.
+  void leave_function(std::optional<Value> ret);
+
+  const ir::Module& m_;
+  RuntimeInput input_;
+  InterpOptions opts_;
+  Memory mem_;
+  std::vector<Value> globals_;
+  std::vector<ObjId> argv_objs_;
+  std::map<std::string, ObjId> env_objs_;
+  std::vector<Frame> stack_;
+  InterpListener* listener_{nullptr};
+  ExternModel extern_model_;
+  RunResult result_;
+  bool done_{false};
+};
+
+}  // namespace statsym::interp

@@ -1,0 +1,72 @@
+#include "interp/memory.h"
+
+#include <cassert>
+
+namespace statsym::interp {
+
+ObjId Memory::alloc(std::int64_t size, std::string label) {
+  assert(size > 0);
+  Object o;
+  o.bytes.assign(static_cast<std::size_t>(size), 0);
+  o.label = std::move(label);
+  total_bytes_ += o.bytes.size();
+  objects_.push_back(std::move(o));
+  return static_cast<ObjId>(objects_.size() - 1);
+}
+
+ObjId Memory::alloc_string(const std::string& s, std::string label) {
+  const ObjId id =
+      alloc(static_cast<std::int64_t>(s.size()) + 1, std::move(label));
+  fill(id, s);
+  return id;
+}
+
+std::int64_t Memory::size(ObjId id) const {
+  assert(valid(id));
+  return static_cast<std::int64_t>(objects_[id].bytes.size());
+}
+
+const std::string& Memory::label(ObjId id) const {
+  assert(valid(id));
+  return objects_[id].label;
+}
+
+std::uint8_t Memory::read(ObjId id, std::int64_t addr) const {
+  assert(in_bounds(id, addr));
+  return objects_[id].bytes[static_cast<std::size_t>(addr)];
+}
+
+void Memory::write(ObjId id, std::int64_t addr, std::uint8_t byte) {
+  assert(in_bounds(id, addr));
+  objects_[id].bytes[static_cast<std::size_t>(addr)] = byte;
+}
+
+std::string Memory::c_string(ObjId id, std::int64_t off) const {
+  assert(valid(id));
+  std::string out;
+  for (std::int64_t a = off; a < size(id); ++a) {
+    const std::uint8_t b = read(id, a);
+    if (b == 0) break;
+    out.push_back(static_cast<char>(b));
+  }
+  return out;
+}
+
+std::int64_t Memory::c_strlen(ObjId id, std::int64_t off) const {
+  assert(valid(id));
+  std::int64_t n = 0;
+  for (std::int64_t a = off; a < size(id); ++a, ++n) {
+    if (read(id, a) == 0) break;
+  }
+  return n;
+}
+
+void Memory::fill(ObjId id, const std::string& s) {
+  assert(valid(id));
+  assert(static_cast<std::int64_t>(s.size()) <= size(id));
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    write(id, static_cast<std::int64_t>(i), static_cast<std::uint8_t>(s[i]));
+  }
+}
+
+}  // namespace statsym::interp

@@ -1,0 +1,63 @@
+// Concrete memory: a set of fixed-size byte objects addressed by (ObjId,
+// offset). All accesses are bounds-checked by the interpreter; an
+// out-of-bounds store is precisely the buffer-overflow fault the target
+// applications contain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/value.h"
+
+namespace statsym::interp {
+
+class Memory {
+ public:
+  // Allocates a zero-filled object of `size` bytes. size > 0.
+  ObjId alloc(std::int64_t size, std::string label = {});
+
+  // Allocates an object holding `s` followed by a NUL byte.
+  ObjId alloc_string(const std::string& s, std::string label = {});
+
+  bool valid(ObjId id) const {
+    return id >= 0 && id < static_cast<ObjId>(objects_.size());
+  }
+
+  std::int64_t size(ObjId id) const;
+  const std::string& label(ObjId id) const;
+
+  // Unchecked accessors; callers must have validated bounds.
+  std::uint8_t read(ObjId id, std::int64_t addr) const;
+  void write(ObjId id, std::int64_t addr, std::uint8_t byte);
+
+  bool in_bounds(ObjId id, std::int64_t addr) const {
+    return valid(id) && addr >= 0 && addr < size(id);
+  }
+
+  // C-string view starting at `off`: bytes up to (not including) the first
+  // NUL, or to the end of the object if none. Used by the monitor to log
+  // string lengths/contents.
+  std::string c_string(ObjId id, std::int64_t off = 0) const;
+
+  // Length of the C string at `off` (distance to first NUL, or bytes
+  // remaining when unterminated).
+  std::int64_t c_strlen(ObjId id, std::int64_t off = 0) const;
+
+  // Overwrites the object's prefix with `s` (no NUL appended; the object
+  // must be at least s.size() bytes).
+  void fill(ObjId id, const std::string& s);
+
+  std::size_t object_count() const { return objects_.size(); }
+  std::size_t total_bytes() const { return total_bytes_; }
+
+ private:
+  struct Object {
+    std::vector<std::uint8_t> bytes;
+    std::string label;
+  };
+  std::vector<Object> objects_;
+  std::size_t total_bytes_{0};
+};
+
+}  // namespace statsym::interp

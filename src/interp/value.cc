@@ -1,0 +1,11 @@
+#include "interp/value.h"
+
+namespace statsym::interp {
+
+std::string to_string(const Value& v) {
+  if (v.is_int()) return std::to_string(v.i);
+  if (v.is_null_ref()) return "null";
+  return "&obj" + std::to_string(v.obj) + "+" + std::to_string(v.off);
+}
+
+}  // namespace statsym::interp

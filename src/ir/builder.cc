@@ -1,0 +1,240 @@
+#include "ir/builder.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "ir/verifier.h"
+
+namespace statsym::ir {
+
+FunctionBuilder::FunctionBuilder(ModuleBuilder* mb, Function* fn)
+    : mb_(mb), fn_(fn) {
+  fn_->blocks.emplace_back();  // entry block 0
+  cur_ = 0;
+}
+
+Reg FunctionBuilder::param(std::int32_t i) const {
+  assert(i >= 0 && i < fn_->num_params);
+  return i;
+}
+
+Reg FunctionBuilder::reg() { return fn_->num_regs++; }
+
+BlockId FunctionBuilder::block() {
+  fn_->blocks.emplace_back();
+  return static_cast<BlockId>(fn_->blocks.size() - 1);
+}
+
+void FunctionBuilder::at(BlockId b) {
+  assert(b >= 0 && b < static_cast<BlockId>(fn_->blocks.size()));
+  cur_ = b;
+}
+
+Instr& FunctionBuilder::emit(Instr in) {
+  auto& blk = fn_->blocks[cur_];
+  blk.instrs.push_back(std::move(in));
+  return blk.instrs.back();
+}
+
+Reg FunctionBuilder::ci(std::int64_t v) {
+  const Reg d = reg();
+  emit({.op = Opcode::kConst, .dst = d, .imm = v});
+  return d;
+}
+
+void FunctionBuilder::assign(Reg dst, Reg src) {
+  emit({.op = Opcode::kMove, .dst = dst, .a = src});
+}
+
+Reg FunctionBuilder::bin(BinOp op, Reg a, Reg b) {
+  const Reg d = reg();
+  emit({.op = Opcode::kBin, .dst = d, .a = a, .b = b, .bin = op});
+  return d;
+}
+
+Reg FunctionBuilder::bini(BinOp op, Reg a, std::int64_t b) {
+  return bin(op, a, ci(b));
+}
+
+Reg FunctionBuilder::not_(Reg a) {
+  const Reg d = reg();
+  emit({.op = Opcode::kNot, .dst = d, .a = a});
+  return d;
+}
+
+Reg FunctionBuilder::neg(Reg a) {
+  const Reg d = reg();
+  emit({.op = Opcode::kNeg, .dst = d, .a = a});
+  return d;
+}
+
+Reg FunctionBuilder::alloca_buf(std::int64_t size) {
+  assert(size > 0);
+  const Reg d = reg();
+  emit({.op = Opcode::kAlloca, .dst = d, .imm = size});
+  return d;
+}
+
+Reg FunctionBuilder::str_const(const std::string& s) {
+  const Reg d = reg();
+  emit({.op = Opcode::kStrConst, .dst = d, .str = s});
+  return d;
+}
+
+Reg FunctionBuilder::load(Reg ref, Reg idx) {
+  const Reg d = reg();
+  emit({.op = Opcode::kLoad, .dst = d, .a = ref, .b = idx});
+  return d;
+}
+
+void FunctionBuilder::store(Reg ref, Reg idx, Reg val) {
+  emit({.op = Opcode::kStore, .a = ref, .b = idx, .c = val});
+}
+
+Reg FunctionBuilder::buf_size(Reg ref) {
+  const Reg d = reg();
+  emit({.op = Opcode::kBufSize, .dst = d, .a = ref});
+  return d;
+}
+
+Reg FunctionBuilder::load_global(const std::string& name) {
+  const Reg d = reg();
+  emit({.op = Opcode::kLoadG, .dst = d, .str = name});
+  return d;
+}
+
+void FunctionBuilder::store_global(const std::string& name, Reg val) {
+  emit({.op = Opcode::kStoreG, .a = val, .str = name});
+}
+
+void FunctionBuilder::jmp(BlockId b) { emit({.op = Opcode::kJmp, .t0 = b}); }
+
+void FunctionBuilder::br(Reg cond, BlockId then_b, BlockId else_b) {
+  emit({.op = Opcode::kBr, .a = cond, .t0 = then_b, .t1 = else_b});
+}
+
+void FunctionBuilder::ret() { emit({.op = Opcode::kRet}); }
+
+void FunctionBuilder::ret(Reg v) { emit({.op = Opcode::kRet, .a = v}); }
+
+Reg FunctionBuilder::call(const std::string& callee, std::vector<Reg> args) {
+  const Reg d = reg();
+  Instr in{.op = Opcode::kCall, .dst = d, .str = callee};
+  in.args = std::move(args);
+  emit(std::move(in));
+  return d;
+}
+
+void FunctionBuilder::call_void(const std::string& callee,
+                                std::vector<Reg> args) {
+  Instr in{.op = Opcode::kCall, .str = callee};
+  in.args = std::move(args);
+  emit(std::move(in));
+}
+
+Reg FunctionBuilder::call_ext(const std::string& name, std::vector<Reg> args) {
+  const Reg d = reg();
+  Instr in{.op = Opcode::kCallExt, .dst = d, .str = name};
+  in.args = std::move(args);
+  emit(std::move(in));
+  return d;
+}
+
+void FunctionBuilder::call_ext_void(const std::string& name,
+                                    std::vector<Reg> args) {
+  Instr in{.op = Opcode::kCallExt, .str = name};
+  in.args = std::move(args);
+  emit(std::move(in));
+}
+
+Reg FunctionBuilder::argc() {
+  const Reg d = reg();
+  emit({.op = Opcode::kArgc, .dst = d});
+  return d;
+}
+
+Reg FunctionBuilder::arg(Reg idx) {
+  const Reg d = reg();
+  emit({.op = Opcode::kArg, .dst = d, .a = idx});
+  return d;
+}
+
+Reg FunctionBuilder::env(const std::string& name) {
+  const Reg d = reg();
+  emit({.op = Opcode::kEnv, .dst = d, .str = name});
+  return d;
+}
+
+void FunctionBuilder::make_sym_int(Reg r, const std::string& name,
+                                   std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  emit({.op = Opcode::kMakeSymInt, .dst = r, .imm = lo, .imm2 = hi,
+        .str = name});
+}
+
+void FunctionBuilder::make_sym_buf(Reg ref, const std::string& name) {
+  emit({.op = Opcode::kMakeSymBuf, .a = ref, .str = name});
+}
+
+void FunctionBuilder::assert_true(Reg cond) {
+  emit({.op = Opcode::kAssert, .a = cond});
+}
+
+void FunctionBuilder::print(const std::string& tag) {
+  emit({.op = Opcode::kPrint, .str = tag});
+}
+
+ModuleBuilder::ModuleBuilder(std::string program_name)
+    : name_(std::move(program_name)) {}
+
+void ModuleBuilder::global_int(const std::string& name, std::int64_t init) {
+  globals_.push_back(
+      {.name = name, .kind = Global::Kind::kInt, .init_int = init});
+}
+
+void ModuleBuilder::global_buf(const std::string& name, std::int64_t size) {
+  assert(size > 0);
+  globals_.push_back(
+      {.name = name, .kind = Global::Kind::kBuf, .buf_size = size});
+}
+
+FunctionBuilder ModuleBuilder::func(const std::string& name,
+                                    std::vector<std::string> param_names) {
+  Function fn;
+  fn.name = name;
+  fn.num_params = static_cast<std::int32_t>(param_names.size());
+  fn.num_regs = fn.num_params;
+  fn.param_names = std::move(param_names);
+  funcs_.push_back(std::move(fn));
+  return FunctionBuilder(this, &funcs_.back());
+}
+
+Module ModuleBuilder::build() {
+  Module m;
+  m.set_name(name_);
+  for (auto& g : globals_) m.add_global(g);
+  for (auto& f : funcs_) m.add_function(std::move(f));
+  funcs_.clear();
+  // Resolve call targets by name into imm.
+  for (FuncId id = 0; id < static_cast<FuncId>(m.functions().size()); ++id) {
+    auto& fn = m.function(id);
+    for (auto& blk : fn.blocks) {
+      for (auto& in : blk.instrs) {
+        if (in.op != Opcode::kCall) continue;
+        const FuncId callee = m.find_function(in.str);
+        if (callee == kNoFunc) {
+          throw std::invalid_argument("call to unknown function '" + in.str +
+                                      "' in " + fn.name);
+        }
+        in.imm = callee;
+      }
+    }
+  }
+  if (auto err = verify(m); !err.empty()) {
+    throw std::invalid_argument("IR verification failed: " + err);
+  }
+  return m;
+}
+
+}  // namespace statsym::ir

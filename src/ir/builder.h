@@ -1,0 +1,125 @@
+// Fluent construction API for mini-IR modules.
+//
+// The four target applications (src/apps/) are written against this builder.
+// Calls are recorded by callee name and resolved to function ids when the
+// module is finalised, so functions can be emitted in any order (including
+// mutual recursion). build() runs the verifier and throws on malformed IR,
+// so a Module obtained from a builder is always well-formed.
+#pragma once
+
+#include <deque>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/module.h"
+
+namespace statsym::ir {
+
+class ModuleBuilder;
+
+// Builds one function. Obtained from ModuleBuilder::func(); stays valid until
+// the ModuleBuilder is destroyed or built.
+class FunctionBuilder {
+ public:
+  // --- registers and blocks -------------------------------------------
+  Reg param(std::int32_t i) const;  // register holding the i-th parameter
+  Reg reg();                        // fresh register
+  BlockId block();                  // new (empty) basic block
+  void at(BlockId b);               // set insertion point
+  BlockId current_block() const { return cur_; }
+
+  // --- values -----------------------------------------------------------
+  Reg ci(std::int64_t v);                       // integer constant
+  void assign(Reg dst, Reg src);                // dst = src
+  Reg bin(BinOp op, Reg a, Reg b);
+  Reg bini(BinOp op, Reg a, std::int64_t b);    // rhs constant convenience
+  Reg add(Reg a, Reg b) { return bin(BinOp::kAdd, a, b); }
+  Reg addi(Reg a, std::int64_t b) { return bini(BinOp::kAdd, a, b); }
+  Reg sub(Reg a, Reg b) { return bin(BinOp::kSub, a, b); }
+  Reg mul(Reg a, Reg b) { return bin(BinOp::kMul, a, b); }
+  Reg eq(Reg a, Reg b) { return bin(BinOp::kEq, a, b); }
+  Reg eqi(Reg a, std::int64_t b) { return bini(BinOp::kEq, a, b); }
+  Reg ne(Reg a, Reg b) { return bin(BinOp::kNe, a, b); }
+  Reg nei(Reg a, std::int64_t b) { return bini(BinOp::kNe, a, b); }
+  Reg lt(Reg a, Reg b) { return bin(BinOp::kLt, a, b); }
+  Reg lti(Reg a, std::int64_t b) { return bini(BinOp::kLt, a, b); }
+  Reg le(Reg a, Reg b) { return bin(BinOp::kLe, a, b); }
+  Reg lei(Reg a, std::int64_t b) { return bini(BinOp::kLe, a, b); }
+  Reg gt(Reg a, Reg b) { return bin(BinOp::kGt, a, b); }
+  Reg gti(Reg a, std::int64_t b) { return bini(BinOp::kGt, a, b); }
+  Reg ge(Reg a, Reg b) { return bin(BinOp::kGe, a, b); }
+  Reg gei(Reg a, std::int64_t b) { return bini(BinOp::kGe, a, b); }
+  Reg land(Reg a, Reg b) { return bin(BinOp::kLAnd, a, b); }
+  Reg lor(Reg a, Reg b) { return bin(BinOp::kLOr, a, b); }
+  Reg not_(Reg a);
+  Reg neg(Reg a);
+
+  // --- memory -----------------------------------------------------------
+  Reg alloca_buf(std::int64_t size);
+  Reg str_const(const std::string& s);
+  Reg load(Reg ref, Reg idx);
+  void store(Reg ref, Reg idx, Reg val);
+  Reg buf_size(Reg ref);
+
+  // --- globals ------------------------------------------------------------
+  Reg load_global(const std::string& name);
+  void store_global(const std::string& name, Reg val);
+
+  // --- control flow ------------------------------------------------------
+  void jmp(BlockId b);
+  void br(Reg cond, BlockId then_b, BlockId else_b);
+  void ret();
+  void ret(Reg v);
+
+  // --- calls --------------------------------------------------------------
+  Reg call(const std::string& callee, std::vector<Reg> args);
+  void call_void(const std::string& callee, std::vector<Reg> args);
+  Reg call_ext(const std::string& name, std::vector<Reg> args);
+  void call_ext_void(const std::string& name, std::vector<Reg> args);
+
+  // --- inputs & symbolic markers ------------------------------------------
+  Reg argc();
+  Reg arg(Reg idx);
+  Reg env(const std::string& name);
+  void make_sym_int(Reg r, const std::string& name, std::int64_t lo,
+                    std::int64_t hi);
+  void make_sym_buf(Reg ref, const std::string& name);
+
+  // --- checks ---------------------------------------------------------------
+  void assert_true(Reg cond);
+  void print(const std::string& tag);
+
+ private:
+  friend class ModuleBuilder;
+  FunctionBuilder(ModuleBuilder* mb, Function* fn);
+  Instr& emit(Instr in);
+
+  ModuleBuilder* mb_;
+  Function* fn_;
+  BlockId cur_{0};
+};
+
+class ModuleBuilder {
+ public:
+  explicit ModuleBuilder(std::string program_name);
+
+  void global_int(const std::string& name, std::int64_t init);
+  void global_buf(const std::string& name, std::int64_t size);
+
+  // Starts a new function with the given parameter names.
+  FunctionBuilder func(const std::string& name,
+                       std::vector<std::string> param_names);
+
+  // Finalises: resolves call targets by name and verifies; throws
+  // std::invalid_argument describing the first problem found.
+  Module build();
+
+ private:
+  friend class FunctionBuilder;
+  std::string name_;
+  std::deque<Function> funcs_;  // deque: stable addresses for FunctionBuilder
+  std::vector<Global> globals_;
+};
+
+}  // namespace statsym::ir

@@ -1,0 +1,4 @@
+#include "ir/function.h"
+
+// Data-only today; kept as a translation unit for future out-of-line helpers.
+namespace statsym::ir {}

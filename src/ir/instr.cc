@@ -1,0 +1,110 @@
+#include "ir/instr.h"
+
+#include <cassert>
+
+namespace statsym::ir {
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kConst: return "const";
+    case Opcode::kMove: return "move";
+    case Opcode::kBin: return "bin";
+    case Opcode::kNot: return "not";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kAlloca: return "alloca";
+    case Opcode::kStrConst: return "strconst";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kBufSize: return "bufsize";
+    case Opcode::kLoadG: return "loadg";
+    case Opcode::kStoreG: return "storeg";
+    case Opcode::kJmp: return "jmp";
+    case Opcode::kBr: return "br";
+    case Opcode::kCall: return "call";
+    case Opcode::kCallExt: return "callext";
+    case Opcode::kRet: return "ret";
+    case Opcode::kArgc: return "argc";
+    case Opcode::kArg: return "arg";
+    case Opcode::kEnv: return "env";
+    case Opcode::kMakeSymInt: return "makesymint";
+    case Opcode::kMakeSymBuf: return "makesymbuf";
+    case Opcode::kAssert: return "assert";
+    case Opcode::kPrint: return "print";
+  }
+  return "?";
+}
+
+const char* binop_name(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kRem: return "%";
+    case BinOp::kAnd: return "&";
+    case BinOp::kOr: return "|";
+    case BinOp::kXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kLAnd: return "&&";
+    case BinOp::kLOr: return "||";
+  }
+  return "?";
+}
+
+bool is_comparison(BinOp op) {
+  switch (op) {
+    case BinOp::kEq:
+    case BinOp::kNe:
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::int64_t eval_binop(BinOp op, std::int64_t a, std::int64_t b) {
+  // Wrap-around two's-complement semantics via unsigned arithmetic; signed
+  // overflow in C++ would be UB.
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (op) {
+    case BinOp::kAdd: return static_cast<std::int64_t>(ua + ub);
+    case BinOp::kSub: return static_cast<std::int64_t>(ua - ub);
+    case BinOp::kMul: return static_cast<std::int64_t>(ua * ub);
+    case BinOp::kDiv:
+      assert(b != 0);
+      // INT64_MIN / -1 also overflows; define it as INT64_MIN (wrap).
+      if (a == INT64_MIN && b == -1) return INT64_MIN;
+      return a / b;
+    case BinOp::kRem:
+      assert(b != 0);
+      if (a == INT64_MIN && b == -1) return 0;
+      return a % b;
+    case BinOp::kAnd: return static_cast<std::int64_t>(ua & ub);
+    case BinOp::kOr: return static_cast<std::int64_t>(ua | ub);
+    case BinOp::kXor: return static_cast<std::int64_t>(ua ^ ub);
+    case BinOp::kShl: return static_cast<std::int64_t>(ua << (ub & 63));
+    case BinOp::kShr: return static_cast<std::int64_t>(ua >> (ub & 63));
+    case BinOp::kEq: return a == b;
+    case BinOp::kNe: return a != b;
+    case BinOp::kLt: return a < b;
+    case BinOp::kLe: return a <= b;
+    case BinOp::kGt: return a > b;
+    case BinOp::kGe: return a >= b;
+    case BinOp::kLAnd: return (a != 0) && (b != 0);
+    case BinOp::kLOr: return (a != 0) || (b != 0);
+  }
+  return 0;
+}
+
+}  // namespace statsym::ir

@@ -1,0 +1,38 @@
+#include "ir/module.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace statsym::ir {
+
+FuncId Module::add_function(Function fn) {
+  if (func_index_.contains(fn.name)) {
+    throw std::invalid_argument("duplicate function: " + fn.name);
+  }
+  const FuncId id = static_cast<FuncId>(functions_.size());
+  func_index_.emplace(fn.name, id);
+  functions_.push_back(std::move(fn));
+  return id;
+}
+
+std::int32_t Module::add_global(Global g) {
+  if (global_index_.contains(g.name)) {
+    throw std::invalid_argument("duplicate global: " + g.name);
+  }
+  const auto idx = static_cast<std::int32_t>(globals_.size());
+  global_index_.emplace(g.name, idx);
+  globals_.push_back(std::move(g));
+  return idx;
+}
+
+FuncId Module::find_function(const std::string& name) const {
+  auto it = func_index_.find(name);
+  return it == func_index_.end() ? kNoFunc : it->second;
+}
+
+std::int32_t Module::find_global(const std::string& name) const {
+  auto it = global_index_.find(name);
+  return it == global_index_.end() ? -1 : it->second;
+}
+
+}  // namespace statsym::ir

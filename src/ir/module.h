@@ -1,0 +1,56 @@
+// A whole program in the mini-IR: functions plus global slots.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace statsym::ir {
+
+// A global slot. Int slots start at `init_int`; Buf slots refer to a byte
+// buffer of `buf_size` bytes allocated and zeroed at program start (the slot
+// then holds a reference to it and is typically never reassigned).
+struct Global {
+  enum class Kind { kInt, kBuf };
+  std::string name;
+  Kind kind{Kind::kInt};
+  std::int64_t init_int{0};
+  std::int64_t buf_size{0};
+};
+
+class Module {
+ public:
+  // Adds a function; the name must be unique. Returns its id.
+  FuncId add_function(Function fn);
+
+  // Adds a global; the name must be unique. Returns its index.
+  std::int32_t add_global(Global g);
+
+  FuncId find_function(const std::string& name) const;  // kNoFunc if absent
+  std::int32_t find_global(const std::string& name) const;  // -1 if absent
+
+  const Function& function(FuncId id) const { return functions_[id]; }
+  Function& function(FuncId id) { return functions_[id]; }
+  const std::vector<Function>& functions() const { return functions_; }
+  const std::vector<Global>& globals() const { return globals_; }
+  const Global& global(std::int32_t i) const { return globals_[i]; }
+
+  // Entry point; defaults to the function named "main".
+  FuncId entry() const { return find_function("main"); }
+
+  // Optional program name (used in reports/tables).
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  std::string name_;
+  std::vector<Function> functions_;
+  std::vector<Global> globals_;
+  std::unordered_map<std::string, FuncId> func_index_;
+  std::unordered_map<std::string, std::int32_t> global_index_;
+};
+
+}  // namespace statsym::ir

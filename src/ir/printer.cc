@@ -1,0 +1,149 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace statsym::ir {
+namespace {
+
+std::string reg_name(Reg r) {
+  if (r == kNoReg) return "_";
+  return "r" + std::to_string(r);
+}
+
+}  // namespace
+
+std::string to_string(const Instr& in, const Module* m) {
+  std::ostringstream os;
+  switch (in.op) {
+    case Opcode::kConst:
+      os << reg_name(in.dst) << " = " << in.imm;
+      break;
+    case Opcode::kMove:
+      os << reg_name(in.dst) << " = " << reg_name(in.a);
+      break;
+    case Opcode::kBin:
+      os << reg_name(in.dst) << " = " << reg_name(in.a) << " "
+         << binop_name(in.bin) << " " << reg_name(in.b);
+      break;
+    case Opcode::kNot:
+      os << reg_name(in.dst) << " = !" << reg_name(in.a);
+      break;
+    case Opcode::kNeg:
+      os << reg_name(in.dst) << " = -" << reg_name(in.a);
+      break;
+    case Opcode::kAlloca:
+      os << reg_name(in.dst) << " = alloca " << in.imm;
+      break;
+    case Opcode::kStrConst:
+      os << reg_name(in.dst) << " = \"" << in.str << "\"";
+      break;
+    case Opcode::kLoad:
+      os << reg_name(in.dst) << " = " << reg_name(in.a) << "[" << reg_name(in.b)
+         << "]";
+      break;
+    case Opcode::kStore:
+      os << reg_name(in.a) << "[" << reg_name(in.b) << "] = " << reg_name(in.c);
+      break;
+    case Opcode::kBufSize:
+      os << reg_name(in.dst) << " = bufsize " << reg_name(in.a);
+      break;
+    case Opcode::kLoadG:
+      os << reg_name(in.dst) << " = @" << in.str;
+      break;
+    case Opcode::kStoreG:
+      os << "@" << in.str << " = " << reg_name(in.a);
+      break;
+    case Opcode::kJmp:
+      os << "jmp b" << in.t0;
+      break;
+    case Opcode::kBr:
+      os << "br " << reg_name(in.a) << ", b" << in.t0 << ", b" << in.t1;
+      break;
+    case Opcode::kCall: {
+      if (in.dst != kNoReg) os << reg_name(in.dst) << " = ";
+      std::string callee = in.str;
+      if (m != nullptr && in.imm >= 0 &&
+          in.imm < static_cast<std::int64_t>(m->functions().size())) {
+        callee = m->function(static_cast<FuncId>(in.imm)).name;
+      }
+      os << "call " << callee << "(";
+      for (std::size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << reg_name(in.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::kCallExt: {
+      if (in.dst != kNoReg) os << reg_name(in.dst) << " = ";
+      os << "ext " << in.str << "(";
+      for (std::size_t i = 0; i < in.args.size(); ++i) {
+        if (i) os << ", ";
+        os << reg_name(in.args[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::kRet:
+      os << "ret";
+      if (in.a != kNoReg) os << " " << reg_name(in.a);
+      break;
+    case Opcode::kArgc:
+      os << reg_name(in.dst) << " = argc";
+      break;
+    case Opcode::kArg:
+      os << reg_name(in.dst) << " = argv[" << reg_name(in.a) << "]";
+      break;
+    case Opcode::kEnv:
+      os << reg_name(in.dst) << " = env \"" << in.str << "\"";
+      break;
+    case Opcode::kMakeSymInt:
+      os << "make_symbolic_int " << reg_name(in.dst) << " \"" << in.str
+         << "\" [" << in.imm << ", " << in.imm2 << "]";
+      break;
+    case Opcode::kMakeSymBuf:
+      os << "make_symbolic_buf " << reg_name(in.a) << " \"" << in.str << "\"";
+      break;
+    case Opcode::kAssert:
+      os << "assert " << reg_name(in.a);
+      break;
+    case Opcode::kPrint:
+      os << "print \"" << in.str << "\"";
+      break;
+  }
+  return os.str();
+}
+
+std::string to_string(const Function& fn, const Module* m) {
+  std::ostringstream os;
+  os << "func " << fn.name << "(";
+  for (std::int32_t i = 0; i < fn.num_params; ++i) {
+    if (i) os << ", ";
+    os << fn.param_names[i] << "=r" << i;
+  }
+  os << ") regs=" << fn.num_regs << " {\n";
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+    os << " b" << bi << ":\n";
+    for (const auto& in : fn.blocks[bi].instrs) {
+      os << "   " << to_string(in, m) << "\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_string(const Module& m) {
+  std::ostringstream os;
+  os << "module " << m.name() << "\n";
+  for (const auto& g : m.globals()) {
+    if (g.kind == Global::Kind::kInt) {
+      os << "global int @" << g.name << " = " << g.init_int << "\n";
+    } else {
+      os << "global buf @" << g.name << "[" << g.buf_size << "]\n";
+    }
+  }
+  for (const auto& fn : m.functions()) os << to_string(fn, &m);
+  return os.str();
+}
+
+}  // namespace statsym::ir

@@ -1,0 +1,14 @@
+// Human-readable dump of mini-IR (for debugging and golden tests).
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace statsym::ir {
+
+std::string to_string(const Instr& in, const Module* m = nullptr);
+std::string to_string(const Function& fn, const Module* m = nullptr);
+std::string to_string(const Module& m);
+
+}  // namespace statsym::ir

@@ -1,0 +1,46 @@
+#include "ir/program_stats.h"
+
+namespace statsym::ir {
+
+ProgramStats compute_stats(const Module& m) {
+  ProgramStats s;
+  s.program = m.name();
+  s.globals = m.globals().size();
+  for (const auto& fn : m.functions()) {
+    ++s.functions;
+    s.params += static_cast<std::size_t>(fn.num_params);
+    s.blocks += fn.blocks.size();
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      const auto& blk = fn.blocks[bi];
+      s.instrs += blk.instrs.size();
+      for (const auto& in : blk.instrs) {
+        switch (in.op) {
+          case Opcode::kCall:
+            ++s.internal_call_sites;
+            break;
+          case Opcode::kCallExt:
+            ++s.ext_call_sites;
+            break;
+          case Opcode::kBr:
+            ++s.branches;
+            if (in.t0 <= static_cast<BlockId>(bi) ||
+                in.t1 <= static_cast<BlockId>(bi)) {
+              ++s.loops;
+            }
+            break;
+          case Opcode::kJmp:
+            if (in.t0 <= static_cast<BlockId>(bi)) ++s.loops;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  }
+  // SLOC analogue: one line per instruction plus function/global declaration
+  // lines, mirroring how the paper counts source lines rather than IR ops.
+  s.sloc = s.instrs + 2 * s.functions + s.globals;
+  return s;
+}
+
+}  // namespace statsym::ir

@@ -1,0 +1,29 @@
+// Static program statistics — the quantities the paper reports in Table I
+// (SLOC, external calls, internal user-level calls, global variables,
+// function parameters) computed over a mini-IR module.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/module.h"
+
+namespace statsym::ir {
+
+struct ProgramStats {
+  std::string program;
+  std::size_t functions{0};
+  std::size_t blocks{0};
+  std::size_t instrs{0};       // total instruction count
+  std::size_t sloc{0};         // SLOC analogue: instructions + decl lines
+  std::size_t ext_call_sites{0};
+  std::size_t internal_call_sites{0};
+  std::size_t globals{0};
+  std::size_t params{0};       // total parameters across functions
+  std::size_t branches{0};     // conditional branch sites
+  std::size_t loops{0};        // back-edge count (target block <= own block)
+};
+
+ProgramStats compute_stats(const Module& m);
+
+}  // namespace statsym::ir

@@ -1,0 +1,162 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+
+namespace statsym::ir {
+namespace {
+
+// Accumulates the location prefix for error messages.
+std::string where(const Function& fn, std::size_t blk, std::size_t idx) {
+  std::ostringstream os;
+  os << fn.name << " block " << blk << " instr " << idx << ": ";
+  return os.str();
+}
+
+bool needs_dst(Opcode op) {
+  switch (op) {
+    case Opcode::kConst:
+    case Opcode::kMove:
+    case Opcode::kBin:
+    case Opcode::kNot:
+    case Opcode::kNeg:
+    case Opcode::kAlloca:
+    case Opcode::kStrConst:
+    case Opcode::kLoad:
+    case Opcode::kBufSize:
+    case Opcode::kLoadG:
+    case Opcode::kArgc:
+    case Opcode::kArg:
+    case Opcode::kEnv:
+    case Opcode::kMakeSymInt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string verify(const Module& m) {
+  if (m.entry() == kNoFunc) return "no main function";
+
+  for (const auto& fn : m.functions()) {
+    if (fn.num_params > fn.num_regs) {
+      return fn.name + ": fewer registers than parameters";
+    }
+    if (fn.blocks.empty()) return fn.name + ": no blocks";
+    const auto nblocks = static_cast<BlockId>(fn.blocks.size());
+
+    for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
+      const auto& blk = fn.blocks[bi];
+      if (blk.instrs.empty()) {
+        return fn.name + " block " + std::to_string(bi) + ": empty block";
+      }
+      for (std::size_t ii = 0; ii < blk.instrs.size(); ++ii) {
+        const Instr& in = blk.instrs[ii];
+        const bool last = (ii + 1 == blk.instrs.size());
+        if (in.is_terminator() != last) {
+          return where(fn, bi, ii) +
+                 (last ? "block does not end with a terminator"
+                       : "terminator in the middle of a block");
+        }
+
+        auto check_reg = [&](Reg r, const char* what) -> std::string {
+          if (r < 0 || r >= fn.num_regs) {
+            return where(fn, bi, ii) + "bad " + what + " register " +
+                   std::to_string(r) + " (" + opcode_name(in.op) + ")";
+          }
+          return "";
+        };
+
+        if (needs_dst(in.op)) {
+          if (auto e = check_reg(in.dst, "dst"); !e.empty()) return e;
+        }
+
+        // Operand requirements per opcode.
+        switch (in.op) {
+          case Opcode::kMove:
+          case Opcode::kNot:
+          case Opcode::kNeg:
+          case Opcode::kBufSize:
+          case Opcode::kArg:
+            if (auto e = check_reg(in.a, "src"); !e.empty()) return e;
+            break;
+          case Opcode::kBin:
+          case Opcode::kLoad:
+            if (auto e = check_reg(in.a, "lhs"); !e.empty()) return e;
+            if (auto e = check_reg(in.b, "rhs"); !e.empty()) return e;
+            break;
+          case Opcode::kStore:
+            if (auto e = check_reg(in.a, "ref"); !e.empty()) return e;
+            if (auto e = check_reg(in.b, "idx"); !e.empty()) return e;
+            if (auto e = check_reg(in.c, "val"); !e.empty()) return e;
+            break;
+          case Opcode::kStoreG:
+          case Opcode::kAssert:
+          case Opcode::kMakeSymBuf:
+            if (auto e = check_reg(in.a, "src"); !e.empty()) return e;
+            break;
+          case Opcode::kLoadG:
+            break;  // global name checked below for both kLoadG and kStoreG
+          case Opcode::kBr:
+            if (auto e = check_reg(in.a, "cond"); !e.empty()) return e;
+            if (in.t0 < 0 || in.t0 >= nblocks || in.t1 < 0 || in.t1 >= nblocks)
+              return where(fn, bi, ii) + "branch target out of range";
+            break;
+          case Opcode::kJmp:
+            if (in.t0 < 0 || in.t0 >= nblocks)
+              return where(fn, bi, ii) + "jump target out of range";
+            break;
+          case Opcode::kRet:
+            if (in.a != kNoReg) {
+              if (auto e = check_reg(in.a, "ret"); !e.empty()) return e;
+            }
+            break;
+          case Opcode::kCall: {
+            if (in.imm < 0 ||
+                in.imm >= static_cast<std::int64_t>(m.functions().size())) {
+              return where(fn, bi, ii) + "unresolved call target";
+            }
+            const auto& callee = m.function(static_cast<FuncId>(in.imm));
+            if (static_cast<std::int32_t>(in.args.size()) !=
+                callee.num_params) {
+              return where(fn, bi, ii) + "call to " + callee.name +
+                     ": arity mismatch";
+            }
+            for (Reg r : in.args) {
+              if (auto e = check_reg(r, "arg"); !e.empty()) return e;
+            }
+            break;
+          }
+          case Opcode::kCallExt:
+            for (Reg r : in.args) {
+              if (auto e = check_reg(r, "arg"); !e.empty()) return e;
+            }
+            break;
+          case Opcode::kMakeSymInt:
+            if (in.imm > in.imm2) {
+              return where(fn, bi, ii) + "empty symbolic domain";
+            }
+            break;
+          case Opcode::kAlloca:
+            if (in.imm <= 0) return where(fn, bi, ii) + "non-positive alloca";
+            break;
+          default:
+            break;
+        }
+
+        if ((in.op == Opcode::kLoadG || in.op == Opcode::kStoreG) &&
+            m.find_global(in.str) < 0) {
+          return where(fn, bi, ii) + "unknown global '" + in.str + "'";
+        }
+      }
+    }
+  }
+  // main must take no parameters: program inputs flow through
+  // argc/arg/env/make_symbolic, not the entry function's signature.
+  const auto& main_fn = m.function(m.entry());
+  if (main_fn.num_params != 0) return "main must take no parameters";
+  return "";
+}
+
+}  // namespace statsym::ir

@@ -1,0 +1,24 @@
+// Structural well-formedness checks for mini-IR modules.
+#pragma once
+
+#include <string>
+
+#include "ir/module.h"
+
+namespace statsym::ir {
+
+// Returns an empty string when the module is well-formed, otherwise a
+// description of the first violation found. Checked properties:
+//   - a function named "main" exists,
+//   - every block is non-empty and ends with exactly one terminator, with no
+//     terminator in the middle,
+//   - all register operands are within the function's register count,
+//   - all branch targets name existing blocks,
+//   - kCall targets are resolved (imm in range) and argument counts match the
+//     callee's parameter count,
+//   - kLoadG/kStoreG name declared globals,
+//   - instructions that must produce a value have a dst, and store-like
+//     instructions have their operands.
+std::string verify(const Module& m);
+
+}  // namespace statsym::ir

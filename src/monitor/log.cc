@@ -1,0 +1,36 @@
+#include "monitor/log.h"
+
+namespace statsym::monitor {
+
+LocId enter_loc(ir::FuncId f) { return f * 2; }
+LocId leave_loc(ir::FuncId f) { return f * 2 + 1; }
+ir::FuncId loc_function(LocId loc) { return loc / 2; }
+bool loc_is_leave(LocId loc) { return (loc & 1) != 0; }
+
+std::string loc_name(const ir::Module& m, LocId loc) {
+  if (loc == kNoLoc) return "<none>";
+  return m.function(loc_function(loc)).name + "():" +
+         (loc_is_leave(loc) ? "leave" : "enter");
+}
+
+std::size_t num_locations(const ir::Module& m) {
+  return m.functions().size() * 2;
+}
+
+const char* var_kind_name(VarKind k) {
+  switch (k) {
+    case VarKind::kGlobal: return "GLOBAL";
+    case VarKind::kParam: return "FUNCPARAM";
+    case VarKind::kReturn: return "RETURN";
+  }
+  return "?";
+}
+
+std::string VarSample::display() const {
+  std::string base = name + " " + var_kind_name(kind);
+  return is_len ? "len(" + base + ")" : base;
+}
+
+std::string VarSample::key() const { return display(); }
+
+}  // namespace statsym::monitor

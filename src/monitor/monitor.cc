@@ -1,0 +1,86 @@
+#include "monitor/monitor.h"
+
+namespace statsym::monitor {
+
+Monitor::Monitor(const ir::Module& m, MonitorOptions opts, Rng rng)
+    : m_(m), opts_(opts), rng_(rng) {}
+
+void Monitor::on_enter(const interp::Interpreter& interp,
+                       const ir::Function& fn,
+                       std::span<const interp::Value> params) {
+  record(interp, fn, params, std::nullopt, /*leave=*/false);
+}
+
+void Monitor::on_leave(const interp::Interpreter& interp,
+                       const ir::Function& fn,
+                       std::span<const interp::Value> params,
+                       const std::optional<interp::Value>& ret) {
+  record(interp, fn, params, ret, /*leave=*/true);
+}
+
+void Monitor::record(const interp::Interpreter& interp,
+                     const ir::Function& fn,
+                     std::span<const interp::Value> params,
+                     const std::optional<interp::Value>& ret, bool leave) {
+  // Library-internal functions are not instrumented at all.
+  if (!opts_.skip_function_prefix.empty() &&
+      fn.name.starts_with(opts_.skip_function_prefix)) {
+    return;
+  }
+  // Partial logging: each record survives with probability sampling_rate.
+  if (!rng_.chance(opts_.sampling_rate)) return;
+
+  const ir::FuncId fid = m_.find_function(fn.name);
+  LogRecord rec;
+  rec.loc = leave ? leave_loc(fid) : enter_loc(fid);
+
+  auto sample_value = [&](const std::string& name, VarKind kind,
+                          const interp::Value& v) {
+    VarSample s;
+    s.name = name;
+    s.kind = kind;
+    if (v.is_ref()) {
+      // Strings are logged by length only (privacy rule, §III-B).
+      s.is_len = true;
+      s.value = static_cast<double>(interp.string_length(v));
+    } else {
+      s.value = static_cast<double>(v.i);
+    }
+    rec.vars.push_back(std::move(s));
+  };
+
+  if (opts_.log_globals) {
+    for (const auto& g : m_.globals()) {
+      sample_value(g.name, VarKind::kGlobal, interp.global_value(g.name));
+    }
+  }
+  if (opts_.log_params) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      sample_value(fn.param_names[i], VarKind::kParam, params[i]);
+    }
+  }
+  if (opts_.log_return && leave && ret.has_value()) {
+    sample_value("ret", VarKind::kReturn, *ret);
+  }
+  log_.records.push_back(std::move(rec));
+}
+
+RunLog Monitor::finish(std::int32_t run_id, const interp::RunResult& result) {
+  log_.run_id = run_id;
+  log_.faulty = (result.outcome == interp::RunOutcome::kFault);
+  if (log_.faulty) log_.fault_function = result.fault.function;
+  return std::move(log_);
+}
+
+MonitoredRun run_monitored(const ir::Module& m, interp::RuntimeInput input,
+                           MonitorOptions opts, Rng rng, std::int32_t run_id) {
+  interp::Interpreter it(m, std::move(input));
+  Monitor mon(m, opts, rng);
+  it.set_listener(&mon);
+  MonitoredRun out;
+  out.result = it.run();
+  out.log = mon.finish(run_id, out.result);
+  return out;
+}
+
+}  // namespace statsym::monitor

@@ -1,0 +1,95 @@
+#include "monitor/serialize.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace statsym::monitor {
+
+std::string serialize(const RunLog& log) {
+  std::ostringstream os;
+  os << "run " << log.run_id << " " << (log.faulty ? "faulty" : "ok");
+  if (log.faulty) os << " " << log.fault_function;
+  os << "\n";
+  for (const auto& rec : log.records) {
+    os << "rec " << rec.loc << "\n";
+    for (const auto& v : rec.vars) {
+      os << "var " << var_kind_name(v.kind) << "|" << (v.is_len ? 1 : 0) << "|"
+         << v.value << "|" << v.name << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string serialize(const std::vector<RunLog>& logs) {
+  std::string out;
+  for (const auto& l : logs) out += serialize(l);
+  return out;
+}
+
+bool deserialize(const std::string& text, std::vector<RunLog>& out) {
+  std::vector<RunLog> logs;
+  RunLog* cur = nullptr;
+  LogRecord* cur_rec = nullptr;
+
+  for (std::string_view line : split(text, '\n')) {
+    line = trim(line);
+    if (line.empty()) continue;
+    if (starts_with(line, "run ")) {
+      const auto fields = split(line.substr(4), ' ');
+      if (fields.size() < 2 || fields.size() > 3) return false;
+      RunLog log;
+      std::int64_t id = 0;
+      if (!parse_i64(fields[0], id)) return false;
+      log.run_id = static_cast<std::int32_t>(id);
+      if (fields[1] == "faulty") {
+        log.faulty = true;
+        if (fields.size() == 3) log.fault_function = fields[2];
+      } else if (fields[1] == "ok") {
+        if (fields.size() != 2) return false;
+      } else {
+        return false;
+      }
+      logs.push_back(std::move(log));
+      cur = &logs.back();
+      cur_rec = nullptr;
+    } else if (starts_with(line, "rec ")) {
+      if (cur == nullptr) return false;
+      std::int64_t loc = 0;
+      if (!parse_i64(trim(line.substr(4)), loc) || loc < 0) return false;
+      cur->records.push_back({static_cast<LocId>(loc), {}});
+      cur_rec = &cur->records.back();
+    } else if (starts_with(line, "var ")) {
+      if (cur_rec == nullptr) return false;
+      const auto fields = split(line.substr(4), '|');
+      if (fields.size() != 4) return false;
+      VarSample v;
+      if (fields[0] == "GLOBAL") {
+        v.kind = VarKind::kGlobal;
+      } else if (fields[0] == "FUNCPARAM") {
+        v.kind = VarKind::kParam;
+      } else if (fields[0] == "RETURN") {
+        v.kind = VarKind::kReturn;
+      } else {
+        return false;
+      }
+      if (fields[1] == "1") {
+        v.is_len = true;
+      } else if (fields[1] == "0") {
+        v.is_len = false;
+      } else {
+        return false;
+      }
+      if (!parse_double(fields[2], v.value)) return false;
+      if (fields[3].empty()) return false;
+      v.name = fields[3];
+      cur_rec->vars.push_back(std::move(v));
+    } else {
+      return false;
+    }
+  }
+  out = std::move(logs);
+  return true;
+}
+
+}  // namespace statsym::monitor

@@ -1,0 +1,29 @@
+// Text (de)serialisation of run logs.
+//
+// The paper's monitor writes per-run log files that the (Python) statistical
+// module later reads back; we keep the same file-oriented decoupling so logs
+// can be persisted, inspected, corrupted in failure-injection tests, and
+// replayed into the statistics module.
+//
+// Format (one record per line, '|'-separated fields):
+//   run <id> <ok|faulty> [fault_function]
+//   rec <loc_id>
+//   var <kind>|<is_len>|<value>|<name>
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "monitor/log.h"
+
+namespace statsym::monitor {
+
+std::string serialize(const RunLog& log);
+std::string serialize(const std::vector<RunLog>& logs);
+
+// Parses one or more concatenated run logs. Returns false (and leaves `out`
+// untouched) on malformed input; parsing is strict so corrupted logs are
+// detected rather than silently mis-read.
+bool deserialize(const std::string& text, std::vector<RunLog>& out);
+
+}  // namespace statsym::monitor

@@ -1,0 +1,24 @@
+#include "solver/cache.h"
+
+namespace statsym::solver {
+
+std::uint64_t QueryCache::key_of(std::span<const ExprId> sorted_ids) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (ExprId id : sorted_ids) {
+    h ^= id;
+    h *= 0x100000001b3ULL;
+  }
+  // Never return 0 so callers can use 0 as "no key".
+  return h == 0 ? 1 : h;
+}
+
+const SolveResult* QueryCache::lookup(std::uint64_t key) const {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void QueryCache::insert(std::uint64_t key, const SolveResult& result) {
+  map_[key] = result;
+}
+
+}  // namespace statsym::solver

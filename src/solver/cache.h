@@ -1,0 +1,33 @@
+// Query cache for the solver (the KLEE counterexample-cache analogue).
+//
+// Hash-consing makes ExprIds canonical within a pool, so a sorted constraint
+// id vector hashes to a stable key for a query. Sibling states produced by
+// forking share long constraint prefixes, which makes the hit rate high
+// during path exploration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "solver/expr.h"
+#include "solver/result.h"
+
+namespace statsym::solver {
+
+class QueryCache {
+ public:
+  // FNV-1a over the id sequence. Input must be sorted for canonical keys.
+  static std::uint64_t key_of(std::span<const ExprId> sorted_ids);
+
+  const SolveResult* lookup(std::uint64_t key) const;
+  void insert(std::uint64_t key, const SolveResult& result);
+
+  std::size_t size() const { return map_.size(); }
+  void clear() { map_.clear(); }
+
+ private:
+  std::unordered_map<std::uint64_t, SolveResult> map_;
+};
+
+}  // namespace statsym::solver

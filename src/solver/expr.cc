@@ -1,0 +1,198 @@
+#include "solver/expr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <sstream>
+#include <unordered_set>
+
+#include "solver/simplify.h"
+
+namespace statsym::solver {
+
+const char* expr_op_name(ExprOp op) {
+  switch (op) {
+    case ExprOp::kConst: return "const";
+    case ExprOp::kVar: return "var";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kRem: return "%";
+    case ExprOp::kNeg: return "neg";
+    case ExprOp::kEq: return "==";
+    case ExprOp::kNe: return "!=";
+    case ExprOp::kLt: return "<";
+    case ExprOp::kLe: return "<=";
+    case ExprOp::kAnd: return "&&";
+    case ExprOp::kOr: return "||";
+    case ExprOp::kNot: return "!";
+    case ExprOp::kIte: return "ite";
+  }
+  return "?";
+}
+
+bool is_cmp_op(ExprOp op) {
+  return op == ExprOp::kEq || op == ExprOp::kNe || op == ExprOp::kLt ||
+         op == ExprOp::kLe;
+}
+
+bool is_bool_op(ExprOp op) {
+  return is_cmp_op(op) || op == ExprOp::kAnd || op == ExprOp::kOr ||
+         op == ExprOp::kNot;
+}
+
+std::size_t ExprPool::NodeHash::operator()(const Node& n) const {
+  std::size_t h = std::hash<int>()(static_cast<int>(n.op));
+  auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<std::int64_t>()(n.imm));
+  mix(n.a);
+  mix(n.b);
+  mix(n.c);
+  return h;
+}
+
+ExprPool::ExprPool() {
+  false_ = constant(0);
+  true_ = constant(1);
+}
+
+VarId ExprPool::new_var(std::string name, std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  vars_.push_back({std::move(name), lo, hi});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+ExprId ExprPool::intern(ExprOp op, std::int64_t imm, ExprId a, ExprId b,
+                        ExprId c) {
+  Node n{op, imm, a, b, c};
+  auto it = interned_.find(n);
+  if (it != interned_.end()) return it->second;
+  const ExprId id = static_cast<ExprId>(nodes_.size());
+  nodes_.push_back(n);
+  interned_.emplace(n, id);
+  return id;
+}
+
+ExprId ExprPool::constant(std::int64_t v) {
+  return intern(ExprOp::kConst, v, kNoExpr, kNoExpr, kNoExpr);
+}
+
+ExprId ExprPool::var_expr(VarId v) {
+  assert(v < vars_.size());
+  return intern(ExprOp::kVar, static_cast<std::int64_t>(v), kNoExpr, kNoExpr,
+                kNoExpr);
+}
+
+ExprId ExprPool::unary(ExprOp op, ExprId a) {
+  return simplify_unary(*this, op, a);
+}
+
+ExprId ExprPool::binary(ExprOp op, ExprId a, ExprId b) {
+  return simplify_binary(*this, op, a, b);
+}
+
+ExprId ExprPool::ite(ExprId c, ExprId t, ExprId f) {
+  return simplify_ite(*this, c, t, f);
+}
+
+ExprId ExprPool::truthy(ExprId e) {
+  if (is_bool_op(op(e))) return e;  // already 0/1-valued
+  return ne(e, constant(0));
+}
+
+void ExprPool::collect_vars(ExprId e, std::vector<VarId>& out) const {
+  const std::size_t base = out.size();
+  std::vector<ExprId> work{e};
+  std::unordered_set<ExprId> seen;
+  while (!work.empty()) {
+    const ExprId cur = work.back();
+    work.pop_back();
+    if (!seen.insert(cur).second) continue;
+    const Node& n = nodes_[cur];
+    if (n.op == ExprOp::kVar) {
+      out.push_back(static_cast<VarId>(n.imm));
+      continue;
+    }
+    if (n.a != kNoExpr) work.push_back(n.a);
+    if (n.b != kNoExpr) work.push_back(n.b);
+    if (n.c != kNoExpr) work.push_back(n.c);
+  }
+  // Deduplicate the appended range.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
+  out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(base),
+                        out.end()),
+            out.end());
+}
+
+std::int64_t ExprPool::eval(
+    ExprId e, const std::unordered_map<VarId, std::int64_t>& asgn) const {
+  const Node& n = nodes_[e];
+  switch (n.op) {
+    case ExprOp::kConst:
+      return n.imm;
+    case ExprOp::kVar: {
+      auto it = asgn.find(static_cast<VarId>(n.imm));
+      return it == asgn.end() ? 0 : it->second;
+    }
+    case ExprOp::kNeg:
+      return static_cast<std::int64_t>(
+          0 - static_cast<std::uint64_t>(eval(n.a, asgn)));
+    case ExprOp::kNot:
+      return eval(n.a, asgn) == 0 ? 1 : 0;
+    case ExprOp::kIte:
+      return eval(n.a, asgn) != 0 ? eval(n.b, asgn) : eval(n.c, asgn);
+    default:
+      break;
+  }
+  const std::int64_t a = eval(n.a, asgn);
+  const std::int64_t b = eval(n.b, asgn);
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (n.op) {
+    case ExprOp::kAdd: return static_cast<std::int64_t>(ua + ub);
+    case ExprOp::kSub: return static_cast<std::int64_t>(ua - ub);
+    case ExprOp::kMul: return static_cast<std::int64_t>(ua * ub);
+    case ExprOp::kDiv:
+      if (b == 0) return 0;  // screened before expr construction
+      if (a == INT64_MIN && b == -1) return INT64_MIN;
+      return a / b;
+    case ExprOp::kRem:
+      if (b == 0) return 0;
+      if (a == INT64_MIN && b == -1) return 0;
+      return a % b;
+    case ExprOp::kEq: return a == b;
+    case ExprOp::kNe: return a != b;
+    case ExprOp::kLt: return a < b;
+    case ExprOp::kLe: return a <= b;
+    case ExprOp::kAnd: return (a != 0) && (b != 0);
+    case ExprOp::kOr: return (a != 0) || (b != 0);
+    default:
+      assert(false && "unhandled op");
+      return 0;
+  }
+}
+
+std::string ExprPool::to_string(ExprId e) const {
+  const Node& n = nodes_[e];
+  switch (n.op) {
+    case ExprOp::kConst:
+      return std::to_string(n.imm);
+    case ExprOp::kVar:
+      return vars_[static_cast<std::size_t>(n.imm)].name;
+    case ExprOp::kNeg:
+      return "-(" + to_string(n.a) + ")";
+    case ExprOp::kNot:
+      return "!(" + to_string(n.a) + ")";
+    case ExprOp::kIte:
+      return "(" + to_string(n.a) + " ? " + to_string(n.b) + " : " +
+             to_string(n.c) + ")";
+    default:
+      return "(" + to_string(n.a) + " " + expr_op_name(n.op) + " " +
+             to_string(n.b) + ")";
+  }
+}
+
+}  // namespace statsym::solver

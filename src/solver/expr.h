@@ -1,0 +1,140 @@
+// Symbolic expression DAG with hash-consing.
+//
+// Plays the role of KLEE's Expr/STP layer: path constraints and symbolic
+// register values are nodes in a shared pool. Hash-consing gives structural
+// identity (equal trees share one id), which makes constraint-set caching and
+// cheap equality possible. Construction goes through ExprPool::mk*, which
+// applies algebraic simplification (solver/simplify.cc) so the pool only
+// contains canonical nodes.
+//
+// The theory is integer arithmetic with comparisons and boolean structure —
+// the fragment needed for the mini-IR's path constraints. String-length
+// constraints are expressed over per-byte variables exactly as the paper's
+// workaround does (footnote 2: "constrain the index at which the first '\0'
+// resides").
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace statsym::solver {
+
+using ExprId = std::uint32_t;
+using VarId = std::uint32_t;
+inline constexpr ExprId kNoExpr = std::numeric_limits<ExprId>::max();
+
+enum class ExprOp : std::uint8_t {
+  kConst,  // imm
+  kVar,    // var (VarId in imm)
+  // Arithmetic (int64 wraparound semantics, matching ir::eval_binop).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,  // division by zero evaluates to 0 (screened before reaching here)
+  kRem,
+  kNeg,
+  // Comparisons (result 0/1). kGt/kGe are normalised away at construction.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  // Boolean structure over truthiness (non-zero = true; result 0/1).
+  kAnd,
+  kOr,
+  kNot,
+  kIte,  // a ? b : c
+};
+
+const char* expr_op_name(ExprOp op);
+bool is_cmp_op(ExprOp op);
+bool is_bool_op(ExprOp op);  // cmp or and/or/not (result always 0/1)
+
+struct VarInfo {
+  std::string name;
+  std::int64_t lo{std::numeric_limits<std::int64_t>::min()};
+  std::int64_t hi{std::numeric_limits<std::int64_t>::max()};
+};
+
+class ExprPool {
+ public:
+  ExprPool();
+
+  // --- variables ---------------------------------------------------------
+  VarId new_var(std::string name, std::int64_t lo, std::int64_t hi);
+  const VarInfo& var(VarId v) const { return vars_[v]; }
+  std::size_t num_vars() const { return vars_.size(); }
+
+  // --- construction (simplifying) ----------------------------------------
+  ExprId constant(std::int64_t v);
+  ExprId var_expr(VarId v);
+  ExprId unary(ExprOp op, ExprId a);              // kNeg, kNot
+  ExprId binary(ExprOp op, ExprId a, ExprId b);   // everything two-operand
+  ExprId ite(ExprId c, ExprId t, ExprId f);
+
+  ExprId true_expr() const { return true_; }
+  ExprId false_expr() const { return false_; }
+
+  // Convenience builders.
+  ExprId add(ExprId a, ExprId b) { return binary(ExprOp::kAdd, a, b); }
+  ExprId sub(ExprId a, ExprId b) { return binary(ExprOp::kSub, a, b); }
+  ExprId mul(ExprId a, ExprId b) { return binary(ExprOp::kMul, a, b); }
+  ExprId eq(ExprId a, ExprId b) { return binary(ExprOp::kEq, a, b); }
+  ExprId ne(ExprId a, ExprId b) { return binary(ExprOp::kNe, a, b); }
+  ExprId lt(ExprId a, ExprId b) { return binary(ExprOp::kLt, a, b); }
+  ExprId le(ExprId a, ExprId b) { return binary(ExprOp::kLe, a, b); }
+  ExprId gt(ExprId a, ExprId b) { return binary(ExprOp::kLt, b, a); }
+  ExprId ge(ExprId a, ExprId b) { return binary(ExprOp::kLe, b, a); }
+  ExprId land(ExprId a, ExprId b) { return binary(ExprOp::kAnd, a, b); }
+  ExprId lor(ExprId a, ExprId b) { return binary(ExprOp::kOr, a, b); }
+  ExprId lnot(ExprId a) { return unary(ExprOp::kNot, a); }
+
+  // Coerces an arbitrary integer expression to a boolean one (e != 0).
+  ExprId truthy(ExprId e);
+
+  // --- inspection ----------------------------------------------------------
+  ExprOp op(ExprId e) const { return nodes_[e].op; }
+  bool is_const(ExprId e) const { return op(e) == ExprOp::kConst; }
+  std::int64_t const_val(ExprId e) const { return nodes_[e].imm; }
+  bool is_var(ExprId e) const { return op(e) == ExprOp::kVar; }
+  VarId var_of(ExprId e) const { return static_cast<VarId>(nodes_[e].imm); }
+  ExprId lhs(ExprId e) const { return nodes_[e].a; }
+  ExprId rhs(ExprId e) const { return nodes_[e].b; }
+  ExprId third(ExprId e) const { return nodes_[e].c; }
+
+  // Collects the variables occurring in `e` into `out` (deduplicated).
+  void collect_vars(ExprId e, std::vector<VarId>& out) const;
+
+  // Concrete evaluation under a total assignment (missing vars read 0).
+  std::int64_t eval(ExprId e,
+                    const std::unordered_map<VarId, std::int64_t>& asgn) const;
+
+  std::string to_string(ExprId e) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  // Raw interning used by construction after simplification decided the
+  // final node shape. Exposed for the simplifier only.
+  ExprId intern(ExprOp op, std::int64_t imm, ExprId a, ExprId b, ExprId c);
+
+ private:
+  struct Node {
+    ExprOp op;
+    std::int64_t imm;  // kConst value / kVar VarId
+    ExprId a, b, c;
+    bool operator==(const Node& o) const = default;
+  };
+  struct NodeHash {
+    std::size_t operator()(const Node& n) const;
+  };
+
+  std::vector<Node> nodes_;
+  std::unordered_map<Node, ExprId, NodeHash> interned_;
+  std::vector<VarInfo> vars_;
+  ExprId true_{kNoExpr};
+  ExprId false_{kNoExpr};
+};
+
+}  // namespace statsym::solver

@@ -1,0 +1,129 @@
+#include "solver/interval.h"
+
+namespace statsym::solver {
+namespace {
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+std::int64_t sat(__int128 v) {
+  if (v < static_cast<__int128>(kMin)) return kMin;
+  if (v > static_cast<__int128>(kMax)) return kMax;
+  return static_cast<std::int64_t>(v);
+}
+
+}  // namespace
+
+std::uint64_t Interval::width() const {
+  if (is_empty()) return 0;
+  return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+}
+
+std::string Interval::to_string() const {
+  if (is_empty()) return "[]";
+  return "[" + std::to_string(lo) + ", " + std::to_string(hi) + "]";
+}
+
+Interval intersect(Interval a, Interval b) {
+  return {std::max(a.lo, b.lo), std::min(a.hi, b.hi)};
+}
+
+Interval hull(Interval a, Interval b) {
+  if (a.is_empty()) return b;
+  if (b.is_empty()) return a;
+  return {std::min(a.lo, b.lo), std::max(a.hi, b.hi)};
+}
+
+Interval iv_add(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {sat(static_cast<__int128>(a.lo) + b.lo),
+          sat(static_cast<__int128>(a.hi) + b.hi)};
+}
+
+Interval iv_sub(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  return {sat(static_cast<__int128>(a.lo) - b.hi),
+          sat(static_cast<__int128>(a.hi) - b.lo)};
+}
+
+Interval iv_mul(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  const __int128 c[4] = {static_cast<__int128>(a.lo) * b.lo,
+                         static_cast<__int128>(a.lo) * b.hi,
+                         static_cast<__int128>(a.hi) * b.lo,
+                         static_cast<__int128>(a.hi) * b.hi};
+  __int128 lo = c[0], hi = c[0];
+  for (int i = 1; i < 4; ++i) {
+    lo = std::min(lo, c[i]);
+    hi = std::max(hi, c[i]);
+  }
+  return {sat(lo), sat(hi)};
+}
+
+Interval iv_div(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  // Division by zero evaluates to 0 in the expression semantics, and the
+  // divisor interval may straddle zero — fall back to a sound hull over the
+  // candidate extremes plus 0 when 0 is a possible divisor.
+  Interval out = Interval::empty();
+  auto consider = [&](std::int64_t x, std::int64_t y) {
+    const std::int64_t q =
+        (y == 0) ? 0
+                 : ((x == kMin && y == -1) ? kMin : x / y);
+    out = hull(out, Interval::point(q));
+  };
+  const std::int64_t ys[4] = {b.lo, b.hi, -1, 1};
+  for (std::int64_t y : ys) {
+    if (y < b.lo || y > b.hi) continue;
+    consider(a.lo, y);
+    consider(a.hi, y);
+  }
+  if (b.contains(0)) out = hull(out, Interval::point(0));
+  return out;
+}
+
+Interval iv_rem(Interval a, Interval b) {
+  if (a.is_empty() || b.is_empty()) return Interval::empty();
+  // Conservative: |a % b| < max(|b.lo|, |b.hi|), sign follows the dividend.
+  std::uint64_t mag = 0;
+  mag = std::max(mag, b.lo == kMin ? static_cast<std::uint64_t>(kMax) + 1
+                                   : static_cast<std::uint64_t>(std::abs(b.lo)));
+  mag = std::max(mag, b.hi == kMin ? static_cast<std::uint64_t>(kMax) + 1
+                                   : static_cast<std::uint64_t>(std::abs(b.hi)));
+  if (mag == 0) return Interval::point(0);  // only divisor is 0 -> defined 0
+  const std::int64_t bound = sat(static_cast<__int128>(mag) - 1);
+  Interval out{-bound, bound};
+  if (a.lo >= 0) out.lo = 0;
+  if (a.hi <= 0) out.hi = 0;
+  return out;
+}
+
+Interval iv_neg(Interval a) {
+  if (a.is_empty()) return a;
+  return {sat(-static_cast<__int128>(a.hi)), sat(-static_cast<__int128>(a.lo))};
+}
+
+int iv_cmp_eq(Interval a, Interval b) {
+  if (intersect(a, b).is_empty()) return 0;
+  if (a.is_point() && b.is_point() && a.lo == b.lo) return 1;
+  return -1;
+}
+
+int iv_cmp_ne(Interval a, Interval b) {
+  const int eq = iv_cmp_eq(a, b);
+  return eq == -1 ? -1 : (eq == 1 ? 0 : 1);
+}
+
+int iv_cmp_lt(Interval a, Interval b) {
+  if (a.hi < b.lo) return 1;
+  if (a.lo >= b.hi) return 0;
+  return -1;
+}
+
+int iv_cmp_le(Interval a, Interval b) {
+  if (a.hi <= b.lo) return 1;
+  if (a.lo > b.hi) return 0;
+  return -1;
+}
+
+}  // namespace statsym::solver

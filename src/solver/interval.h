@@ -1,0 +1,53 @@
+// Closed integer intervals with saturating arithmetic — the abstract domain
+// used for constraint propagation in the solver and for the fast
+// feasibility checks on symbolic-execution path constraints.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace statsym::solver {
+
+struct Interval {
+  std::int64_t lo{std::numeric_limits<std::int64_t>::min()};
+  std::int64_t hi{std::numeric_limits<std::int64_t>::max()};
+
+  static Interval full() { return {}; }
+  static Interval point(std::int64_t v) { return {v, v}; }
+  static Interval empty() { return {1, 0}; }
+  static Interval boolean() { return {0, 1}; }
+
+  bool is_empty() const { return lo > hi; }
+  bool is_point() const { return lo == hi; }
+  bool contains(std::int64_t v) const { return v >= lo && v <= hi; }
+  // Width as unsigned magnitude (clamped; full range reports UINT64_MAX).
+  std::uint64_t width() const;
+
+  bool operator==(const Interval& o) const = default;
+
+  std::string to_string() const;
+};
+
+Interval intersect(Interval a, Interval b);
+Interval hull(Interval a, Interval b);
+
+// Saturating interval arithmetic. Sound over mathematical integers; because
+// the mini-IR's program values stay far from the int64 boundaries (input
+// bytes, lengths, counters), saturation never loses the answers we need.
+Interval iv_add(Interval a, Interval b);
+Interval iv_sub(Interval a, Interval b);
+Interval iv_mul(Interval a, Interval b);
+Interval iv_div(Interval a, Interval b);
+Interval iv_rem(Interval a, Interval b);
+Interval iv_neg(Interval a);
+
+// Comparison over intervals: returns +1 when the relation definitely holds,
+// 0 when it definitely does not, -1 when undecided.
+int iv_cmp_eq(Interval a, Interval b);
+int iv_cmp_ne(Interval a, Interval b);
+int iv_cmp_lt(Interval a, Interval b);
+int iv_cmp_le(Interval a, Interval b);
+
+}  // namespace statsym::solver

@@ -1,0 +1,22 @@
+// Solver result types, shared by the solver and its query cache.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "solver/expr.h"
+
+namespace statsym::solver {
+
+enum class Sat : std::uint8_t { kSat, kUnsat, kUnknown };
+
+const char* sat_name(Sat s);
+
+using Model = std::unordered_map<VarId, std::int64_t>;
+
+struct SolveResult {
+  Sat sat{Sat::kUnknown};
+  Model model;  // valid when sat == kSat
+};
+
+}  // namespace statsym::solver

@@ -1,0 +1,180 @@
+#include "solver/simplify.h"
+
+#include <cassert>
+
+namespace statsym::solver {
+namespace {
+
+std::int64_t fold(ExprOp op, std::int64_t a, std::int64_t b) {
+  const auto ua = static_cast<std::uint64_t>(a);
+  const auto ub = static_cast<std::uint64_t>(b);
+  switch (op) {
+    case ExprOp::kAdd: return static_cast<std::int64_t>(ua + ub);
+    case ExprOp::kSub: return static_cast<std::int64_t>(ua - ub);
+    case ExprOp::kMul: return static_cast<std::int64_t>(ua * ub);
+    case ExprOp::kDiv:
+      if (b == 0) return 0;
+      if (a == INT64_MIN && b == -1) return INT64_MIN;
+      return a / b;
+    case ExprOp::kRem:
+      if (b == 0) return 0;
+      if (a == INT64_MIN && b == -1) return 0;
+      return a % b;
+    case ExprOp::kEq: return a == b;
+    case ExprOp::kNe: return a != b;
+    case ExprOp::kLt: return a < b;
+    case ExprOp::kLe: return a <= b;
+    case ExprOp::kAnd: return (a != 0) && (b != 0);
+    case ExprOp::kOr: return (a != 0) || (b != 0);
+    default:
+      assert(false);
+      return 0;
+  }
+}
+
+bool commutative(ExprOp op) {
+  return op == ExprOp::kAdd || op == ExprOp::kMul || op == ExprOp::kEq ||
+         op == ExprOp::kNe || op == ExprOp::kAnd || op == ExprOp::kOr;
+}
+
+}  // namespace
+
+ExprId simplify_unary(ExprPool& p, ExprOp op, ExprId a) {
+  switch (op) {
+    case ExprOp::kNeg:
+      if (p.is_const(a)) {
+        return p.constant(static_cast<std::int64_t>(
+            0 - static_cast<std::uint64_t>(p.const_val(a))));
+      }
+      if (p.op(a) == ExprOp::kNeg) return p.lhs(a);  // -(-x) = x
+      return p.intern(ExprOp::kNeg, 0, a, kNoExpr, kNoExpr);
+    case ExprOp::kNot:
+      if (p.is_const(a)) return p.constant(p.const_val(a) == 0 ? 1 : 0);
+      switch (p.op(a)) {
+        case ExprOp::kNot:
+          // !!x: only collapses when x is already boolean-valued (0/1).
+          if (is_bool_op(p.op(p.lhs(a)))) return p.lhs(a);
+          break;
+        // De-Morgan-free comparison negation keeps constraints atomic.
+        case ExprOp::kEq:
+          return p.binary(ExprOp::kNe, p.lhs(a), p.rhs(a));
+        case ExprOp::kNe:
+          return p.binary(ExprOp::kEq, p.lhs(a), p.rhs(a));
+        case ExprOp::kLt:  // !(a < b) -> b <= a
+          return p.binary(ExprOp::kLe, p.rhs(a), p.lhs(a));
+        case ExprOp::kLe:  // !(a <= b) -> b < a
+          return p.binary(ExprOp::kLt, p.rhs(a), p.lhs(a));
+        default:
+          break;
+      }
+      return p.intern(ExprOp::kNot, 0, a, kNoExpr, kNoExpr);
+    default:
+      assert(false && "not a unary op");
+      return kNoExpr;
+  }
+}
+
+ExprId simplify_binary(ExprPool& p, ExprOp op, ExprId a, ExprId b) {
+  // Constant folding.
+  if (p.is_const(a) && p.is_const(b)) {
+    return p.constant(fold(op, p.const_val(a), p.const_val(b)));
+  }
+  // Canonical operand order: constant to the right for commutative ops, and
+  // otherwise order by id so x==y and y==x intern to one node.
+  if (commutative(op)) {
+    if (p.is_const(a) || (!p.is_const(b) && a > b)) std::swap(a, b);
+  }
+
+  const bool a_const = p.is_const(a);
+  const bool b_const = p.is_const(b);
+  const std::int64_t bc = b_const ? p.const_val(b) : 0;
+
+  switch (op) {
+    case ExprOp::kAdd:
+      if (b_const && bc == 0) return a;
+      // (x + c1) + c2 -> x + (c1+c2)
+      if (b_const && p.op(a) == ExprOp::kAdd && p.is_const(p.rhs(a))) {
+        return p.binary(ExprOp::kAdd, p.lhs(a),
+                        p.constant(fold(ExprOp::kAdd, p.const_val(p.rhs(a)), bc)));
+      }
+      break;
+    case ExprOp::kSub:
+      if (a == b) return p.constant(0);
+      if (b_const) {
+        return p.binary(ExprOp::kAdd, a,
+                        p.constant(static_cast<std::int64_t>(
+                            0 - static_cast<std::uint64_t>(bc))));
+      }
+      break;
+    case ExprOp::kMul:
+      if (b_const && bc == 0) return p.constant(0);
+      if (b_const && bc == 1) return a;
+      break;
+    case ExprOp::kDiv:
+      if (b_const && bc == 1) return a;
+      break;
+    case ExprOp::kRem:
+      break;
+    case ExprOp::kEq:
+      if (a == b) return p.true_expr();
+      // (x + c1) == c2 -> x == c2 - c1
+      if (b_const && p.op(a) == ExprOp::kAdd && p.is_const(p.rhs(a))) {
+        return p.binary(ExprOp::kEq, p.lhs(a),
+                        p.constant(fold(ExprOp::kSub, bc, p.const_val(p.rhs(a)))));
+      }
+      break;
+    case ExprOp::kNe:
+      if (a == b) return p.false_expr();
+      if (b_const && p.op(a) == ExprOp::kAdd && p.is_const(p.rhs(a))) {
+        return p.binary(ExprOp::kNe, p.lhs(a),
+                        p.constant(fold(ExprOp::kSub, bc, p.const_val(p.rhs(a)))));
+      }
+      break;
+    case ExprOp::kLt:
+      if (a == b) return p.false_expr();
+      if (b_const && p.op(a) == ExprOp::kAdd && p.is_const(p.rhs(a))) {
+        return p.binary(ExprOp::kLt, p.lhs(a),
+                        p.constant(fold(ExprOp::kSub, bc, p.const_val(p.rhs(a)))));
+      }
+      if (a_const && p.op(b) == ExprOp::kAdd && p.is_const(p.rhs(b))) {
+        return p.binary(ExprOp::kLt,
+                        p.constant(fold(ExprOp::kSub, p.const_val(a),
+                                        p.const_val(p.rhs(b)))),
+                        p.lhs(b));
+      }
+      break;
+    case ExprOp::kLe:
+      if (a == b) return p.true_expr();
+      if (b_const && p.op(a) == ExprOp::kAdd && p.is_const(p.rhs(a))) {
+        return p.binary(ExprOp::kLe, p.lhs(a),
+                        p.constant(fold(ExprOp::kSub, bc, p.const_val(p.rhs(a)))));
+      }
+      if (a_const && p.op(b) == ExprOp::kAdd && p.is_const(p.rhs(b))) {
+        return p.binary(ExprOp::kLe,
+                        p.constant(fold(ExprOp::kSub, p.const_val(a),
+                                        p.const_val(p.rhs(b)))),
+                        p.lhs(b));
+      }
+      break;
+    case ExprOp::kAnd:
+      if (b_const) return bc != 0 ? p.truthy(a) : p.false_expr();
+      if (a == b && is_bool_op(p.op(a))) return a;
+      break;
+    case ExprOp::kOr:
+      if (b_const) return bc != 0 ? p.true_expr() : p.truthy(a);
+      if (a == b && is_bool_op(p.op(a))) return a;
+      break;
+    default:
+      assert(false && "not a binary op");
+      return kNoExpr;
+  }
+  return p.intern(op, 0, a, b, kNoExpr);
+}
+
+ExprId simplify_ite(ExprPool& p, ExprId c, ExprId t, ExprId f) {
+  if (p.is_const(c)) return p.const_val(c) != 0 ? t : f;
+  if (t == f) return t;
+  return p.intern(ExprOp::kIte, 0, c, t, f);
+}
+
+}  // namespace statsym::solver

@@ -1,0 +1,16 @@
+// Algebraic simplification applied at expression construction.
+//
+// Keeps the pool canonical: constants fold, identities collapse, negations
+// push through comparisons, and commutative operands order with the constant
+// on the right. Every entry point returns a fully simplified ExprId.
+#pragma once
+
+#include "solver/expr.h"
+
+namespace statsym::solver {
+
+ExprId simplify_unary(ExprPool& p, ExprOp op, ExprId a);
+ExprId simplify_binary(ExprPool& p, ExprOp op, ExprId a, ExprId b);
+ExprId simplify_ite(ExprPool& p, ExprId c, ExprId t, ExprId f);
+
+}  // namespace statsym::solver

@@ -1,0 +1,178 @@
+// Constraint solver over the expression DAG.
+//
+// The STP stand-in: decides satisfiability of conjunctions of boolean
+// expressions and produces models (used to generate the concrete crashing
+// inputs the paper reports). The algorithm is interval constraint
+// propagation (HC4-style narrowing) to a fixpoint, followed by
+// branch-and-bound search that bisects variable domains. Over the bounded
+// domains used by the mini-IR programs (input bytes in [0,255], lengths and
+// counters in small ranges) the procedure is complete given enough budget;
+// exhausting the budget yields kUnknown, which callers treat conservatively.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "solver/expr.h"
+#include "solver/interval.h"
+#include "solver/result.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+namespace statsym::solver {
+
+class QueryCache;
+
+// Sparse variable-domain map layered over the pool's declared domains.
+class DomainMap {
+ public:
+  Interval get(VarId v, const ExprPool& p) const {
+    auto it = map_.find(v);
+    if (it != map_.end()) return it->second;
+    const VarInfo& vi = p.var(v);
+    return {vi.lo, vi.hi};
+  }
+
+  void set(VarId v, Interval iv) {
+    auto [it, inserted] = map_.try_emplace(v, iv);
+    if (inserted || !(it->second == iv)) {
+      it->second = iv;
+      ++version_;
+    }
+  }
+
+  // Monotone change counter: compare across a propagation sweep to detect
+  // quiescence without snapshotting the map.
+  std::uint64_t version() const { return version_; }
+
+  const std::unordered_map<VarId, Interval>& entries() const { return map_; }
+
+  // Approximate heap footprint, used for KLEE-style state memory accounting.
+  std::size_t byte_size() const {
+    return map_.size() * (sizeof(VarId) + sizeof(Interval) + 16);
+  }
+
+ private:
+  std::unordered_map<VarId, Interval> map_;
+  std::uint64_t version_{0};
+};
+
+// Interval evaluation of an expression under a domain map. Boolean-valued
+// operators yield [0,0], [1,1] or [0,1].
+Interval eval_interval(const ExprPool& p, ExprId e, const DomainMap& d);
+
+// Evaluation context with memoisation. One context serves one top-level
+// propagate() call: narrowing a variable mid-propagation leaves memoised
+// intervals stale-but-wider, which keeps the derived targets sound (they
+// over-approximate), merely a little less precise. Without the memo,
+// narrowing a deep expression spine re-evaluates sibling subtrees at every
+// level — O(n²) on the accumulator expressions the apps build in loops.
+class EvalCtx {
+ public:
+  EvalCtx(const ExprPool& p, const DomainMap& d) : p_(p), d_(d) {}
+  Interval eval(ExprId e);
+
+ private:
+  const ExprPool& p_;
+  const DomainMap& d_;
+  std::unordered_map<ExprId, Interval> memo_;
+};
+
+// Narrows `d` under the assumption that boolean expression `e` has truth
+// value `want`. Returns false when a contradiction (empty domain) is
+// derived. One pass; drive to fixpoint by re-running while domains change.
+bool propagate(const ExprPool& p, ExprId e, bool want, DomainMap& d);
+
+struct SolverStats {
+  std::uint64_t queries{0};
+  std::uint64_t sat{0};
+  std::uint64_t unsat{0};
+  std::uint64_t unknown{0};
+  std::uint64_t cache_hits{0};
+  std::uint64_t search_nodes{0};
+  std::uint64_t propagation_rounds{0};
+};
+
+struct SolverOptions {
+  // Maximum branch-and-bound nodes per query before giving up (kUnknown).
+  std::uint64_t max_search_nodes{4'000};
+  // Maximum propagation sweeps over the constraint set per fixpoint.
+  int max_fixpoint_rounds{8};
+  // Wall-clock deadline per query; exceeded searches return kUnknown
+  // (callers treat unknown conservatively). Keeps one pathological query
+  // from starving the whole exploration.
+  double max_query_seconds{0.25};
+  // Random full assignments attempted per search node before bisecting —
+  // very effective on wide disjunctions ("some byte is uppercase") where
+  // boundary probes (lo/hi/mid) systematically miss.
+  int random_model_tries{8};
+  std::uint64_t seed{0x5eed};
+  // Disables the search phase: pure interval propagation. Faster but
+  // incomplete — kept for the ablation benchmark.
+  bool propagation_only{false};
+};
+
+class Solver {
+ public:
+  explicit Solver(ExprPool& pool, SolverOptions opts = {});
+
+  // Optional shared query cache (see solver/cache.h).
+  void set_cache(QueryCache* cache) { cache_ = cache; }
+
+  // Decides the conjunction of `constraints`.
+  SolveResult check(std::span<const ExprId> constraints);
+
+  // Convenience: satisfiability of `constraints ∧ extra`.
+  SolveResult check_with(std::span<const ExprId> constraints, ExprId extra);
+
+  const SolverStats& stats() const { return stats_; }
+  ExprPool& pool() { return pool_; }
+
+ private:
+  // Per-query precomputed context: the constraint set with the variables of
+  // each constraint and of the whole query, computed once.
+  struct QueryCtx {
+    std::vector<ExprId> cs;
+    std::vector<std::vector<VarId>> cs_vars;  // parallel to cs
+    std::vector<VarId> all_vars;
+  };
+
+  QueryCtx make_ctx(std::vector<ExprId> cs);
+
+  // Runs propagation over all constraints to a fixpoint. Returns false on
+  // contradiction.
+  bool fixpoint(const QueryCtx& ctx, DomainMap& d);
+
+  // Attempts cheap candidate models (domain boundaries, midpoints, random
+  // samples). Returns true and fills `model` when one satisfies everything.
+  bool try_models(const QueryCtx& ctx, const DomainMap& d, Model& model);
+
+  // Greedy repair of a failing assignment against counting constraints
+  // (K <= Σ indicators, Σ <= K). Returns true when `m` satisfies the whole
+  // query after repair.
+  bool repair_model(const QueryCtx& ctx, const DomainMap& d, Model& m);
+
+  // Recursive bisection search. Returns kSat/kUnsat, or kUnknown when the
+  // node budget runs out.
+  Sat search(const QueryCtx& ctx, DomainMap d, Model& model,
+             std::uint64_t& budget);
+
+  // Picks the variable to branch on: smallest non-point domain among the
+  // variables of undecided constraints. Returns false if all decided.
+  // When an undecided constraint has the shape `var != const` with the
+  // constant strictly inside the domain, the constant is reported as a
+  // *hole*: splitting there resolves the constraint in one node, where
+  // midpoint bisection would need log(width) nodes per disequality.
+  bool pick_branch_var(const QueryCtx& ctx, const DomainMap& d, VarId& out,
+                       bool& has_hole, std::int64_t& hole) const;
+
+  ExprPool& pool_;
+  SolverOptions opts_;
+  SolverStats stats_;
+  QueryCache* cache_{nullptr};
+  Rng rng_;
+  Stopwatch query_sw_;  // restarted per check(); read by search()
+};
+
+}  // namespace statsym::solver

@@ -1,0 +1,125 @@
+#include "stats/predicate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "support/strings.h"
+
+namespace statsym::stats {
+
+std::string Predicate::display() const {
+  switch (pk) {
+    case PredKind::kGt:
+      return var + " > " + fmt_double(threshold, 1);
+    case PredKind::kLt:
+      return var + " < " + fmt_double(threshold, 1);
+    case PredKind::kUnreached:
+      return var + " < -infinity";
+  }
+  return var;
+}
+
+namespace {
+
+// Counts samples satisfying a candidate predicate.
+std::size_t count_holds(const std::vector<double>& vals, PredKind pk,
+                        double thr) {
+  Predicate tmp;
+  tmp.pk = pk;
+  tmp.threshold = thr;
+  std::size_t n = 0;
+  for (double v : vals) {
+    if (tmp.holds(v)) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
+                   std::size_t num_faulty_runs, Predicate& out) {
+  out.loc = vs.loc;
+  out.var = vs.var;
+  out.kind = vs.kind;
+  out.is_len = vs.is_len;
+
+  if (vs.faulty.empty()) {
+    if (vs.correct.empty() || num_faulty_runs == 0) return false;
+    // The location/variable is only ever observed on correct runs: faulty
+    // executions abort before reaching it. Score is the observation-rate
+    // difference between the classes.
+    out.pk = PredKind::kUnreached;
+    out.threshold = -std::numeric_limits<double>::infinity();
+    out.p_correct = num_correct_runs == 0
+                        ? 0.0
+                        : static_cast<double>(vs.correct_runs) /
+                              static_cast<double>(num_correct_runs);
+    out.p_faulty = 0.0;
+    out.score = out.p_correct;
+    out.error = vs.correct.size();  // |P ∩ C| with P = everything observed
+    return out.score > 0.0;
+  }
+  if (vs.correct.empty()) {
+    // Only observed in faulty runs; a trivial "reached at all" indicator.
+    // Encode as value > -inf, which every observation satisfies.
+    out.pk = PredKind::kGt;
+    out.threshold = -std::numeric_limits<double>::infinity();
+    out.p_correct = 0.0;
+    out.p_faulty = 1.0;
+    out.score = num_correct_runs == 0
+                    ? 0.0
+                    : static_cast<double>(vs.faulty_runs) /
+                          static_cast<double>(num_faulty_runs);
+    out.error = 0;
+    return out.score > 0.0;
+  }
+
+  // Candidate thresholds: midpoints between adjacent distinct values of the
+  // pooled sample.
+  std::set<double> distinct(vs.correct.begin(), vs.correct.end());
+  distinct.insert(vs.faulty.begin(), vs.faulty.end());
+  if (distinct.size() < 2) return false;  // identical distributions
+
+  std::vector<double> cuts;
+  cuts.reserve(distinct.size() - 1);
+  double prev = 0.0;
+  bool first = true;
+  for (double v : distinct) {
+    if (!first) cuts.push_back((prev + v) / 2.0);
+    prev = v;
+    first = false;
+  }
+
+  bool found = false;
+  std::size_t best_err = 0;
+  double best_score = 0.0;
+  for (double thr : cuts) {
+    for (PredKind pk : {PredKind::kGt, PredKind::kLt}) {
+      const std::size_t c_in = count_holds(vs.correct, pk, thr);
+      const std::size_t f_in = count_holds(vs.faulty, pk, thr);
+      // Eq. 1: correct samples captured by P plus faulty samples missed.
+      const std::size_t err = c_in + (vs.faulty.size() - f_in);
+      const double pc =
+          static_cast<double>(c_in) / static_cast<double>(vs.correct.size());
+      const double pf =
+          static_cast<double>(f_in) / static_cast<double>(vs.faulty.size());
+      const double score = std::abs(pc - pf);
+      if (!found || err < best_err ||
+          (err == best_err && score > best_score)) {
+        found = true;
+        best_err = err;
+        best_score = score;
+        out.pk = pk;
+        out.threshold = thr;
+        out.p_correct = pc;
+        out.p_faulty = pf;
+        out.score = score;
+        out.error = err;
+      }
+    }
+  }
+  return found && out.score > 0.0;
+}
+
+}  // namespace statsym::stats

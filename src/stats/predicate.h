@@ -1,0 +1,62 @@
+// Predicates over logged program state, and threshold fitting (§V-A).
+//
+// For a variable `a` at an instrumented location with value sets C (correct
+// runs) and F (faulty runs), the paper constructs x = {a ∈ P} minimising the
+// quantification error  E = |P ∩ C| + |Pᶜ ∩ F|  (Eq. 1), then scores it by
+// s = |P(x|C) − P(x|F)| (Eq. 2). For scalar observations, the optimal P of
+// threshold form is found by scanning candidate cut points (midpoints of
+// adjacent distinct observed values) in both directions (a > σ and a < σ).
+//
+// A variable observed in correct runs but never in faulty runs gets the
+// paper's "a < -infinity" predicate (Table V, P7–P10): the location is
+// evidence of *non*-failure, the score being the observation-rate gap.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/samples.h"
+
+namespace statsym::stats {
+
+enum class PredKind : std::uint8_t {
+  kGt,         // value > threshold
+  kLt,         // value < threshold
+  kUnreached,  // "value < -infinity": (loc,var) never observed in faulty runs
+};
+
+struct Predicate {
+  monitor::LocId loc{monitor::kNoLoc};
+  std::string var;  // display key, e.g. "len(suspect FUNCPARAM)"
+  monitor::VarKind kind{monitor::VarKind::kGlobal};
+  bool is_len{false};
+  PredKind pk{PredKind::kGt};
+  double threshold{0.0};
+
+  double score{0.0};     // Eq. 2 confidence score
+  double p_correct{0.0};  // P(x | C)
+  double p_faulty{0.0};   // P(x | F)
+  std::size_t error{0};   // Eq. 1 quantification error on the samples
+
+  bool holds(double v) const {
+    switch (pk) {
+      case PredKind::kGt: return v > threshold;
+      case PredKind::kLt: return v < threshold;
+      case PredKind::kUnreached: return false;
+    }
+    return false;
+  }
+
+  // "len(suspect FUNCPARAM) > 536.5" (paper Table V style).
+  std::string display() const;
+};
+
+// Fits the best threshold predicate for one (loc, var) sample set. Requires
+// at least one sample in each class; for the unreached case (no faulty
+// samples) returns the kUnreached predicate scored by the observation-rate
+// difference. Returns false when no meaningful predicate exists (e.g. no
+// correct samples either, or zero score).
+bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
+                   std::size_t num_faulty_runs, Predicate& out);
+
+}  // namespace statsym::stats

@@ -1,0 +1,66 @@
+#include "stats/predicate_manager.h"
+
+#include <algorithm>
+
+namespace statsym::stats {
+
+PredicateManager::PredicateManager(PredicateManagerOptions opts)
+    : opts_(opts) {}
+
+void PredicateManager::build(const SampleSet& samples) {
+  ranked_.clear();
+  loc_scores_.clear();
+
+  for (const auto& vs : samples.entries()) {
+    if (!vs.correct.empty() && !vs.faulty.empty() &&
+        (vs.correct.size() < opts_.min_class_samples ||
+         vs.faulty.size() < opts_.min_class_samples)) {
+      continue;
+    }
+    Predicate p;
+    if (!fit_predicate(vs, samples.num_correct_runs(),
+                       samples.num_faulty_runs(), p)) {
+      continue;
+    }
+    if (p.score < opts_.score_floor) continue;
+    ranked_.push_back(std::move(p));
+  }
+
+  std::stable_sort(ranked_.begin(), ranked_.end(),
+                   [&](const Predicate& a, const Predicate& b) {
+                     if (a.score != b.score) return a.score > b.score;
+                     if (opts_.prefer_threshold_kind &&
+                         (a.pk == PredKind::kUnreached) !=
+                             (b.pk == PredKind::kUnreached)) {
+                       return b.pk == PredKind::kUnreached;
+                     }
+                     if (a.loc != b.loc) return a.loc < b.loc;
+                     return a.var < b.var;
+                   });
+
+  for (const auto& p : ranked_) {
+    auto [it, inserted] = loc_scores_.try_emplace(p.loc, p.score);
+    if (!inserted) it->second = std::max(it->second, p.score);
+  }
+}
+
+std::vector<Predicate> PredicateManager::top(std::size_t k) const {
+  return {ranked_.begin(),
+          ranked_.begin() + static_cast<std::ptrdiff_t>(
+                                std::min(k, ranked_.size()))};
+}
+
+std::vector<Predicate> PredicateManager::at(monitor::LocId loc) const {
+  std::vector<Predicate> out;
+  for (const auto& p : ranked_) {
+    if (p.loc == loc) out.push_back(p);
+  }
+  return out;
+}
+
+double PredicateManager::loc_score(monitor::LocId loc) const {
+  auto it = loc_scores_.find(loc);
+  return it == loc_scores_.end() ? 0.0 : it->second;
+}
+
+}  // namespace statsym::stats

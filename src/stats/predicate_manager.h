@@ -1,0 +1,48 @@
+// The Predicate Manager (§VI-B): builds every (location, variable)
+// predicate from the sampled logs, ranks them by confidence score (Fig. 5
+// step (d)), and serves per-location score queries to the path constructor
+// and the guided symbolic executor.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "stats/predicate.h"
+
+namespace statsym::stats {
+
+struct PredicateManagerOptions {
+  // Minimum samples in a class before a threshold is trusted (noise guard).
+  std::size_t min_class_samples{1};
+  // Predicates scoring below this are dropped outright.
+  double score_floor{1e-9};
+  // Threshold predicates outrank unreached predicates at equal score
+  // (matches the ordering in the paper's Table V).
+  bool prefer_threshold_kind{true};
+};
+
+class PredicateManager {
+ public:
+  explicit PredicateManager(PredicateManagerOptions opts = {});
+
+  void build(const SampleSet& samples);
+
+  // All surviving predicates, best first.
+  const std::vector<Predicate>& ranked() const { return ranked_; }
+
+  std::vector<Predicate> top(std::size_t k) const;
+
+  // Predicates at a specific location, best first.
+  std::vector<Predicate> at(monitor::LocId loc) const;
+
+  // Highest predicate score at a location (0 when none) — the node score
+  // used for skeleton/detour selection (§V-B step 1).
+  double loc_score(monitor::LocId loc) const;
+
+ private:
+  PredicateManagerOptions opts_;
+  std::vector<Predicate> ranked_;
+  std::unordered_map<monitor::LocId, double> loc_scores_;
+};
+
+}  // namespace statsym::stats

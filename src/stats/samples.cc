@@ -1,0 +1,74 @@
+#include "stats/samples.h"
+
+#include <set>
+
+namespace statsym::stats {
+
+void SampleSet::build(const std::vector<monitor::RunLog>& logs) {
+  for (const auto& log : logs) {
+    if (log.faulty) {
+      ++num_faulty_;
+    } else {
+      ++num_correct_;
+    }
+    std::set<monitor::LocId> seen_locs;
+    std::set<std::pair<monitor::LocId, std::string>> seen_vars;
+    for (const auto& rec : log.records) {
+      seen_locs.insert(rec.loc);
+      for (const auto& v : rec.vars) {
+        const auto key = std::make_pair(rec.loc, v.key());
+        auto it = index_.find(key);
+        if (it == index_.end()) {
+          VarSamples vs;
+          vs.loc = rec.loc;
+          vs.var = v.key();
+          vs.kind = v.kind;
+          vs.is_len = v.is_len;
+          index_.emplace(key, entries_.size());
+          entries_.push_back(std::move(vs));
+          it = index_.find(key);
+        }
+        VarSamples& vs = entries_[it->second];
+        if (log.faulty) {
+          vs.faulty.push_back(v.value);
+        } else {
+          vs.correct.push_back(v.value);
+        }
+        if (seen_vars.insert(key).second) {
+          if (log.faulty) {
+            ++vs.faulty_runs;
+          } else {
+            ++vs.correct_runs;
+          }
+        }
+      }
+    }
+    for (monitor::LocId loc : seen_locs) {
+      auto& [c, f] = loc_runs_[loc];
+      if (log.faulty) {
+        ++f;
+      } else {
+        ++c;
+      }
+    }
+  }
+}
+
+std::size_t SampleSet::loc_correct_runs(monitor::LocId loc) const {
+  auto it = loc_runs_.find(loc);
+  return it == loc_runs_.end() ? 0 : it->second.first;
+}
+
+std::size_t SampleSet::loc_faulty_runs(monitor::LocId loc) const {
+  auto it = loc_runs_.find(loc);
+  return it == loc_runs_.end() ? 0 : it->second.second;
+}
+
+std::vector<monitor::LocId> SampleSet::locations() const {
+  std::vector<monitor::LocId> out;
+  out.reserve(loc_runs_.size());
+  for (const auto& [loc, counts] : loc_runs_) out.push_back(loc);
+  return out;
+}
+
+}  // namespace statsym::stats

@@ -1,0 +1,53 @@
+// Aggregation of monitor logs into per-(location, variable) sample sets.
+//
+// The first step of the paper's statistical module (Fig. 5 steps (a)/(b)):
+// runs are divided into correct and faulty executions and every logged
+// value is bucketed by (instrumented location, variable) — the same
+// variable at different locations is deliberately kept separate (§V-A).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "monitor/log.h"
+
+namespace statsym::stats {
+
+struct VarSamples {
+  monitor::LocId loc{monitor::kNoLoc};
+  std::string var;                 // display key, e.g. "suspect FUNCPARAM"
+  monitor::VarKind kind{monitor::VarKind::kGlobal};
+  bool is_len{false};
+  std::vector<double> correct;     // observed values in correct runs
+  std::vector<double> faulty;      // observed values in faulty runs
+  std::size_t correct_runs{0};     // #correct runs observing this (loc,var)
+  std::size_t faulty_runs{0};
+};
+
+class SampleSet {
+ public:
+  // Consumes a batch of run logs (mixed correct/faulty).
+  void build(const std::vector<monitor::RunLog>& logs);
+
+  const std::vector<VarSamples>& entries() const { return entries_; }
+
+  std::size_t num_correct_runs() const { return num_correct_; }
+  std::size_t num_faulty_runs() const { return num_faulty_; }
+
+  // Number of runs (per class) with at least one record at `loc`.
+  std::size_t loc_correct_runs(monitor::LocId loc) const;
+  std::size_t loc_faulty_runs(monitor::LocId loc) const;
+
+  // All locations observed anywhere in the logs.
+  std::vector<monitor::LocId> locations() const;
+
+ private:
+  std::vector<VarSamples> entries_;
+  std::map<std::pair<monitor::LocId, std::string>, std::size_t> index_;
+  std::map<monitor::LocId, std::pair<std::size_t, std::size_t>> loc_runs_;
+  std::size_t num_correct_{0};
+  std::size_t num_faulty_{0};
+};
+
+}  // namespace statsym::stats

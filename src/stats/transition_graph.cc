@@ -1,0 +1,163 @@
+#include "stats/transition_graph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace statsym::stats {
+
+const std::vector<Edge> TransitionGraph::kNoEdges;
+
+TransitionGraph::TransitionGraph(TransitionGraphOptions opts) : opts_(opts) {}
+
+void TransitionGraph::build(const std::vector<monitor::RunLog>& logs) {
+  nodes_.clear();
+  adj_.clear();
+  occ_.clear();
+  first_counts_.clear();
+  mined_logs_ = 0;
+
+  std::map<std::pair<monitor::LocId, monitor::LocId>, std::size_t> pair_counts;
+  for (const auto& log : logs) {
+    if (opts_.faulty_only && !log.faulty) continue;
+    if (!log.records.empty()) {
+      ++mined_logs_;
+      ++first_counts_[log.records.front().loc];
+    }
+    for (std::size_t i = 0; i < log.records.size(); ++i) {
+      ++occ_[log.records[i].loc];
+      if (i + 1 < log.records.size()) {
+        ++pair_counts[{log.records[i].loc, log.records[i + 1].loc}];
+      }
+    }
+  }
+
+  std::set<monitor::LocId> node_set;
+  for (const auto& [loc, n] : occ_) node_set.insert(loc);
+  nodes_.assign(node_set.begin(), node_set.end());
+
+  for (const auto& [pair, count] : pair_counts) {
+    if (count < opts_.min_count) continue;
+    const auto from_occ = occ_[pair.first];
+    const double mu =
+        from_occ == 0 ? 0.0
+                      : static_cast<double>(count) / static_cast<double>(from_occ);
+    if (mu < opts_.min_confidence) continue;
+    adj_[pair.first].push_back({pair.second, mu, count});
+  }
+  for (auto& [loc, edges] : adj_) {
+    std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+      if (a.confidence != b.confidence) return a.confidence > b.confidence;
+      return a.to < b.to;
+    });
+  }
+}
+
+const std::vector<Edge>& TransitionGraph::successors(monitor::LocId loc) const {
+  auto it = adj_.find(loc);
+  return it == adj_.end() ? kNoEdges : it->second;
+}
+
+std::vector<monitor::LocId> TransitionGraph::predecessors(
+    monitor::LocId loc) const {
+  std::vector<monitor::LocId> out;
+  for (const auto& [from, edges] : adj_) {
+    for (const Edge& e : edges) {
+      if (e.to == loc) {
+        out.push_back(from);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t TransitionGraph::occurrences(monitor::LocId loc) const {
+  auto it = occ_.find(loc);
+  return it == occ_.end() ? 0 : it->second;
+}
+
+std::vector<monitor::LocId> TransitionGraph::entry_nodes() const {
+  std::set<monitor::LocId> has_incoming;
+  for (const auto& [from, edges] : adj_) {
+    for (const Edge& e : edges) {
+      // Self-loops do not make a node non-entry.
+      if (e.to != from) has_incoming.insert(e.to);
+    }
+  }
+  std::vector<monitor::LocId> out;
+  for (monitor::LocId n : nodes_) {
+    if (!has_incoming.contains(n)) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<monitor::LocId> TransitionGraph::entry_candidates(
+    double min_fraction) const {
+  (void)min_fraction;
+  if (mined_logs_ == 0) return entry_nodes();
+  // The modal first record is the program entry with overwhelming
+  // probability: any other location opens a log only when sampling dropped
+  // every earlier record, which is geometrically less likely per position.
+  // Anchoring the skeleton at the true entry also counters the
+  // short-path bias of the max-average-score criterion — paths starting
+  // mid-program consist purely of high-scoring post-fault-relevant nodes
+  // and would otherwise always win over the real entry-to-failure route.
+  monitor::LocId best = monitor::kNoLoc;
+  std::size_t best_n = 0;
+  for (const auto& [loc, n] : first_counts_) {
+    if (n > best_n) {
+      best = loc;
+      best_n = n;
+    }
+  }
+  if (best == monitor::kNoLoc) return entry_nodes();
+  return {best};
+}
+
+monitor::LocId TransitionGraph::failure_node(
+    const std::vector<monitor::RunLog>& logs, const ir::Module* m) {
+  if (m != nullptr) {
+    std::map<std::string, std::size_t> fn_counts;
+    for (const auto& log : logs) {
+      if (log.faulty && !log.fault_function.empty()) {
+        ++fn_counts[log.fault_function];
+      }
+    }
+    std::string best_fn;
+    std::size_t best_fn_n = 0;
+    for (const auto& [fn, n] : fn_counts) {
+      if (n > best_fn_n) {
+        best_fn = fn;
+        best_fn_n = n;
+      }
+    }
+    if (!best_fn.empty()) {
+      const ir::FuncId f = m->find_function(best_fn);
+      if (f != ir::kNoFunc) return monitor::enter_loc(f);
+    }
+  }
+  std::map<monitor::LocId, std::size_t> last_counts;
+  for (const auto& log : logs) {
+    if (!log.faulty || log.records.empty()) continue;
+    ++last_counts[log.records.back().loc];
+  }
+  monitor::LocId best = monitor::kNoLoc;
+  std::size_t best_n = 0;
+  for (const auto& [loc, n] : last_counts) {
+    if (n > best_n) {
+      best = loc;
+      best_n = n;
+    }
+  }
+  return best;
+}
+
+bool TransitionGraph::has_edge(monitor::LocId a, monitor::LocId b) const {
+  for (const Edge& e : successors(a)) {
+    if (e.to == b) return true;
+  }
+  return false;
+}
+
+}  // namespace statsym::stats

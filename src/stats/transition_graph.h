@@ -1,0 +1,86 @@
+// Location-transition mining (§V-B, Eq. 3).
+//
+// Because logging is partial, the control structure between instrumented
+// locations must be reconstructed statistically: for locations ei, ej the
+// confidence of the transition ei → ej is µ(ei,ej) = o(ei→ej) / o(ei),
+// where o counts (consecutive-record) occurrences across the faulty logs —
+// an association-rule-mining formulation. Edges with statistically
+// significant confidence form the dynamic control-flow graph over which
+// skeletons and detours are extracted.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/log.h"
+
+namespace statsym::stats {
+
+struct TransitionGraphOptions {
+  // µ significance threshold. Kept low: a transition leaving a hot loop
+  // cluster (o(ei) in the thousands) toward a once-per-run successor has
+  // tiny µ yet is structurally essential; support (min_count) carries the
+  // significance instead.
+  double min_confidence{0.002};
+  std::size_t min_count{2};  // minimum o(ei→ej) support
+  // Use faulty runs only (the paper mines transitions from faulty
+  // executions); correct runs may be included for denser graphs.
+  bool faulty_only{true};
+};
+
+struct Edge {
+  monitor::LocId to{monitor::kNoLoc};
+  double confidence{0.0};  // µ(from, to)
+  std::size_t count{0};    // o(from → to)
+};
+
+class TransitionGraph {
+ public:
+  explicit TransitionGraph(TransitionGraphOptions opts = {});
+
+  void build(const std::vector<monitor::RunLog>& logs);
+
+  // All nodes observed (in the runs used for mining).
+  const std::vector<monitor::LocId>& nodes() const { return nodes_; }
+
+  const std::vector<Edge>& successors(monitor::LocId loc) const;
+  std::vector<monitor::LocId> predecessors(monitor::LocId loc) const;
+
+  std::size_t occurrences(monitor::LocId loc) const;
+
+  // Nodes without incoming edges — candidate program entry points (§V-B
+  // step 1).
+  std::vector<monitor::LocId> entry_nodes() const;
+
+  // Robust entry candidate: the most frequent *first record* of the mined
+  // logs. Partial logging fabricates in-degree-0 nodes deep inside the
+  // program (their only incoming transition fell below the significance
+  // threshold), so skeletons anchored on raw in-degree make short, bogus
+  // paths win; the empirical first record pins the real program entry.
+  // `min_fraction` is retained for API stability but unused.
+  std::vector<monitor::LocId> entry_candidates(
+      double min_fraction = 0.1) const;
+
+  // The failure point. When the module is supplied, the fault function
+  // recorded in the faulty logs (the crash report, which real deployments
+  // have) pins it to that function's entry; the fallback is the most
+  // frequent final record among faulty logs, which degrades under heavy
+  // sampling when hot-loop records crowd out the true last event.
+  // Returns kNoLoc when there are no faulty logs.
+  static monitor::LocId failure_node(const std::vector<monitor::RunLog>& logs,
+                                     const ir::Module* m = nullptr);
+
+  bool has_edge(monitor::LocId a, monitor::LocId b) const;
+
+ private:
+  TransitionGraphOptions opts_;
+  std::vector<monitor::LocId> nodes_;
+  std::unordered_map<monitor::LocId, std::vector<Edge>> adj_;
+  std::unordered_map<monitor::LocId, std::size_t> occ_;
+  std::map<monitor::LocId, std::size_t> first_counts_;  // first-record tally
+  std::size_t mined_logs_{0};
+  static const std::vector<Edge> kNoEdges;
+};
+
+}  // namespace statsym::stats

@@ -1,0 +1,106 @@
+// The end-to-end StatSym pipeline (Fig. 3 / Fig. 5): workload execution
+// under the sampling monitor → predicate construction and ranking →
+// candidate-path construction → statistics-guided symbolic execution, one
+// candidate path at a time until the vulnerable path is verified.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "statsym/guidance.h"
+#include "stats/path_builder.h"
+#include "stats/predicate_manager.h"
+#include "stats/samples.h"
+#include "stats/transition_graph.h"
+#include "symexec/executor.h"
+
+namespace statsym::core {
+
+struct EngineOptions {
+  monitor::MonitorOptions monitor{};     // sampling rate etc.
+  std::size_t target_correct_logs{100};  // logs per class (paper: 100 + 100)
+  std::size_t target_faulty_logs{100};
+  std::size_t max_workload_runs{10'000};
+
+  stats::PredicateManagerOptions predicates{};
+  stats::TransitionGraphOptions graph{};
+  stats::PathBuilderOptions paths{};
+  GuidanceOptions guidance{};
+  symexec::ExecOptions exec{};       // per-candidate symbolic execution
+  double candidate_timeout_seconds{900.0};  // paper: 15 min per candidate
+  std::size_t max_candidates_tried{16};
+
+  std::uint64_t seed{42};
+};
+
+// Produces one random program input per call (the "testing inputs" of
+// Fig. 3). Implementations live in src/apps/workload.*.
+using WorkloadGen = std::function<interp::RuntimeInput(Rng&)>;
+
+struct EngineResult {
+  bool found{false};
+  std::optional<symexec::VulnPath> vuln;
+
+  // Time breakdown (the paper's Tables II/III columns).
+  double log_seconds{0.0};       // workload + monitoring
+  double stat_seconds{0.0};      // statistical-analysis module
+  double symexec_seconds{0.0};   // statistics-guided symbolic execution
+
+  // Statistical-module outputs.
+  std::vector<stats::Predicate> predicates;  // ranked
+  stats::PathConstruction construction;      // skeleton/detours/candidates
+  std::size_t log_bytes{0};
+  std::size_t num_correct_logs{0};
+  std::size_t num_faulty_logs{0};
+
+  // Symbolic-execution accounting, summed over candidate attempts.
+  std::uint64_t paths_explored{0};
+  std::uint64_t instructions{0};
+  std::size_t candidates_tried{0};
+  std::size_t winning_candidate{0};  // 1-based index; 0 when not found
+  symexec::ExecStats last_exec_stats;
+};
+
+class StatSymEngine {
+ public:
+  StatSymEngine(const ir::Module& m, symexec::SymInputSpec spec,
+                EngineOptions opts);
+
+  // Phase 1a: runs the workload under the sampling monitor until the target
+  // number of correct and faulty logs is collected (or the attempt cap).
+  void collect_logs(const WorkloadGen& gen);
+
+  // Phase 1b alternative: injects pre-collected logs (e.g. deserialised
+  // from files, or corrupted by a failure-injection test).
+  void use_logs(std::vector<monitor::RunLog> logs);
+
+  const std::vector<monitor::RunLog>& logs() const { return logs_; }
+
+  // Phases 2–3: statistical analysis + guided symbolic execution.
+  EngineResult run();
+
+  // §III-C extension: programs with multiple vulnerabilities. Faulty logs
+  // are clustered by their fault function (the paper points at bug-isolation
+  // techniques for this separation; the monitor's crash tag is the cluster
+  // label) and StatSym runs once per cluster, identifying the vulnerable
+  // paths one by one. Returns one EngineResult per discovered vulnerability,
+  // at most `max_vulns`.
+  std::vector<EngineResult> run_all(std::size_t max_vulns = 8);
+
+ private:
+  const ir::Module& m_;
+  symexec::SymInputSpec spec_;
+  EngineOptions opts_;
+  std::vector<monitor::RunLog> logs_;
+  double log_seconds_{0.0};
+};
+
+// Pure-KLEE baseline on the same module/input spec: unguided symbolic
+// execution with the given options (Table IV's right-hand columns).
+symexec::ExecResult run_pure_symbolic(const ir::Module& m,
+                                      const symexec::SymInputSpec& spec,
+                                      const symexec::ExecOptions& opts);
+
+}  // namespace statsym::core

@@ -1,0 +1,36 @@
+#include "statsym/guided_searcher.h"
+
+namespace statsym::core {
+
+std::int64_t GuidedSearcher::key_of(const symexec::State& st) {
+  if (st.guide.diverted < 0) {
+    // Woken (pure-fallback) states: lowest priority bucket.
+    return static_cast<std::int64_t>(1) << 40;
+  }
+  // Progress along the candidate path dominates: the state that has matched
+  // the most candidate nodes is closest to the failure point and must not
+  // starve behind floods of shallow forks (divergence is already hard-capped
+  // by τ — over-diverted states get suspended, not merely deprioritised).
+  // Among equally-progressed states, fewer diverted hops rank first, per the
+  // paper's scheduler description.
+  constexpr std::int64_t kShift = 1 << 20;
+  return -static_cast<std::int64_t>(st.guide.matched) * kShift +
+         st.guide.diverted;
+}
+
+void GuidedSearcher::add(symexec::State* st) {
+  buckets_[key_of(*st)].push_back(st);
+  ++size_;
+}
+
+symexec::State* GuidedSearcher::select() {
+  if (size_ == 0) return nullptr;
+  auto it = buckets_.begin();
+  symexec::State* st = it->second.back();
+  it->second.pop_back();
+  if (it->second.empty()) buckets_.erase(it);
+  --size_;
+  return st;
+}
+
+}  // namespace statsym::core

@@ -1,0 +1,30 @@
+// The StatSym State Scheduler (§VI-C): prioritises states that have matched
+// more candidate-path nodes, breaking ties by fewer diverted hops, LIFO
+// within a class so exploration dives depth-first along the candidate path.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "symexec/searcher.h"
+
+namespace statsym::core {
+
+class GuidedSearcher final : public symexec::Searcher {
+ public:
+  void add(symexec::State* st) override;
+  symexec::State* select() override;
+  bool empty() const override { return size_ == 0; }
+  std::size_t size() const override { return size_; }
+
+ private:
+  // Key: -matched * 2^20 + diverted (lower = better). Free-running (woken)
+  // states carry diverted == -1 and would sort first; they are bumped into
+  // a worst-priority bucket instead.
+  static std::int64_t key_of(const symexec::State& st);
+
+  std::map<std::int64_t, std::vector<symexec::State*>> buckets_;
+  std::size_t size_{0};
+};
+
+}  // namespace statsym::core

@@ -1,0 +1,46 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// Every stochastic component in the repository (workload generation, log
+// sampling, random-path search, randomized solver probing) draws from an
+// explicitly seeded Rng so that experiments and tests are reproducible
+// bit-for-bit across runs and platforms. std::mt19937_64 is deliberately
+// avoided for the core generator because its distributions are not
+// cross-platform stable; we implement the distributions we need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace statsym {
+
+// xoshiro256** by Blackman & Vigna, seeded via SplitMix64. Small, fast, and
+// with well-understood statistical quality; state is value-copyable so a
+// component can snapshot and replay its stream.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  // Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform01();
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p);
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Zero/negative weights are treated as zero. Requires a positive total.
+  std::size_t weighted_pick(const std::vector<double>& weights);
+
+  // Splits off an independent generator (useful for per-run streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace statsym

@@ -1,0 +1,5 @@
+#include "support/stopwatch.h"
+
+// Header-only today; the translation unit exists so the build exposes a
+// stable object for the support library and future non-inline additions.
+namespace statsym {}

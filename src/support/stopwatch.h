@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used to report per-module times in the experiment
+// harness (the paper reports seconds for the statistical-analysis and the
+// symbolic-execution modules separately).
+#pragma once
+
+#include <chrono>
+
+namespace statsym {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace statsym

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace statsym {
+
+// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+// True if `s` starts with / ends with the given prefix or suffix.
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+// Formats a double with `digits` decimals (fixed notation).
+std::string fmt_double(double v, int digits);
+
+// Parses a signed integer; returns false on malformed input or overflow.
+bool parse_i64(std::string_view s, std::int64_t& out);
+
+// Parses a double; returns false on malformed input.
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace statsym

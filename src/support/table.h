@@ -1,0 +1,30 @@
+// Plain-text table rendering for benchmark output.
+//
+// The benchmark harness reproduces the paper's tables; this helper renders
+// them with aligned columns so the rows can be compared to the paper
+// side-by-side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace statsym {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Appends one row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> row);
+
+  // Renders with a header separator and 2-space column gaps.
+  std::string render() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace statsym

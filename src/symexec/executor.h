@@ -1,0 +1,271 @@
+// The symbolic executor — the repository's KLEE analogue.
+//
+// Explores a mini-IR module by forking states at satisfiable branch
+// directions, accumulating path constraints, and reporting the first
+// solver-validated fault as a vulnerable path together with a concrete
+// crashing input reconstructed from the model. Search order is pluggable
+// (symexec/searcher.h); StatSym's statistics-guided policy plugs in through
+// the same interface plus a GuidanceHook that observes function entry/exit
+// (the paper's instrumented locations) and may inject predicate constraints
+// or suspend states.
+//
+// Resource budgets (live states, modelled memory, instructions, wall time)
+// terminate exploration the way the paper's 12 GB server bounded KLEE: a
+// run that exhausts memory before reaching the bug reports kOutOfMemory —
+// the "Failed" rows of Table IV.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/interpreter.h"
+#include "monitor/log.h"
+#include "solver/cache.h"
+#include "solver/solver.h"
+#include "support/stopwatch.h"
+#include "symexec/searcher.h"
+#include "symexec/state.h"
+
+namespace statsym::symexec {
+
+// One program input string: either concrete or a symbolic buffer of
+// `capacity` bytes (per-byte variables; the final byte is pinned to NUL so
+// every path has a terminated string, the standard KLEE harness idiom).
+struct SymStr {
+  std::string name;
+  std::int64_t capacity{0};   // symbolic only
+  bool symbolic{false};
+  std::string concrete;       // concrete only
+
+  static SymStr fixed(std::string value) {
+    SymStr s;
+    s.concrete = std::move(value);
+    return s;
+  }
+  static SymStr sym(std::string name, std::int64_t capacity) {
+    SymStr s;
+    s.name = std::move(name);
+    s.capacity = capacity;
+    s.symbolic = true;
+    return s;
+  }
+};
+
+// How program inputs are made symbolic (the per-application configuration
+// the paper describes in §VII-A: option formats are given, payload strings
+// are symbolic).
+struct SymInputSpec {
+  std::vector<SymStr> argv;
+  std::vector<std::pair<std::string, SymStr>> env;
+};
+
+enum class Termination : std::uint8_t {
+  kFoundFault,    // vulnerable path identified and validated
+  kExhausted,     // every path within the input space explored, no fault
+  kOutOfMemory,   // modelled state memory exceeded (the paper's "Failed")
+  kStateLimit,    // live-state cap exceeded
+  kInstrLimit,
+  kTimeout,
+};
+
+const char* termination_name(Termination t);
+
+// A discovered vulnerable path: fault point, location trace, constraints,
+// and the reconstructed concrete input that triggers it.
+struct VulnPath {
+  interp::FaultKind kind{interp::FaultKind::kNone};
+  std::string function;                   // fault-point function
+  std::string detail;
+  std::vector<monitor::LocId> trace;      // enter/leave events along the path
+  std::vector<solver::ExprId> constraints;
+  solver::Model model;
+  bool model_valid{false};
+  interp::RuntimeInput input;             // crashing input (replayable)
+};
+
+struct ExecStats {
+  std::uint64_t instructions{0};
+  std::uint64_t forks{0};
+  std::uint64_t paths_completed{0};   // terminated: ok + infeasible + faults
+  std::uint64_t paths_ok{0};
+  std::uint64_t paths_infeasible{0};
+  std::uint64_t faults_found{0};
+  std::uint64_t suspensions{0};
+  std::uint64_t wakes{0};
+  std::size_t peak_live_states{0};
+  std::size_t peak_memory_bytes{0};
+  double seconds{0.0};
+
+  // Paths the paper counts: completed plus the frontier still live at stop.
+  std::uint64_t paths_explored{0};
+};
+
+struct ExecResult {
+  Termination termination{Termination::kExhausted};
+  std::optional<VulnPath> vuln;
+  ExecStats stats;
+  solver::SolverStats solver_stats;
+};
+
+struct ExecOptions {
+  SearcherKind searcher{SearcherKind::kDFS};
+  std::uint64_t max_instructions{100'000'000};
+  std::size_t max_live_states{200'000};
+  std::size_t max_memory_bytes{512ull << 20};  // modelled, not process RSS
+  double max_seconds{3600.0};
+  std::int32_t max_call_depth{128};
+  bool stop_at_first_fault{true};
+  // When non-empty, only faults attributed to this function count as
+  // findings; faults elsewhere end their path silently. Used by the
+  // multi-vulnerability iteration (§III-C): while hunting one fault
+  // cluster, the other (already identified or yet-to-be-hunted) bugs on the
+  // way are treated as known and skipped.
+  std::string target_function;
+  std::uint64_t seed{1};
+  // Escalate undecided quick feasibility checks to the full solver. Off by
+  // default: interval propagation decides the overwhelming majority of fork
+  // feasibility exactly for these workloads, and the optimistic mode never
+  // prunes a feasible path — it may only walk infeasible ones, which die at
+  // fault validation. Escalation buys precision at a large per-fork cost
+  // (measured: ~250 ms/query on defang-style path conditions).
+  bool escalate_unknown_forks{false};
+  // When the searcher runs dry, wake suspended states and continue as pure
+  // symbolic execution (the paper's worst-case-equals-pure guarantee).
+  // StatSym's engine disables this and instead marks the candidate path
+  // infeasible, moving on to the next candidate (§VII-C2, thttpd).
+  bool wake_suspended{true};
+  // Functions with this name prefix are library-internal (the IR stdlib):
+  // fault reports name the innermost frame *outside* the prefix — faults
+  // inside __strcpy are attributed to its caller, as a real debugger would
+  // attribute a libc-level smash.
+  std::string library_prefix{"__"};
+  // Instructions executed per scheduling slice before the searcher picks
+  // again.
+  std::uint32_t slice{64};
+  solver::SolverOptions solver_opts{};
+  // Fault validation is one query per reported vulnerability and decides
+  // whether the finding (and its generated crashing input) is real, so it
+  // gets a far larger budget than fork-time queries.
+  solver::SolverOptions fault_solver_opts{.max_search_nodes = 400'000,
+                                          .max_query_seconds = 10.0};
+};
+
+class SymExecutor;
+
+// Observation/intervention point for statistics-guided search. Called at
+// every function entry and exit with the location id; the hook may add
+// predicate constraints (via SymExecutor::add_constraint) and decide the
+// state's fate.
+class GuidanceHook {
+ public:
+  enum class Action : std::uint8_t { kContinue, kSuspend };
+  virtual ~GuidanceHook() = default;
+  virtual Action on_location(SymExecutor& ex, State& st,
+                             monitor::LocId loc) = 0;
+  // Notification that a suspended state is being woken because no guided
+  // states remain (the paper's fall-back to pure symbolic execution).
+  virtual void on_wake(State& st) = 0;
+};
+
+class SymExecutor {
+ public:
+  SymExecutor(const ir::Module& m, SymInputSpec spec, ExecOptions opts);
+
+  // Must be set before run() if guidance is desired.
+  void set_guidance(GuidanceHook* hook) { hook_ = hook; }
+  // Replaces the default searcher built from opts.searcher.
+  void set_searcher(std::unique_ptr<Searcher> s) { searcher_ = std::move(s); }
+
+  ExecResult run();
+
+  // --- services (for guidance hooks and tests) ----------------------------
+  const ir::Module& module() const { return m_; }
+  solver::ExprPool& pool() { return pool_; }
+  solver::Solver& solver() { return solver_; }
+
+  // Quick-then-full feasibility of pc ∧ e for a state.
+  bool feasible(State& st, solver::ExprId e);
+
+  // Adds e to the state's path constraints; returns false when the state
+  // becomes infeasible.
+  bool add_constraint(State& st, solver::ExprId e);
+
+  // Picks a concrete value for `e` consistent with the state's constraints
+  // and pins it (adds e == value). Used for symbolic addresses/bitwise ops.
+  std::int64_t concretize(State& st, solver::ExprId e);
+
+ private:
+  enum class StepResult : std::uint8_t {
+    kContinue,
+    kForked,       // sibling_ holds the new state
+    kTerminated,   // normal return from main
+    kInfeasible,   // current path proven unsat
+    kFault,        // fault recorded in pending_vuln_
+    kSuspend,      // guidance suspended the state
+  };
+
+  void build_initial_state();
+  ObjId make_input_object(State& st, const SymStr& s, const std::string& label);
+
+  StepResult step(State& st);
+  StepResult exec_call(State& st, const ir::Instr& in);
+  StepResult exec_ret(State& st, const ir::Instr& in);
+  StepResult exec_branch(State& st, const ir::Instr& in);
+  StepResult exec_bin(State& st, const ir::Instr& in);
+  // Returns true and the concrete address when the access can proceed;
+  // returns false after recording a fault / infeasibility (result in
+  // mem_step_result_).
+  bool resolve_address(State& st, const ir::Instr& in, const SymValue& refv,
+                       const SymValue& idxv, bool is_store,
+                       std::int64_t& addr_out);
+
+  StepResult fault_state(State& st, interp::FaultKind kind, std::string detail);
+  StepResult apply_hook(State& st, monitor::LocId loc);
+
+  // Reconstructs a concrete RuntimeInput from a model (unconstrained bytes
+  // default to their domain minimum).
+  interp::RuntimeInput reconstruct_input(const solver::Model& model) const;
+
+  std::unique_ptr<State> clone_state(const State& st);
+
+  std::size_t live_memory_estimate() const;
+
+  const ir::Module& m_;
+  SymInputSpec spec_;
+  ExecOptions opts_;
+  solver::ExprPool pool_;
+  solver::QueryCache cache_;
+  solver::Solver solver_;
+  Rng rng_;
+
+  std::unique_ptr<Searcher> searcher_;
+  // All live states (pending, running, suspended), keyed by state id.
+  std::unordered_map<std::uint64_t, std::unique_ptr<State>> owned_;
+  std::vector<State*> suspended_;
+  GuidanceHook* hook_{nullptr};
+
+  std::uint64_t next_state_id_{1};
+  std::unique_ptr<State> sibling_;              // set by exec_branch on fork
+  std::optional<VulnPath> pending_vuln_;
+  StepResult mem_step_result_{StepResult::kContinue};
+  ExecStats stats_;
+
+  // Program-input objects created in the initial state (ids are stable
+  // across forks because the object-id counter is shared).
+  std::vector<ObjId> argv_objs_;
+  std::map<std::string, ObjId> env_objs_;
+
+  // Input registries for model reconstruction.
+  struct SymBufReg {
+    std::string name;
+    std::vector<solver::VarId> vars;  // one per byte
+  };
+  std::vector<SymBufReg> sym_bufs_;
+  std::map<std::string, solver::VarId> sym_ints_;
+};
+
+}  // namespace statsym::symexec

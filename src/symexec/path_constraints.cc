@@ -1,0 +1,33 @@
+#include "symexec/path_constraints.h"
+
+namespace statsym::symexec {
+
+PathConstraints::Quick PathConstraints::add(solver::ExprPool& pool,
+                                            solver::ExprId e) {
+  if (pool.is_const(e)) {
+    return pool.const_val(e) != 0 ? Quick::kSat : Quick::kUnsat;
+  }
+  if (present_.contains(e)) return Quick::kSat;  // already asserted
+  present_.insert(e);
+  list_.push_back(e);
+  if (!solver::propagate(pool, e, true, domains_)) return Quick::kUnsat;
+  const solver::Interval iv = solver::eval_interval(pool, e, domains_);
+  if (iv.is_empty() || (iv.lo == 0 && iv.hi == 0)) return Quick::kUnsat;
+  if (!iv.contains(0)) return Quick::kSat;
+  return Quick::kUnknown;
+}
+
+PathConstraints::Quick PathConstraints::probe(solver::ExprPool& pool,
+                                              solver::ExprId e) const {
+  if (pool.is_const(e)) {
+    return pool.const_val(e) != 0 ? Quick::kSat : Quick::kUnsat;
+  }
+  solver::DomainMap d = domains_;
+  if (!solver::propagate(pool, e, true, d)) return Quick::kUnsat;
+  const solver::Interval iv = solver::eval_interval(pool, e, d);
+  if (iv.is_empty() || (iv.lo == 0 && iv.hi == 0)) return Quick::kUnsat;
+  if (!iv.contains(0)) return Quick::kSat;
+  return Quick::kUnknown;
+}
+
+}  // namespace statsym::symexec

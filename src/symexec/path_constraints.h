@@ -1,0 +1,45 @@
+// Per-state path constraints with incremental feasibility checking.
+//
+// Forking at every branch makes full solver queries on the whole constraint
+// set too expensive; like KLEE's independence/caching layer, most decisions
+// here are made by the incremental interval domain carried with the state
+// (O(1)-ish per added constraint). kUnknown answers escalate to the full
+// solver at the executor's discretion.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "solver/solver.h"
+
+namespace statsym::symexec {
+
+class PathConstraints {
+ public:
+  enum class Quick : std::uint8_t { kSat, kUnsat, kUnknown };
+
+  // Adds `e` (must be boolean-valued) and narrows the domain map.
+  //   kUnsat   — contradiction proven by propagation,
+  //   kSat     — e is implied/consistent and decided true under the domains,
+  //   kUnknown — consistent with the domains but not decided (caller may
+  //              escalate to the full solver).
+  Quick add(solver::ExprPool& pool, solver::ExprId e);
+
+  // Quick feasibility test of `e` against the current domains without
+  // recording it.
+  Quick probe(solver::ExprPool& pool, solver::ExprId e) const;
+
+  const std::vector<solver::ExprId>& list() const { return list_; }
+  const solver::DomainMap& domains() const { return domains_; }
+
+  std::size_t approx_bytes() const {
+    return list_.size() * sizeof(solver::ExprId) + domains_.byte_size();
+  }
+
+ private:
+  std::vector<solver::ExprId> list_;
+  std::unordered_set<solver::ExprId> present_;  // dedupe re-added constraints
+  solver::DomainMap domains_;
+};
+
+}  // namespace statsym::symexec

@@ -1,0 +1,4 @@
+#include "symexec/state.h"
+
+// Data-only; translation unit reserved for future out-of-line helpers.
+namespace statsym::symexec {}

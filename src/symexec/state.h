@@ -1,0 +1,69 @@
+// An execution state: one path through the program under exploration.
+//
+// KLEE-style: call stack with per-frame registers, copy-on-write memory,
+// accumulated path constraints, plus the guidance bookkeeping StatSym's
+// state manager maintains (position on the candidate path and diverted-hop
+// count, §VI-C).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/module.h"
+#include "monitor/log.h"
+#include "symexec/path_constraints.h"
+#include "symexec/sym_memory.h"
+#include "symexec/sym_value.h"
+
+namespace statsym::symexec {
+
+struct Frame {
+  ir::FuncId func{ir::kNoFunc};
+  ir::BlockId block{0};
+  std::int32_t idx{0};
+  std::vector<SymValue> regs;
+  ir::Reg ret_dst{ir::kNoReg};
+  std::vector<SymValue> params;  // snapshot for guidance/logging hooks
+};
+
+// Guidance bookkeeping attached to every state (the paper's StatSym State
+// Manager records "the currently executed path nodes, as well as the
+// diverted hops"). A diverted hop is a *distinct* off-path location visited
+// since the last candidate-node match: looping over the same off-path
+// function does not move the state farther from the candidate path, so it
+// is counted once (`alien_seen` tracks the distinct set; cleared on match).
+struct GuideInfo {
+  std::int32_t next_node{0};   // index of the next expected candidate node
+  std::int32_t diverted{0};    // distinct off-path locations since last match
+  std::int32_t matched{0};     // candidate nodes matched so far
+  std::vector<monitor::LocId> alien_seen;
+};
+
+struct State {
+  std::uint64_t id{0};
+  std::vector<Frame> stack;
+  PathConstraints pc;
+  SymMemory mem;
+  std::vector<SymValue> globals;
+  std::vector<monitor::LocId> trace;  // function enter/leave event history
+  std::uint64_t depth{0};             // branch decisions taken
+  std::uint64_t instrs{0};            // instructions this state executed
+  GuideInfo guide;
+
+  Frame& top() { return stack.back(); }
+  const Frame& top() const { return stack.back(); }
+
+  // Approximate unique footprint for the executor's memory budget.
+  std::size_t approx_bytes() const {
+    std::size_t n = sizeof(State);
+    for (const auto& f : stack) {
+      n += sizeof(Frame) + (f.regs.size() + f.params.size()) * sizeof(SymValue);
+    }
+    n += trace.size() * sizeof(monitor::LocId);
+    n += pc.approx_bytes();
+    n += mem.approx_bytes();
+    return n;
+  }
+};
+
+}  // namespace statsym::symexec

@@ -1,0 +1,71 @@
+#include "symexec/sym_memory.h"
+
+#include <cassert>
+
+namespace statsym::symexec {
+
+ObjId SymMemory::alloc(std::int64_t size, std::string label) {
+  assert(size > 0);
+  const ObjId id = (*next_id_)++;
+  auto obj = std::make_shared<SymObject>();
+  obj->bytes.assign(static_cast<std::size_t>(size), SymByte::concrete(0));
+  obj->label = std::move(label);
+  objects_.emplace(id, std::move(obj));
+  return id;
+}
+
+std::int64_t SymMemory::size(ObjId id) const {
+  auto it = objects_.find(id);
+  assert(it != objects_.end());
+  return static_cast<std::int64_t>(it->second->bytes.size());
+}
+
+const std::string& SymMemory::label(ObjId id) const {
+  auto it = objects_.find(id);
+  assert(it != objects_.end());
+  return it->second->label;
+}
+
+SymByte SymMemory::read(ObjId id, std::int64_t addr) const {
+  auto it = objects_.find(id);
+  assert(it != objects_.end());
+  assert(addr >= 0 &&
+         addr < static_cast<std::int64_t>(it->second->bytes.size()));
+  return it->second->bytes[static_cast<std::size_t>(addr)];
+}
+
+void SymMemory::write(ObjId id, std::int64_t addr, SymByte byte) {
+  auto it = objects_.find(id);
+  assert(it != objects_.end());
+  assert(addr >= 0 &&
+         addr < static_cast<std::int64_t>(it->second->bytes.size()));
+  if (it->second.use_count() > 1) {
+    // Copy-on-write: another forked state shares this object.
+    it->second = std::make_shared<SymObject>(*it->second);
+    ++cow_clones_;
+  }
+  it->second->bytes[static_cast<std::size_t>(addr)] = byte;
+}
+
+std::int64_t SymMemory::concrete_strlen(ObjId id, std::int64_t off) const {
+  std::int64_t n = 0;
+  for (std::int64_t a = off; a < size(id); ++a, ++n) {
+    const SymByte b = read(id, a);
+    if (b.is_sym || b.b == 0) break;
+  }
+  return n;
+}
+
+std::size_t SymMemory::approx_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, obj] : objects_) {
+    // Charge each sharer proportionally so the fleet-wide sum approximates
+    // real footprint; uniquely-owned objects are charged in full.
+    total += (obj->bytes.size() * sizeof(SymByte)) /
+             static_cast<std::size_t>(obj.use_count());
+    total += 64;  // map-entry overhead
+  }
+  return total;
+}
+
+}  // namespace statsym::symexec

@@ -1,0 +1,81 @@
+// Copy-on-write symbolic memory.
+//
+// Objects are byte arrays whose cells are either concrete bytes or symbolic
+// expressions (typically per-byte input variables). States share objects
+// through shared_ptr and clone on first write after a fork — the same
+// object-level copy-on-write KLEE uses, and the thing whose failure mode
+// (memory exhaustion under state explosion) the paper's Table IV reports for
+// pure symbolic execution. Object ids are drawn from a counter shared by all
+// forked copies so ids never collide across states.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "interp/value.h"
+#include "solver/expr.h"
+
+namespace statsym::symexec {
+
+using interp::ObjId;
+
+struct SymByte {
+  bool is_sym{false};
+  std::uint8_t b{0};
+  solver::ExprId e{solver::kNoExpr};
+
+  static SymByte concrete(std::uint8_t v) { return {false, v, solver::kNoExpr}; }
+  static SymByte symbolic(solver::ExprId e) { return {true, 0, e}; }
+};
+
+struct SymObject {
+  std::vector<SymByte> bytes;
+  std::string label;
+};
+
+class SymMemory {
+ public:
+  SymMemory() : next_id_(std::make_shared<ObjId>(0)) {}
+
+  // Value-copy shares all objects (and the id counter) with the source; the
+  // first write to a shared object clones it (copy-on-write).
+  SymMemory(const SymMemory&) = default;
+  SymMemory& operator=(const SymMemory&) = default;
+  SymMemory(SymMemory&&) = default;
+  SymMemory& operator=(SymMemory&&) = default;
+
+  ObjId alloc(std::int64_t size, std::string label);
+
+  bool valid(ObjId id) const { return objects_.contains(id); }
+  std::int64_t size(ObjId id) const;
+  const std::string& label(ObjId id) const;
+
+  bool in_bounds(ObjId id, std::int64_t addr) const {
+    return valid(id) && addr >= 0 && addr < size(id);
+  }
+
+  // Bounds must have been checked by the caller.
+  SymByte read(ObjId id, std::int64_t addr) const;
+  void write(ObjId id, std::int64_t addr, SymByte byte);
+
+  // Length of the concrete C string at `off` — only meaningful for objects
+  // with concrete prefixes; symbolic bytes terminate the scan (counted as
+  // unknown -> stop). Used for logging/diagnostics, not semantics.
+  std::int64_t concrete_strlen(ObjId id, std::int64_t off = 0) const;
+
+  // Bytes this state uniquely owns plus its share of bookkeeping — the
+  // quantity counted against the executor's memory budget.
+  std::size_t approx_bytes() const;
+
+  // Number of objects cloned by copy-on-write in this instance's lifetime.
+  std::uint64_t cow_clones() const { return cow_clones_; }
+
+ private:
+  std::unordered_map<ObjId, std::shared_ptr<SymObject>> objects_;
+  std::shared_ptr<ObjId> next_id_;  // shared across forked copies
+  std::uint64_t cow_clones_{0};
+};
+
+}  // namespace statsym::symexec

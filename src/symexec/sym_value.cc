@@ -1,0 +1,13 @@
+#include "symexec/sym_value.h"
+
+#include <cassert>
+
+namespace statsym::symexec {
+
+solver::ExprId SymValue::to_expr(solver::ExprPool& pool) const {
+  if (is_expr()) return expr;
+  assert(conc.is_int() && "references cannot be lifted to expressions");
+  return pool.constant(conc.i);
+}
+
+}  // namespace statsym::symexec

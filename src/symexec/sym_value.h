@@ -1,0 +1,48 @@
+// Values during symbolic execution: either a concrete interp::Value or a
+// symbolic integer expression. References (buffer pointers) are always
+// concrete — the engine has no symbolic pointers; symbolic *indices* are
+// handled at the access site by forking/concretisation in the executor.
+#pragma once
+
+#include "interp/value.h"
+#include "solver/expr.h"
+
+namespace statsym::symexec {
+
+using interp::ObjId;
+using interp::Value;
+
+struct SymValue {
+  enum class Kind : std::uint8_t { kConcrete, kExpr };
+
+  Kind kind{Kind::kConcrete};
+  Value conc{};                       // Kind::kConcrete
+  solver::ExprId expr{solver::kNoExpr};  // Kind::kExpr
+
+  static SymValue concrete(Value v) {
+    SymValue s;
+    s.kind = Kind::kConcrete;
+    s.conc = v;
+    return s;
+  }
+  static SymValue concrete_int(std::int64_t v) {
+    return concrete(Value::make_int(v));
+  }
+  static SymValue symbolic(solver::ExprId e) {
+    SymValue s;
+    s.kind = Kind::kExpr;
+    s.expr = e;
+    return s;
+  }
+
+  bool is_concrete() const { return kind == Kind::kConcrete; }
+  bool is_expr() const { return kind == Kind::kExpr; }
+  bool is_concrete_int() const { return is_concrete() && conc.is_int(); }
+  bool is_ref() const { return is_concrete() && conc.is_ref(); }
+
+  // Lifts to an expression (constants for concrete ints). Must not be called
+  // on references.
+  solver::ExprId to_expr(solver::ExprPool& pool) const;
+};
+
+}  // namespace statsym::symexec

@@ -1,0 +1,257 @@
+// statsym — command-line driver for the whole pipeline.
+//
+//   statsym list
+//       List the bundled target applications.
+//   statsym run <app> [--sampling R] [--seed N] [--logs FILE] [--all]
+//       Collect sampled logs (or read them from FILE), run statistical
+//       analysis + guided symbolic execution, print predicates, candidate
+//       paths and the discovered vulnerable path, and replay the generated
+//       input. --all hunts every fault cluster (multi-vulnerability mode).
+//   statsym pure <app> [--searcher dfs|bfs|random|coverage] [--mem MB]
+//       The unguided baseline under the given budgets.
+//   statsym collect <app> <out-file> [--sampling R] [--seed N] [--runs N]
+//       Only collect logs and write them in the monitor's text format.
+//   statsym dump <app>
+//       Print the application's mini-IR and its Table-I statistics.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.h"
+#include "ir/printer.h"
+#include "ir/program_stats.h"
+#include "monitor/serialize.h"
+#include "statsym/engine.h"
+#include "statsym/report.h"
+
+using namespace statsym;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: statsym <list|run|pure|collect|dump> [args]\n"
+               "  statsym list\n"
+               "  statsym run <app> [--sampling R] [--seed N] [--logs FILE] "
+               "[--all]\n"
+               "  statsym pure <app> [--searcher dfs|bfs|random|coverage] "
+               "[--mem MB] [--time S]\n"
+               "  statsym collect <app> <out-file> [--sampling R] [--seed N]\n"
+               "  statsym dump <app>\n");
+  return 2;
+}
+
+struct Flags {
+  double sampling{0.3};
+  std::uint64_t seed{42};
+  std::string logs_file;
+  bool all{false};
+  std::string searcher{"random"};
+  std::size_t mem_mb{256};
+  double time_s{300.0};
+};
+
+bool parse_flags(int argc, char** argv, int start, Flags& f) {
+  for (int i = start; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](double& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atof(argv[++i]);
+      return true;
+    };
+    if (a == "--sampling") {
+      double v;
+      if (!next(v)) return false;
+      f.sampling = v;
+    } else if (a == "--seed") {
+      double v;
+      if (!next(v)) return false;
+      f.seed = static_cast<std::uint64_t>(v);
+    } else if (a == "--logs") {
+      if (i + 1 >= argc) return false;
+      f.logs_file = argv[++i];
+    } else if (a == "--all") {
+      f.all = true;
+    } else if (a == "--searcher") {
+      if (i + 1 >= argc) return false;
+      f.searcher = argv[++i];
+    } else if (a == "--mem") {
+      double v;
+      if (!next(v)) return false;
+      f.mem_mb = static_cast<std::size_t>(v);
+    } else if (a == "--time") {
+      double v;
+      if (!next(v)) return false;
+      f.time_s = v;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::EngineOptions engine_options(const Flags& f) {
+  core::EngineOptions o;
+  o.monitor.sampling_rate = f.sampling;
+  o.seed = f.seed;
+  o.candidate_timeout_seconds = f.time_s;
+  o.exec.max_memory_bytes = f.mem_mb << 20;
+  return o;
+}
+
+void print_result(const apps::AppSpec& app, const core::EngineResult& res) {
+  std::printf("%s\n",
+              core::format_predicates(app.module, res.predicates, 10).c_str());
+  std::printf("%s\n",
+              core::format_candidates(app.module, res.construction).c_str());
+  if (!res.found) {
+    std::printf("vulnerable path NOT found (stat %.2fs, exec %.2fs, %llu "
+                "paths)\n",
+                res.stat_seconds, res.symexec_seconds,
+                static_cast<unsigned long long>(res.paths_explored));
+    return;
+  }
+  std::printf("%s", core::format_vuln(app.module, *res.vuln).c_str());
+  std::printf("candidate #%zu, %llu paths, stat %.2fs + exec %.2fs\n",
+              res.winning_candidate,
+              static_cast<unsigned long long>(res.paths_explored),
+              res.stat_seconds, res.symexec_seconds);
+
+  interp::Interpreter replay(app.module, res.vuln->input);
+  const auto rr = replay.run();
+  if (rr.outcome == interp::RunOutcome::kFault) {
+    std::printf("replay: CONFIRMED %s in %s()\n",
+                interp::fault_kind_name(rr.fault.kind),
+                rr.fault.function.c_str());
+  } else {
+    std::printf("replay: input did NOT reproduce the fault\n");
+  }
+}
+
+int cmd_list() {
+  for (const auto& name : apps::app_names()) {
+    const apps::AppSpec app = apps::make_app(name);
+    std::printf("%-12s vulnerable: %s() [%s]\n", name.c_str(),
+                app.vuln_function.c_str(),
+                interp::fault_kind_name(app.vuln_kind));
+  }
+  std::printf("%-12s vulnerable: set_outdir() + convert_fileName() "
+              "(use run --all)\n",
+              "polymorph-multibug");
+  std::printf("%-12s the paper's Fig. 2a example\n", "fig2");
+  return 0;
+}
+
+int cmd_run(const std::string& name, const Flags& f) {
+  const apps::AppSpec app = apps::make_app(name);
+  core::StatSymEngine engine(app.module, app.sym_spec, engine_options(f));
+  if (!f.logs_file.empty()) {
+    std::ifstream in(f.logs_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", f.logs_file.c_str());
+      return 1;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::vector<monitor::RunLog> logs;
+    if (!monitor::deserialize(ss.str(), logs)) {
+      std::fprintf(stderr, "malformed log file %s\n", f.logs_file.c_str());
+      return 1;
+    }
+    engine.use_logs(std::move(logs));
+    std::printf("loaded %zu logs from %s\n", engine.logs().size(),
+                f.logs_file.c_str());
+  } else {
+    engine.collect_logs(app.workload);
+    std::printf("collected %zu logs at %.0f%% sampling\n",
+                engine.logs().size(), f.sampling * 100.0);
+  }
+
+  if (f.all) {
+    const auto results = engine.run_all();
+    std::printf("fault clusters resolved: %zu\n\n", results.size());
+    int rc = results.empty() ? 1 : 0;
+    for (const auto& res : results) print_result(app, res);
+    return rc;
+  }
+  const core::EngineResult res = engine.run();
+  print_result(app, res);
+  return res.found ? 0 : 1;
+}
+
+int cmd_pure(const std::string& name, const Flags& f) {
+  const apps::AppSpec app = apps::make_app(name);
+  symexec::ExecOptions opts;
+  if (f.searcher == "dfs") {
+    opts.searcher = symexec::SearcherKind::kDFS;
+  } else if (f.searcher == "bfs") {
+    opts.searcher = symexec::SearcherKind::kBFS;
+  } else if (f.searcher == "coverage") {
+    opts.searcher = symexec::SearcherKind::kCoverageOptimized;
+  } else {
+    opts.searcher = symexec::SearcherKind::kRandomPath;
+  }
+  opts.max_memory_bytes = f.mem_mb << 20;
+  opts.max_seconds = f.time_s;
+  const auto r = core::run_pure_symbolic(app.module, app.sym_spec, opts);
+  std::printf("pure[%s]: %s — %llu paths, %llu forks, %.1fs, peak %zu "
+              "states / %zu MB\n",
+              symexec::searcher_kind_name(opts.searcher),
+              symexec::termination_name(r.termination),
+              static_cast<unsigned long long>(r.stats.paths_explored),
+              static_cast<unsigned long long>(r.stats.forks), r.stats.seconds,
+              r.stats.peak_live_states, r.stats.peak_memory_bytes >> 20);
+  if (r.vuln.has_value()) {
+    std::printf("%s", core::format_vuln(app.module, *r.vuln).c_str());
+  }
+  return r.termination == symexec::Termination::kFoundFault ? 0 : 1;
+}
+
+int cmd_collect(const std::string& name, const std::string& out,
+                const Flags& f) {
+  const apps::AppSpec app = apps::make_app(name);
+  core::StatSymEngine engine(app.module, app.sym_spec, engine_options(f));
+  engine.collect_logs(app.workload);
+  std::ofstream os(out);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  os << monitor::serialize(engine.logs());
+  std::printf("wrote %zu logs to %s\n", engine.logs().size(), out.c_str());
+  return 0;
+}
+
+int cmd_dump(const std::string& name) {
+  const apps::AppSpec app = apps::make_app(name);
+  const auto s = ir::compute_stats(app.module);
+  std::printf("%s: %zu functions, %zu blocks, %zu instrs (SLOC %zu), "
+              "%zu ext calls, %zu globals\n\n",
+              s.program.c_str(), s.functions, s.blocks, s.instrs, s.sloc,
+              s.ext_call_sites, s.globals);
+  std::printf("%s", ir::to_string(app.module).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  Flags f;
+  if (cmd == "list") return cmd_list();
+  if (cmd == "run" && argc >= 3 && parse_flags(argc, argv, 3, f)) {
+    return cmd_run(argv[2], f);
+  }
+  if (cmd == "pure" && argc >= 3 && parse_flags(argc, argv, 3, f)) {
+    return cmd_pure(argv[2], f);
+  }
+  if (cmd == "collect" && argc >= 4 && parse_flags(argc, argv, 4, f)) {
+    return cmd_collect(argv[2], argv[3], f);
+  }
+  if (cmd == "dump" && argc >= 3) return cmd_dump(argv[2]);
+  return usage();
+}

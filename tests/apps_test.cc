@@ -1,0 +1,263 @@
+// Tests for the benchmark applications: each target's module is
+// well-formed, its documented vulnerability triggers at exactly the
+// documented boundary under concrete execution, its workload produces both
+// classes, and Table I's size ordering holds.
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "apps/workload.h"
+#include "ir/program_stats.h"
+
+namespace statsym::apps {
+namespace {
+
+class AllApps : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllApps,
+                         ::testing::Values("polymorph", "ctree", "grep",
+                                           "thttpd", "fig2"));
+
+TEST_P(AllApps, BuildsAndHasMain) {
+  const AppSpec app = make_app(GetParam());
+  EXPECT_EQ(app.name, GetParam());
+  EXPECT_NE(app.module.entry(), ir::kNoFunc);
+  EXPECT_NE(app.module.find_function(app.vuln_function), ir::kNoFunc);
+}
+
+TEST_P(AllApps, WorkloadProducesBothClasses) {
+  const AppSpec app = make_app(GetParam());
+  Rng rng(31337);
+  int faulty = 0;
+  int correct = 0;
+  for (int i = 0; i < 200 && (faulty < 5 || correct < 5); ++i) {
+    Rng r = rng.split();
+    if (run_is_faulty(app.module, app.workload(r))) {
+      ++faulty;
+    } else {
+      ++correct;
+    }
+  }
+  EXPECT_GE(faulty, 5) << "workload produces too few faulty runs";
+  EXPECT_GE(correct, 5) << "workload produces too few correct runs";
+}
+
+TEST_P(AllApps, FaultAlwaysAtDocumentedFunction) {
+  const AppSpec app = make_app(GetParam());
+  Rng rng(777);
+  int seen = 0;
+  for (int i = 0; i < 300 && seen < 10; ++i) {
+    Rng r = rng.split();
+    interp::Interpreter it(app.module, app.workload(r));
+    const auto res = it.run();
+    if (res.outcome != interp::RunOutcome::kFault) continue;
+    ++seen;
+    EXPECT_EQ(res.fault.function, app.vuln_function);
+    EXPECT_EQ(res.fault.kind, app.vuln_kind);
+  }
+  EXPECT_GE(seen, 10);
+}
+
+TEST(Polymorph, CrashBoundaryExactly512) {
+  const AppSpec app = make_polymorph();
+  auto run_name = [&](std::size_t len) {
+    interp::RuntimeInput in;
+    in.argv = {"polymorph", "-f", std::string(len, 'A')};
+    interp::Interpreter it(app.module, in);
+    return it.run();
+  };
+  EXPECT_EQ(run_name(511).outcome, interp::RunOutcome::kOk);
+  const auto crash = run_name(512);
+  ASSERT_EQ(crash.outcome, interp::RunOutcome::kFault);
+  EXPECT_EQ(crash.fault.function, "convert_fileName");
+  EXPECT_EQ(crash.fault.kind, interp::FaultKind::kOobStore);
+}
+
+TEST(Polymorph, HiddenFilesSkipTheVulnerableCode) {
+  const AppSpec app = make_polymorph();
+  interp::RuntimeInput in;
+  in.argv = {"polymorph", "-f", "." + std::string(600, 'A')};
+  interp::Interpreter it(app.module, in);
+  EXPECT_EQ(it.run().outcome, interp::RunOutcome::kOk);
+}
+
+TEST(Polymorph, LowercaseNamesNeedNoConversion) {
+  const AppSpec app = make_polymorph();
+  interp::RuntimeInput in;
+  in.argv = {"polymorph", "-f", std::string(600, 'a')};
+  interp::Interpreter it(app.module, in);
+  // No uppercase characters: convert_fileName is never reached.
+  EXPECT_EQ(it.run().outcome, interp::RunOutcome::kOk);
+}
+
+TEST(Polymorph, UnknownFlagErrorsOut) {
+  const AppSpec app = make_polymorph();
+  interp::RuntimeInput in;
+  in.argv = {"polymorph", "--bogus"};
+  interp::Interpreter it(app.module, in);
+  const auto r = it.run();
+  ASSERT_EQ(r.outcome, interp::RunOutcome::kOk);
+  EXPECT_EQ(r.main_ret->i, 1);
+}
+
+TEST(Ctree, CrashBoundaryExactly64) {
+  const AppSpec app = make_ctree();
+  auto run_env = [&](std::size_t len) {
+    interp::RuntimeInput in;
+    in.argv = {"ctree"};
+    in.env["STONESOUP_STACK_BUFFER_64"] = std::string(len, 'x');
+    interp::Interpreter it(app.module, in);
+    return it.run();
+  };
+  EXPECT_EQ(run_env(63).outcome, interp::RunOutcome::kOk);
+  const auto crash = run_env(64);
+  ASSERT_EQ(crash.outcome, interp::RunOutcome::kFault);
+  EXPECT_EQ(crash.fault.function, "initlinedraw");
+}
+
+TEST(Ctree, RunsCleanWithoutTaint) {
+  const AppSpec app = make_ctree();
+  interp::RuntimeInput in;
+  in.argv = {"ctree", "-n", "-q"};
+  interp::Interpreter it(app.module, in);
+  EXPECT_EQ(it.run().outcome, interp::RunOutcome::kOk);
+}
+
+TEST(Grep, CrashBoundaryExactly256) {
+  const AppSpec app = make_grep();
+  auto run_env = [&](std::size_t len) {
+    interp::RuntimeInput in;
+    in.argv = {"grep", "-e", "needle"};
+    in.env["GREP_STONESOUP_BUF"] = std::string(len, 'x');
+    interp::Interpreter it(app.module, in);
+    return it.run();
+  };
+  EXPECT_EQ(run_env(255).outcome, interp::RunOutcome::kOk);
+  const auto crash = run_env(256);
+  ASSERT_EQ(crash.outcome, interp::RunOutcome::kFault);
+  EXPECT_EQ(crash.fault.function, "stonesoup_handle_taint");
+}
+
+TEST(Grep, MatcherFindsAndCountsLines) {
+  const AppSpec app = make_grep();
+  interp::RuntimeInput in;
+  in.argv = {"grep", "-c", "-e", "needle"};
+  interp::Interpreter it(app.module, in);
+  const auto r = it.run();
+  ASSERT_EQ(r.outcome, interp::RunOutcome::kOk);
+  EXPECT_EQ(r.main_ret->i, 0);  // found: exit code 0
+}
+
+TEST(Grep, NoMatchIsExitOne) {
+  const AppSpec app = make_grep();
+  interp::RuntimeInput in;
+  in.argv = {"grep", "-e", "qqqqqqq"};
+  interp::Interpreter it(app.module, in);
+  const auto r = it.run();
+  ASSERT_EQ(r.outcome, interp::RunOutcome::kOk);
+  EXPECT_EQ(r.main_ret->i, 1);
+}
+
+TEST(Grep, DotWildcardMatches) {
+  const AppSpec app = make_grep();
+  interp::RuntimeInput in;
+  in.argv = {"grep", "-e", "b.x"};  // matches "box" in the corpus
+  interp::Interpreter it(app.module, in);
+  const auto r = it.run();
+  ASSERT_EQ(r.outcome, interp::RunOutcome::kOk);
+  EXPECT_EQ(r.main_ret->i, 0);
+}
+
+TEST(Grep, InvertSelectsNonMatching) {
+  const AppSpec app = make_grep();
+  interp::RuntimeInput in;
+  in.argv = {"grep", "-v", "-e", "zzzznever"};
+  interp::Interpreter it(app.module, in);
+  const auto r = it.run();
+  ASSERT_EQ(r.outcome, interp::RunOutcome::kOk);
+  EXPECT_EQ(r.main_ret->i, 0);  // every line selected
+}
+
+TEST(Thttpd, PlainPathCrashBoundary) {
+  const AppSpec app = make_thttpd();
+  auto run_req = [&](const std::string& path) {
+    interp::RuntimeInput in;
+    in.argv = {"thttpd"};
+    in.env["REQUEST"] = "GET " + path;
+    interp::Interpreter it(app.module, in);
+    return it.run();
+  };
+  // dfstr is 1000 bytes; a plain path of length 999 fits (NUL at 999), 1000
+  // overflows on the NUL store.
+  EXPECT_EQ(run_req(std::string(999, 'a')).outcome, interp::RunOutcome::kOk);
+  const auto crash = run_req(std::string(1000, 'a'));
+  ASSERT_EQ(crash.outcome, interp::RunOutcome::kFault);
+  EXPECT_EQ(crash.fault.function, "defang");
+}
+
+TEST(Thttpd, AngleBracketExpansionCrashesEarlier) {
+  const AppSpec app = make_thttpd();
+  interp::RuntimeInput in;
+  in.argv = {"thttpd"};
+  // 300 '<' expand 4x: 1200 > 1000 — crash despite the short path.
+  in.env["REQUEST"] = "GET " + std::string(300, '<');
+  interp::Interpreter it(app.module, in);
+  const auto r = it.run();
+  ASSERT_EQ(r.outcome, interp::RunOutcome::kFault);
+  EXPECT_EQ(r.fault.function, "defang");
+}
+
+TEST(Thttpd, MalformedRequestRejectedSafely) {
+  const AppSpec app = make_thttpd();
+  interp::RuntimeInput in;
+  in.argv = {"thttpd"};
+  in.env["REQUEST"] = "PUT /x";
+  interp::Interpreter it(app.module, in);
+  const auto r = it.run();
+  ASSERT_EQ(r.outcome, interp::RunOutcome::kOk);
+  EXPECT_EQ(r.main_ret->i, 1);  // 400 path
+}
+
+TEST(Fig2, FaultsExactlyAboveThreshold) {
+  const AppSpec app = make_fig2();
+  auto run_m = [&](std::int64_t m) {
+    interp::RuntimeInput in;
+    in.sym_ints["sym_m"] = m;
+    interp::Interpreter it(app.module, in);
+    return it.run().outcome;
+  };
+  EXPECT_EQ(run_m(3), interp::RunOutcome::kOk);
+  EXPECT_EQ(run_m(4), interp::RunOutcome::kFault);
+  EXPECT_EQ(run_m(100), interp::RunOutcome::kFault);
+  EXPECT_EQ(run_m(1500), interp::RunOutcome::kOk);   // guarded branch
+  EXPECT_EQ(run_m(-5), interp::RunOutcome::kOk);
+}
+
+TEST(TableOne, SizeOrderingMatchesPaper) {
+  // Paper Table I: polymorph (506) < CTree (3011) < Grep (6660) ~ thttpd
+  // (7939). The reproductions must preserve the ordering by IR size.
+  const auto poly = ir::compute_stats(make_polymorph().module);
+  const auto ctree = ir::compute_stats(make_ctree().module);
+  const auto grep = ir::compute_stats(make_grep().module);
+  const auto thttpd = ir::compute_stats(make_thttpd().module);
+  EXPECT_LT(poly.sloc, ctree.sloc);
+  EXPECT_LT(ctree.sloc, grep.sloc);
+  EXPECT_LT(ctree.sloc, thttpd.sloc);
+  // polymorph has the fewest external calls, thttpd/grep the most — as in
+  // Table I's Ext. Call column ordering.
+  EXPECT_LT(poly.ext_call_sites, grep.ext_call_sites);
+  EXPECT_LT(poly.ext_call_sites, thttpd.ext_call_sites);
+}
+
+TEST(Registry, UnknownAppThrows) {
+  EXPECT_THROW(make_app("nonexistent"), std::invalid_argument);
+}
+
+TEST(Registry, NamesListTheFourTargets) {
+  const auto names = app_names();
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names[0], "polymorph");
+  EXPECT_EQ(names[3], "thttpd");
+}
+
+}  // namespace
+}  // namespace statsym::apps

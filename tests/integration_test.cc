@@ -1,0 +1,157 @@
+// End-to-end integration: the paper's headline results reproduced as
+// assertions. For every target application StatSym discovers the documented
+// vulnerability from sampled logs, generates a concretely-replayable
+// crashing input, and explores far fewer paths than pure symbolic
+// execution; pure symbolic execution fails (memory) on ctree/grep/thttpd
+// while succeeding on polymorph — the Table IV shape.
+#include <gtest/gtest.h>
+
+#include "apps/registry.h"
+#include "apps/workload.h"
+#include "statsym/engine.h"
+
+namespace statsym {
+namespace {
+
+core::EngineOptions engine_opts() {
+  core::EngineOptions o;
+  o.monitor.sampling_rate = 0.3;  // the paper's headline configuration
+  o.candidate_timeout_seconds = 60.0;
+  o.exec.max_memory_bytes = 256ull << 20;
+  o.seed = 424242;
+  return o;
+}
+
+symexec::ExecOptions pure_opts() {
+  symexec::ExecOptions o;
+  o.searcher = symexec::SearcherKind::kRandomPath;  // KLEE-default flavour
+  o.max_memory_bytes = 256ull << 20;
+  o.max_seconds = 120.0;
+  o.max_instructions = 400'000'000;
+  return o;
+}
+
+struct GuidedOutcome {
+  bool found{false};
+  std::uint64_t paths{0};
+  std::string function;
+  interp::RuntimeInput input;
+};
+
+GuidedOutcome run_guided(const apps::AppSpec& app) {
+  core::StatSymEngine engine(app.module, app.sym_spec, engine_opts());
+  engine.collect_logs(app.workload);
+  const core::EngineResult res = engine.run();
+  GuidedOutcome out;
+  out.found = res.found;
+  out.paths = res.paths_explored;
+  if (res.found) {
+    out.function = res.vuln->function;
+    out.input = res.vuln->input;
+  }
+  return out;
+}
+
+class GuidedFindsAll : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Apps, GuidedFindsAll,
+                         ::testing::Values("polymorph", "ctree", "grep",
+                                           "thttpd"));
+
+TEST_P(GuidedFindsAll, DiscoversDocumentedVulnerability) {
+  const apps::AppSpec app = apps::make_app(GetParam());
+  const GuidedOutcome g = run_guided(app);
+  ASSERT_TRUE(g.found) << GetParam();
+  EXPECT_EQ(g.function, app.vuln_function);
+}
+
+TEST_P(GuidedFindsAll, GeneratedInputReplaysConcretely) {
+  const apps::AppSpec app = apps::make_app(GetParam());
+  const GuidedOutcome g = run_guided(app);
+  ASSERT_TRUE(g.found);
+  interp::Interpreter replay(app.module, g.input);
+  const auto rr = replay.run();
+  ASSERT_EQ(rr.outcome, interp::RunOutcome::kFault) << GetParam();
+  EXPECT_EQ(rr.fault.function, app.vuln_function);
+  EXPECT_EQ(rr.fault.kind, app.vuln_kind);
+}
+
+TEST(TableIV, PureFailsOnTheThreeLargeTargets) {
+  for (const char* name : {"ctree", "grep", "thttpd"}) {
+    const apps::AppSpec app = apps::make_app(name);
+    const auto r = core::run_pure_symbolic(app.module, app.sym_spec,
+                                           pure_opts());
+    EXPECT_EQ(r.termination, symexec::Termination::kOutOfMemory) << name;
+    EXPECT_FALSE(r.vuln.has_value()) << name;
+  }
+}
+
+TEST(TableIV, PureSucceedsOnPolymorphButSlowly) {
+  const apps::AppSpec app = apps::make_polymorph();
+  const auto pure = core::run_pure_symbolic(app.module, app.sym_spec,
+                                            pure_opts());
+  ASSERT_EQ(pure.termination, symexec::Termination::kFoundFault);
+  ASSERT_TRUE(pure.vuln.has_value());
+  EXPECT_EQ(pure.vuln->function, "convert_fileName");
+
+  const GuidedOutcome guided = run_guided(app);
+  ASSERT_TRUE(guided.found);
+  // The headline: StatSym explores drastically fewer paths (paper: 63 vs
+  // 8368, ~15x). Seed-to-seed variance in the statistics moves the exact
+  // factor; 3x is the floor any seed must clear.
+  EXPECT_LT(guided.paths * 3, pure.stats.paths_explored);
+}
+
+TEST(TableIV, GuidedExploresFarFewerPathsEverywhere) {
+  // ~85.3% fewer paths on average in the paper. Requiring at least 50%
+  // fewer per app (the average across apps is far higher — the three pure
+  // failures explore 50k+ paths against a few hundred guided).
+  for (const std::string& name : apps::app_names()) {
+    const apps::AppSpec app = apps::make_app(name);
+    const GuidedOutcome g = run_guided(app);
+    ASSERT_TRUE(g.found) << name;
+    const auto pure = core::run_pure_symbolic(app.module, app.sym_spec,
+                                              pure_opts());
+    EXPECT_LE(g.paths * 2, pure.stats.paths_explored) << name;
+  }
+}
+
+TEST(Sensitivity, PolymorphFoundAtTwentyPercentSampling) {
+  const apps::AppSpec app = apps::make_polymorph();
+  core::EngineOptions o = engine_opts();
+  o.monitor.sampling_rate = 0.2;
+  core::StatSymEngine engine(app.module, app.sym_spec, o);
+  engine.collect_logs(app.workload);
+  EXPECT_TRUE(engine.run().found);
+}
+
+TEST(Sensitivity, CtreeFoundAtTwentyPercentSampling) {
+  const apps::AppSpec app = apps::make_ctree();
+  core::EngineOptions o = engine_opts();
+  o.monitor.sampling_rate = 0.2;
+  core::StatSymEngine engine(app.module, app.sym_spec, o);
+  engine.collect_logs(app.workload);
+  EXPECT_TRUE(engine.run().found);
+}
+
+TEST(Robustness, FullSamplingAlsoWorks) {
+  const apps::AppSpec app = apps::make_ctree();
+  core::EngineOptions o = engine_opts();
+  o.monitor.sampling_rate = 1.0;
+  core::StatSymEngine engine(app.module, app.sym_spec, o);
+  engine.collect_logs(app.workload);
+  EXPECT_TRUE(engine.run().found);
+}
+
+TEST(Robustness, FewLogsStillWork) {
+  const apps::AppSpec app = apps::make_polymorph();
+  core::EngineOptions o = engine_opts();
+  o.target_correct_logs = 10;
+  o.target_faulty_logs = 10;
+  core::StatSymEngine engine(app.module, app.sym_spec, o);
+  engine.collect_logs(app.workload);
+  EXPECT_TRUE(engine.run().found);
+}
+
+}  // namespace
+}  // namespace statsym

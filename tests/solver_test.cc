@@ -1,0 +1,355 @@
+// Unit tests for the solver stack: intervals, expression pool +
+// simplification, propagation, satisfiability, models, caching and the
+// special-purpose machinery (hole splitting, counting-constraint repair).
+#include <gtest/gtest.h>
+
+#include "solver/cache.h"
+#include "solver/solver.h"
+
+namespace statsym::solver {
+namespace {
+
+TEST(Interval, BasicOps) {
+  const Interval a{1, 5};
+  const Interval b{3, 8};
+  EXPECT_EQ(intersect(a, b), (Interval{3, 5}));
+  EXPECT_EQ(hull(a, b), (Interval{1, 8}));
+  EXPECT_TRUE(intersect(Interval{1, 2}, Interval{3, 4}).is_empty());
+  EXPECT_TRUE(Interval::empty().is_empty());
+  EXPECT_TRUE(Interval::point(3).is_point());
+}
+
+TEST(Interval, ArithmeticRanges) {
+  EXPECT_EQ(iv_add({1, 2}, {10, 20}), (Interval{11, 22}));
+  EXPECT_EQ(iv_sub({1, 2}, {10, 20}), (Interval{-19, -8}));
+  EXPECT_EQ(iv_mul({-2, 3}, {4, 5}), (Interval{-10, 15}));
+  EXPECT_EQ(iv_neg({-3, 7}), (Interval{-7, 3}));
+}
+
+TEST(Interval, ArithmeticSaturates) {
+  const Interval big{INT64_MAX - 1, INT64_MAX};
+  EXPECT_EQ(iv_add(big, big).hi, INT64_MAX);
+  EXPECT_EQ(iv_mul(big, big).hi, INT64_MAX);
+  EXPECT_EQ(iv_neg(Interval{INT64_MIN, INT64_MIN}).hi, INT64_MAX);
+}
+
+TEST(Interval, Comparisons) {
+  EXPECT_EQ(iv_cmp_lt({1, 2}, {3, 4}), 1);
+  EXPECT_EQ(iv_cmp_lt({3, 4}, {1, 2}), 0);
+  EXPECT_EQ(iv_cmp_lt({1, 5}, {3, 4}), -1);
+  EXPECT_EQ(iv_cmp_le({1, 3}, {3, 4}), 1);
+  EXPECT_EQ(iv_cmp_eq({2, 2}, {2, 2}), 1);
+  EXPECT_EQ(iv_cmp_eq({1, 2}, {3, 4}), 0);
+  EXPECT_EQ(iv_cmp_ne({1, 2}, {3, 4}), 1);
+}
+
+TEST(ExprPool, HashConsing) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 10);
+  const ExprId a = p.add(p.var_expr(x), p.constant(3));
+  const ExprId b = p.add(p.var_expr(x), p.constant(3));
+  EXPECT_EQ(a, b);
+}
+
+TEST(ExprPool, CommutativeCanonicalisation) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 10);
+  const VarId y = p.new_var("y", 0, 10);
+  EXPECT_EQ(p.add(p.var_expr(x), p.var_expr(y)),
+            p.add(p.var_expr(y), p.var_expr(x)));
+  EXPECT_EQ(p.eq(p.var_expr(x), p.var_expr(y)),
+            p.eq(p.var_expr(y), p.var_expr(x)));
+}
+
+TEST(Simplify, ConstantFolding) {
+  ExprPool p;
+  EXPECT_EQ(p.const_val(p.add(p.constant(2), p.constant(3))), 5);
+  EXPECT_EQ(p.const_val(p.lt(p.constant(2), p.constant(3))), 1);
+  EXPECT_EQ(p.const_val(p.land(p.constant(1), p.constant(0))), 0);
+}
+
+TEST(Simplify, Identities) {
+  ExprPool p;
+  const ExprId x = p.var_expr(p.new_var("x", 0, 100));
+  EXPECT_EQ(p.add(x, p.constant(0)), x);
+  EXPECT_EQ(p.mul(x, p.constant(1)), x);
+  EXPECT_EQ(p.const_val(p.mul(x, p.constant(0))), 0);
+  EXPECT_EQ(p.const_val(p.sub(x, x)), 0);
+  EXPECT_EQ(p.eq(x, x), p.true_expr());
+  EXPECT_EQ(p.lt(x, x), p.false_expr());
+  EXPECT_EQ(p.le(x, x), p.true_expr());
+}
+
+TEST(Simplify, AddChainFolds) {
+  ExprPool p;
+  const ExprId x = p.var_expr(p.new_var("x", 0, 100));
+  const ExprId e = p.add(p.add(x, p.constant(3)), p.constant(4));
+  // (x + 3) + 4 -> x + 7
+  EXPECT_EQ(e, p.add(x, p.constant(7)));
+}
+
+TEST(Simplify, CmpOffsetNormalisation) {
+  ExprPool p;
+  const ExprId x = p.var_expr(p.new_var("x", -100, 100));
+  // (x + 3) < 10  ->  x < 7
+  EXPECT_EQ(p.lt(p.add(x, p.constant(3)), p.constant(10)),
+            p.lt(x, p.constant(7)));
+}
+
+TEST(Simplify, NotPushesThroughComparisons) {
+  ExprPool p;
+  const ExprId x = p.var_expr(p.new_var("x", -100, 100));
+  const ExprId lt = p.lt(x, p.constant(5));
+  EXPECT_EQ(p.lnot(lt), p.le(p.constant(5), x));
+  EXPECT_EQ(p.lnot(p.lnot(lt)), lt);
+  EXPECT_EQ(p.lnot(p.eq(x, p.constant(1))), p.ne(x, p.constant(1)));
+}
+
+TEST(ExprPool, EvalMatchesSemantics) {
+  ExprPool p;
+  const VarId x = p.new_var("x", -100, 100);
+  const VarId y = p.new_var("y", -100, 100);
+  const ExprId e = p.land(p.lt(p.var_expr(x), p.var_expr(y)),
+                          p.ne(p.var_expr(x), p.constant(0)));
+  EXPECT_EQ(p.eval(e, {{x, 1}, {y, 5}}), 1);
+  EXPECT_EQ(p.eval(e, {{x, 0}, {y, 5}}), 0);
+  EXPECT_EQ(p.eval(e, {{x, 6}, {y, 5}}), 0);
+}
+
+TEST(ExprPool, CollectVarsDeduplicates) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 10);
+  const VarId y = p.new_var("y", 0, 10);
+  const ExprId e =
+      p.add(p.add(p.var_expr(x), p.var_expr(y)), p.var_expr(x));
+  std::vector<VarId> vars;
+  p.collect_vars(e, vars);
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(Propagate, NarrowsUnaryComparison) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 255);
+  DomainMap d;
+  ASSERT_TRUE(propagate(p, p.lt(p.var_expr(x), p.constant(10)), true, d));
+  EXPECT_EQ(d.get(x, p), (Interval{0, 9}));
+  ASSERT_TRUE(propagate(p, p.le(p.constant(3), p.var_expr(x)), true, d));
+  EXPECT_EQ(d.get(x, p), (Interval{3, 9}));
+}
+
+TEST(Propagate, DetectsContradiction) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 255);
+  DomainMap d;
+  ASSERT_TRUE(propagate(p, p.lt(p.var_expr(x), p.constant(10)), true, d));
+  EXPECT_FALSE(propagate(p, p.le(p.constant(10), p.var_expr(x)), true, d));
+}
+
+TEST(Propagate, NarrowsThroughAddition) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 255);
+  DomainMap d;
+  // x + 5 == 12  ->  x == 7
+  ASSERT_TRUE(propagate(
+      p, p.eq(p.add(p.var_expr(x), p.constant(5)), p.constant(12)), true, d));
+  EXPECT_EQ(d.get(x, p), Interval::point(7));
+}
+
+TEST(Propagate, NarrowsBinaryRelation) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 100);
+  const VarId y = p.new_var("y", 0, 100);
+  DomainMap d;
+  d.set(y, {0, 10});
+  ASSERT_TRUE(propagate(p, p.lt(p.var_expr(y), p.var_expr(x)), true, d));
+  EXPECT_GE(d.get(x, p).lo, 1);  // x > y >= 0
+}
+
+TEST(Propagate, AndOrSemantics) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 100);
+  const ExprId lt5 = p.lt(p.var_expr(x), p.constant(5));
+  const ExprId gt50 = p.lt(p.constant(50), p.var_expr(x));
+  DomainMap d;
+  // (x<5 || x>50) with x<5 known false narrows to x>50.
+  ASSERT_TRUE(propagate(p, p.le(p.constant(10), p.var_expr(x)), true, d));
+  ASSERT_TRUE(propagate(p, p.lor(lt5, gt50), true, d));
+  EXPECT_GE(d.get(x, p).lo, 51);
+}
+
+TEST(DomainMap, VersionTracksChanges) {
+  ExprPool p;
+  const VarId x = p.new_var("x", 0, 100);
+  DomainMap d;
+  const auto v0 = d.version();
+  d.set(x, {0, 50});
+  EXPECT_GT(d.version(), v0);
+  const auto v1 = d.version();
+  d.set(x, {0, 50});  // no change
+  EXPECT_EQ(d.version(), v1);
+}
+
+Solver make_solver(ExprPool& p, SolverOptions opts = {}) {
+  return Solver(p, opts);
+}
+
+TEST(Solver, SatWithModel) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 255);
+  const VarId y = p.new_var("y", 0, 255);
+  const std::vector<ExprId> cs{
+      p.lt(p.var_expr(x), p.var_expr(y)),
+      p.eq(p.add(p.var_expr(x), p.var_expr(y)), p.constant(10)),
+  };
+  const auto r = s.check(cs);
+  ASSERT_EQ(r.sat, Sat::kSat);
+  for (ExprId c : cs) EXPECT_EQ(p.eval(c, r.model), 1);
+}
+
+TEST(Solver, UnsatDetected) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 255);
+  const std::vector<ExprId> cs{
+      p.lt(p.var_expr(x), p.constant(5)),
+      p.lt(p.constant(7), p.var_expr(x)),
+  };
+  EXPECT_EQ(s.check(cs).sat, Sat::kUnsat);
+}
+
+TEST(Solver, EmptyQueryIsSat) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  EXPECT_EQ(s.check({}).sat, Sat::kSat);
+}
+
+TEST(Solver, ConstFalseIsUnsat) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const std::vector<ExprId> cs{p.false_expr()};
+  EXPECT_EQ(s.check(cs).sat, Sat::kUnsat);
+}
+
+TEST(Solver, HoleSplittingSolvesDisequalityChains) {
+  // x in [0,10], x != 0..9 forces x == 10 — interval bisection alone zigzags,
+  // hole splitting resolves each disequality in one node.
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 10);
+  std::vector<ExprId> cs;
+  for (int k = 0; k < 10; ++k) {
+    cs.push_back(p.ne(p.var_expr(x), p.constant(k)));
+  }
+  const auto r = s.check(cs);
+  ASSERT_EQ(r.sat, Sat::kSat);
+  EXPECT_EQ(r.model.at(x), 10);
+}
+
+TEST(Solver, CountingConstraintRepairFindsRareModel) {
+  // At least 20 of 64 bytes must equal 46 — mean under uniform sampling is
+  // ~0.25, so only the repair pass can reach it.
+  ExprPool p;
+  Solver s = make_solver(p);
+  std::vector<VarId> bytes;
+  ExprId sum = p.constant(0);
+  for (int i = 0; i < 64; ++i) {
+    bytes.push_back(p.new_var("b" + std::to_string(i), 1, 255));
+    sum = p.add(sum, p.eq(p.var_expr(bytes.back()), p.constant(46)));
+  }
+  const std::vector<ExprId> cs{p.le(p.constant(20), sum)};
+  const auto r = s.check(cs);
+  ASSERT_EQ(r.sat, Sat::kSat);
+  int count = 0;
+  for (VarId b : bytes) {
+    if (r.model.at(b) == 46) ++count;
+  }
+  EXPECT_GE(count, 20);
+}
+
+TEST(Solver, CountingUpperBoundRepair) {
+  // At most 2 of 32 bytes equal 'A' while every byte is in ['A','C'].
+  ExprPool p;
+  Solver s = make_solver(p);
+  ExprId sum = p.constant(0);
+  std::vector<ExprId> cs;
+  std::vector<VarId> bytes;
+  for (int i = 0; i < 32; ++i) {
+    bytes.push_back(p.new_var("b" + std::to_string(i), 'A', 'C'));
+    sum = p.add(sum, p.eq(p.var_expr(bytes.back()), p.constant('A')));
+  }
+  cs.push_back(p.le(sum, p.constant(2)));
+  const auto r = s.check(cs);
+  ASSERT_EQ(r.sat, Sat::kSat);
+  int count = 0;
+  for (VarId b : bytes) {
+    if (r.model.at(b) == 'A') ++count;
+  }
+  EXPECT_LE(count, 2);
+}
+
+TEST(Solver, PropagationOnlyModeReturnsUnknown) {
+  ExprPool p;
+  SolverOptions opts;
+  opts.propagation_only = true;
+  Solver s(p, opts);
+  // Needs search/sampling: x*x style cross constraint undecidable by
+  // intervals alone at this width.
+  const VarId x = p.new_var("x", 0, 255);
+  const VarId y = p.new_var("y", 0, 255);
+  const std::vector<ExprId> cs{
+      p.eq(p.add(p.var_expr(x), p.var_expr(y)), p.constant(256)),
+      p.ne(p.var_expr(x), p.var_expr(y)),
+      p.lt(p.var_expr(y), p.var_expr(x)),
+  };
+  const auto r = s.check(cs);
+  // Either decided quickly by the model probes or reported unknown — but
+  // never a wrong unsat.
+  EXPECT_NE(r.sat, Sat::kUnsat);
+}
+
+TEST(Solver, StatsAccumulate) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 9);
+  const std::vector<ExprId> cs{p.lt(p.var_expr(x), p.constant(5))};
+  s.check(cs);
+  s.check(cs);
+  EXPECT_EQ(s.stats().queries, 2u);
+  EXPECT_EQ(s.stats().sat, 2u);
+}
+
+TEST(Solver, CacheHitsOnRepeatedQuery) {
+  ExprPool p;
+  QueryCache cache;
+  Solver s = make_solver(p);
+  s.set_cache(&cache);
+  const VarId x = p.new_var("x", 0, 9);
+  const std::vector<ExprId> cs{p.lt(p.var_expr(x), p.constant(5))};
+  s.check(cs);
+  EXPECT_EQ(s.stats().cache_hits, 0u);
+  s.check(cs);
+  EXPECT_EQ(s.stats().cache_hits, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(QueryCache, KeyIsOrderCanonical) {
+  const std::vector<ExprId> a{1, 2, 3};
+  const std::vector<ExprId> b{1, 2, 4};
+  EXPECT_NE(QueryCache::key_of(a), QueryCache::key_of(b));
+  EXPECT_NE(QueryCache::key_of(a), 0u);
+}
+
+TEST(Solver, CheckWithAppendsConstraint) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 9);
+  const std::vector<ExprId> cs{p.lt(p.var_expr(x), p.constant(5))};
+  EXPECT_EQ(s.check_with(cs, p.le(p.constant(5), p.var_expr(x))).sat,
+            Sat::kUnsat);
+  EXPECT_EQ(s.check_with(cs, p.le(p.constant(2), p.var_expr(x))).sat,
+            Sat::kSat);
+}
+
+}  // namespace
+}  // namespace statsym::solver

@@ -1,0 +1,283 @@
+// Tests for the statistical analysis module: sample aggregation, predicate
+// fitting (Eq. 1 / Eq. 2), ranking, and transition mining (Eq. 3).
+#include <gtest/gtest.h>
+
+#include "stats/predicate_manager.h"
+#include "stats/transition_graph.h"
+#include "support/rng.h"
+
+namespace statsym::stats {
+namespace {
+
+using monitor::LogRecord;
+using monitor::RunLog;
+using monitor::VarKind;
+using monitor::VarSample;
+
+VarSample mk_var(const std::string& name, double value, bool is_len = false,
+                 VarKind kind = VarKind::kParam) {
+  VarSample v;
+  v.name = name;
+  v.kind = kind;
+  v.is_len = is_len;
+  v.value = value;
+  return v;
+}
+
+RunLog mk_log(std::int32_t id, bool faulty,
+              std::vector<LogRecord> records) {
+  RunLog log;
+  log.run_id = id;
+  log.faulty = faulty;
+  log.records = std::move(records);
+  return log;
+}
+
+TEST(SampleSet, BucketsByLocationAndVariable) {
+  std::vector<RunLog> logs;
+  logs.push_back(mk_log(0, false, {{2, {mk_var("x", 1.0)}},
+                                   {4, {mk_var("x", 2.0)}}}));
+  logs.push_back(mk_log(1, true, {{2, {mk_var("x", 9.0)}}}));
+  SampleSet s;
+  s.build(logs);
+  EXPECT_EQ(s.num_correct_runs(), 1u);
+  EXPECT_EQ(s.num_faulty_runs(), 1u);
+  // Same variable at different locations is kept separate (§V-A).
+  ASSERT_EQ(s.entries().size(), 2u);
+  const auto& at2 = s.entries()[0].loc == 2 ? s.entries()[0] : s.entries()[1];
+  EXPECT_EQ(at2.correct.size(), 1u);
+  EXPECT_EQ(at2.faulty.size(), 1u);
+  EXPECT_EQ(s.loc_correct_runs(2), 1u);
+  EXPECT_EQ(s.loc_faulty_runs(4), 0u);
+}
+
+TEST(Predicate, PerfectSeparationScoresOne) {
+  VarSamples vs;
+  vs.loc = 1;
+  vs.var = "len(s FUNCPARAM)";
+  vs.correct = {10, 20, 30};
+  vs.faulty = {100, 200, 150};
+  vs.correct_runs = 3;
+  vs.faulty_runs = 3;
+  Predicate p;
+  ASSERT_TRUE(fit_predicate(vs, 3, 3, p));
+  EXPECT_DOUBLE_EQ(p.score, 1.0);
+  EXPECT_EQ(p.error, 0u);
+  EXPECT_EQ(p.pk, PredKind::kGt);
+  EXPECT_GT(p.threshold, 30.0);
+  EXPECT_LT(p.threshold, 100.0);
+  // The fitted predicate indeed separates the samples.
+  for (double v : vs.correct) EXPECT_FALSE(p.holds(v));
+  for (double v : vs.faulty) EXPECT_TRUE(p.holds(v));
+}
+
+TEST(Predicate, LowerDirectionDetected) {
+  VarSamples vs;
+  vs.loc = 1;
+  vs.var = "x FUNCPARAM";
+  vs.correct = {50, 60, 70};
+  vs.faulty = {1, 2, 3};
+  Predicate p;
+  ASSERT_TRUE(fit_predicate(vs, 3, 3, p));
+  EXPECT_EQ(p.pk, PredKind::kLt);
+  EXPECT_DOUBLE_EQ(p.score, 1.0);
+}
+
+TEST(Predicate, ThresholdMinimisesQuantificationError) {
+  // Overlapping distributions: optimal cut must minimise Eq. 1 exactly.
+  VarSamples vs;
+  vs.loc = 1;
+  vs.var = "x FUNCPARAM";
+  vs.correct = {1, 2, 3, 4, 10};   // one outlier at 10
+  vs.faulty = {5, 6, 7, 8, 9};
+  Predicate p;
+  ASSERT_TRUE(fit_predicate(vs, 5, 5, p));
+  // Exhaustive scan over all cuts and directions to compute ground truth.
+  std::size_t best = SIZE_MAX;
+  std::vector<double> all = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  for (std::size_t i = 0; i + 1 < all.size(); ++i) {
+    const double cut = (all[i] + all[i + 1]) / 2;
+    for (bool gt : {true, false}) {
+      std::size_t err = 0;
+      for (double v : vs.correct) {
+        if (gt ? v > cut : v < cut) ++err;  // |P ∩ C|
+      }
+      for (double v : vs.faulty) {
+        if (!(gt ? v > cut : v < cut)) ++err;  // |Pᶜ ∩ F|
+      }
+      best = std::min(best, err);
+    }
+  }
+  EXPECT_EQ(p.error, best);
+}
+
+TEST(Predicate, UnreachedVariableGetsNegInfinity) {
+  VarSamples vs;
+  vs.loc = 3;
+  vs.var = "track GLOBAL";
+  vs.kind = VarKind::kGlobal;
+  vs.correct = {0, 1, 2};
+  vs.correct_runs = 3;
+  // Never observed in faulty runs: the location is post-failure.
+  Predicate p;
+  ASSERT_TRUE(fit_predicate(vs, 4, 5, p));
+  EXPECT_EQ(p.pk, PredKind::kUnreached);
+  EXPECT_EQ(p.display(), "track GLOBAL < -infinity");
+  EXPECT_DOUBLE_EQ(p.score, 0.75);  // 3 of 4 correct runs observed it
+  EXPECT_FALSE(p.holds(123.0));
+}
+
+TEST(Predicate, IdenticalDistributionsRejected) {
+  VarSamples vs;
+  vs.loc = 1;
+  vs.var = "x FUNCPARAM";
+  vs.correct = {5, 5, 5};
+  vs.faulty = {5, 5};
+  Predicate p;
+  EXPECT_FALSE(fit_predicate(vs, 3, 2, p));
+}
+
+TEST(Predicate, DisplayMatchesPaperFormat) {
+  Predicate p;
+  p.var = "len(suspect FUNCPARAM)";
+  p.pk = PredKind::kGt;
+  p.threshold = 536.5;
+  EXPECT_EQ(p.display(), "len(suspect FUNCPARAM) > 536.5");
+}
+
+TEST(PredicateManager, RanksByScore) {
+  std::vector<RunLog> logs;
+  // Variable "good" separates perfectly; "noisy" only partially.
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const bool faulty = i % 2 == 1;
+    const double good = faulty ? 100 + i : i;
+    const double noisy = rng.uniform(0, 10) + (faulty ? 3 : 0);
+    logs.push_back(mk_log(i, faulty,
+                          {{0, {mk_var("good", good), mk_var("noisy", noisy)}}}));
+  }
+  SampleSet s;
+  s.build(logs);
+  PredicateManager pm;
+  pm.build(s);
+  ASSERT_GE(pm.ranked().size(), 2u);
+  EXPECT_EQ(pm.ranked()[0].var, "good FUNCPARAM");
+  EXPECT_DOUBLE_EQ(pm.ranked()[0].score, 1.0);
+  EXPECT_LT(pm.ranked()[1].score, 1.0);
+  EXPECT_DOUBLE_EQ(pm.loc_score(0), 1.0);
+  EXPECT_DOUBLE_EQ(pm.loc_score(99), 0.0);
+}
+
+TEST(PredicateManager, ThresholdKindOutranksUnreachedAtEqualScore) {
+  std::vector<RunLog> logs;
+  for (int i = 0; i < 10; ++i) {
+    const bool faulty = i % 2 == 1;
+    LogRecord rec0{0, {mk_var("sep", faulty ? 50.0 : 1.0)}};
+    logs.push_back(mk_log(i, faulty, {rec0}));
+    if (!faulty) {
+      // Location 1 observed only on correct runs -> unreached predicate
+      // with score 1.0.
+      logs.back().records.push_back({1, {mk_var("post", 1.0)}});
+    }
+  }
+  SampleSet s;
+  s.build(logs);
+  PredicateManager pm;
+  pm.build(s);
+  ASSERT_GE(pm.ranked().size(), 2u);
+  EXPECT_EQ(pm.ranked()[0].pk, PredKind::kGt);
+  EXPECT_EQ(pm.ranked()[1].pk, PredKind::kUnreached);
+}
+
+TEST(TransitionGraph, CountsAndConfidence) {
+  std::vector<RunLog> logs;
+  // Faulty logs: A->B->C twice; A->C once.
+  logs.push_back(mk_log(0, true, {{0, {}}, {1, {}}, {2, {}}}));
+  logs.push_back(mk_log(1, true, {{0, {}}, {1, {}}, {2, {}}}));
+  logs.push_back(mk_log(2, true, {{0, {}}, {2, {}}}));
+  logs.push_back(mk_log(3, false, {{5, {}}, {6, {}}}));  // correct: ignored
+  TransitionGraphOptions opts;
+  opts.min_count = 1;
+  opts.min_confidence = 0.0;
+  TransitionGraph g(opts);
+  g.build(logs);
+  EXPECT_EQ(g.occurrences(0), 3u);
+  EXPECT_EQ(g.occurrences(5), 0u);  // faulty-only mining
+  const auto& succ = g.successors(0);
+  ASSERT_EQ(succ.size(), 2u);
+  // mu(0->1) = 2/3, mu(0->2) = 1/3.
+  EXPECT_EQ(succ[0].to, 1);
+  EXPECT_NEAR(succ[0].confidence, 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(succ[1].confidence, 1.0 / 3.0, 1e-9);
+  EXPECT_TRUE(g.has_edge(1, 2));
+  EXPECT_FALSE(g.has_edge(2, 0));
+}
+
+TEST(TransitionGraph, ThresholdsFilterEdges) {
+  std::vector<RunLog> logs;
+  for (int i = 0; i < 100; ++i) {
+    logs.push_back(mk_log(i, true, {{0, {}}, {1, {}}}));
+  }
+  logs.push_back(mk_log(100, true, {{0, {}}, {9, {}}}));  // rare transition
+  TransitionGraphOptions opts;
+  opts.min_confidence = 0.05;
+  opts.min_count = 2;
+  TransitionGraph g(opts);
+  g.build(logs);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 9));  // count 1 < 2 and mu ~0.01 < 0.05
+}
+
+TEST(TransitionGraph, EntryCandidateIsModalFirstRecord) {
+  std::vector<RunLog> logs;
+  for (int i = 0; i < 20; ++i) {
+    logs.push_back(mk_log(i, true, {{0, {}}, {1, {}}, {2, {}}}));
+  }
+  for (int i = 0; i < 5; ++i) {
+    // Sampling dropped the first record in a few logs; those openings must
+    // not displace the true entry.
+    logs.push_back(mk_log(100 + i, true, {{1, {}}, {2, {}}}));
+  }
+  TransitionGraph g;
+  g.build(logs);
+  const auto entries = g.entry_candidates();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], 0);
+}
+
+TEST(TransitionGraph, EntryCandidatesFallBackWithoutLogs) {
+  TransitionGraph g;
+  g.build({});
+  EXPECT_TRUE(g.entry_candidates().empty());
+}
+
+TEST(TransitionGraph, FailureNodeIsModalLastRecord) {
+  std::vector<RunLog> logs;
+  logs.push_back(mk_log(0, true, {{0, {}}, {7, {}}}));
+  logs.push_back(mk_log(1, true, {{0, {}}, {7, {}}}));
+  logs.push_back(mk_log(2, true, {{0, {}}, {3, {}}}));
+  logs.push_back(mk_log(3, false, {{0, {}}, {9, {}}}));  // correct ignored
+  EXPECT_EQ(TransitionGraph::failure_node(logs), 7);
+}
+
+TEST(TransitionGraph, FailureNodeNoFaultyLogs) {
+  std::vector<RunLog> logs;
+  logs.push_back(mk_log(0, false, {{0, {}}}));
+  EXPECT_EQ(TransitionGraph::failure_node(logs), monitor::kNoLoc);
+}
+
+TEST(TransitionGraph, SelfLoopDoesNotHideEntry) {
+  std::vector<RunLog> logs;
+  logs.push_back(mk_log(0, true, {{0, {}}, {0, {}}, {1, {}}}));
+  logs.push_back(mk_log(1, true, {{0, {}}, {1, {}}}));
+  TransitionGraphOptions opts;
+  opts.min_confidence = 0.0;
+  opts.min_count = 1;
+  TransitionGraph g(opts);
+  g.build(logs);
+  const auto entries = g.entry_nodes();
+  EXPECT_NE(std::find(entries.begin(), entries.end(), 0), entries.end());
+}
+
+}  // namespace
+}  // namespace statsym::stats

@@ -1,0 +1,172 @@
+// Differential tests for the IR stdlib (apps/stdlib): every routine is run
+// through the concrete interpreter and compared against the C++ reference
+// implementation on a parameterised corpus of strings.
+#include <gtest/gtest.h>
+
+#include "apps/stdlib.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+
+namespace statsym::apps {
+namespace {
+
+using interp::Interpreter;
+using interp::RunOutcome;
+using interp::RuntimeInput;
+using ir::ModuleBuilder;
+using ir::Reg;
+
+// Builds a module whose main() feeds argv[1] (and argv[2]) to `fn` and
+// returns the result.
+ir::Module harness(const std::string& fn, int nargs, std::int64_t extra = 0) {
+  ModuleBuilder mb("h");
+  emit_stdlib(mb);
+  auto f = mb.func("main", {});
+  std::vector<Reg> args;
+  for (int i = 1; i <= nargs; ++i) args.push_back(f.arg(f.ci(i)));
+  if (fn == "__strncpy") {
+    // dst buffer + src + n
+    const Reg dst = f.alloca_buf(64);
+    f.call_void("__strncpy", {dst, args[0], f.ci(extra)});
+    f.ret(f.call("__strlen", {dst}));
+    return mb.build();
+  }
+  if (fn == "__strcpy" || fn == "__strcat") {
+    const Reg dst = f.alloca_buf(256);
+    if (fn == "__strcat") f.call_void("__strcpy", {dst, args[0]});
+    const Reg r = f.call(fn, {dst, args[nargs - 1]});
+    f.ret(r);
+    return mb.build();
+  }
+  if (fn == "__count_char") {
+    f.ret(f.call(fn, {args[0], f.ci(extra)}));
+    return mb.build();
+  }
+  f.ret(f.call(fn, args));
+  return mb.build();
+}
+
+std::int64_t run1(const ir::Module& m, const std::string& a,
+                  const std::string& b = "") {
+  RuntimeInput in;
+  in.argv = {"h", a};
+  if (!b.empty()) in.argv.push_back(b);
+  Interpreter it(m, in);
+  const auto r = it.run();
+  EXPECT_EQ(r.outcome, RunOutcome::kOk) << "input: '" << a << "'";
+  return r.main_ret ? r.main_ret->i : -999;
+}
+
+class StdlibStrings : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, StdlibStrings,
+    ::testing::Values("", "a", "abc", "Hello World", "UPPER", "lower",
+                      "MiXeD123", ".", "..", "a.b.c", "....", "-42", "123",
+                      "0", "-0", "zzzz", "A", "Z", "@@x@@",
+                      "The Quick Brown Fox!"));
+
+TEST_P(StdlibStrings, StrlenMatchesReference) {
+  static const ir::Module m = harness("__strlen", 1);
+  EXPECT_EQ(run1(m, GetParam()),
+            static_cast<std::int64_t>(GetParam().size()));
+}
+
+TEST_P(StdlibStrings, StrcpyReturnsLength) {
+  static const ir::Module m = harness("__strcpy", 1);
+  EXPECT_EQ(run1(m, GetParam()),
+            static_cast<std::int64_t>(GetParam().size()));
+}
+
+TEST_P(StdlibStrings, StrcatAppends) {
+  static const ir::Module m = harness("__strcat", 1);
+  // dst starts as a copy of the same string, so total length doubles.
+  EXPECT_EQ(run1(m, GetParam()),
+            static_cast<std::int64_t>(2 * GetParam().size()));
+}
+
+TEST_P(StdlibStrings, TolowerReportsChange) {
+  static const ir::Module m = harness("__tolower_str", 1);
+  bool has_upper = false;
+  for (char c : GetParam()) has_upper |= (c >= 'A' && c <= 'Z');
+  EXPECT_EQ(run1(m, GetParam()), has_upper ? 1 : 0);
+}
+
+TEST_P(StdlibStrings, CountCharCountsDots) {
+  static const ir::Module m = harness("__count_char", 1, '.');
+  std::int64_t want = 0;
+  for (char c : GetParam()) {
+    if (c == '.') ++want;
+  }
+  EXPECT_EQ(run1(m, GetParam()), want);
+}
+
+TEST_P(StdlibStrings, AtoiMatchesReference) {
+  static const ir::Module m = harness("__atoi", 1);
+  const std::string& s = GetParam();
+  // Reference semantics: optional '-', leading digits only.
+  std::int64_t want = 0;
+  std::size_t i = 0;
+  bool neg = false;
+  if (!s.empty() && s[0] == '-') {
+    neg = true;
+    i = 1;
+  }
+  for (; i < s.size() && s[i] >= '0' && s[i] <= '9'; ++i) {
+    want = want * 10 + (s[i] - '0');
+  }
+  if (neg) want = -want;
+  EXPECT_EQ(run1(m, s), want);
+}
+
+TEST(Stdlib, StreqAgreement) {
+  static const ir::Module m = harness("__streq", 2);
+  const std::vector<std::pair<std::string, std::string>> cases = {
+      {"", ""},      {"a", "a"},     {"a", "b"},   {"ab", "a"},
+      {"a", "ab"},   {"same", "same"}, {"Same", "same"},
+  };
+  for (const auto& [a, b] : cases) {
+    RuntimeInput in;
+    in.argv = {"h", a, b};
+    Interpreter it(m, in);
+    const auto r = it.run();
+    ASSERT_EQ(r.outcome, RunOutcome::kOk);
+    EXPECT_EQ(r.main_ret->i, a == b ? 1 : 0) << a << " vs " << b;
+  }
+}
+
+TEST(Stdlib, StrncpyBoundsAndTerminates) {
+  static const ir::Module m = harness("__strncpy", 1, 8);
+  // n = 8: at most 7 bytes copied, always NUL-terminated.
+  EXPECT_EQ(run1(m, "short"), 5);
+  EXPECT_EQ(run1(m, "exactly7"), 7);
+  EXPECT_EQ(run1(m, "muchlongerthanlimit"), 7);
+}
+
+TEST(Stdlib, StrcpyOverflowsSmallBuffer) {
+  // The unchecked copy is the vulnerability sink: a 4-byte destination
+  // faults for strings of length >= 4.
+  ModuleBuilder mb("h");
+  emit_stdlib(mb);
+  auto f = mb.func("main", {});
+  const Reg dst = f.alloca_buf(4);
+  f.call_void("__strcpy", {dst, f.arg(f.ci(1))});
+  f.ret(f.ci(0));
+  const ir::Module m = mb.build();
+
+  {
+    RuntimeInput in;
+    in.argv = {"h", "abc"};  // 3 chars + NUL: exactly fits
+    EXPECT_EQ(Interpreter(m, in).run().outcome, RunOutcome::kOk);
+  }
+  {
+    RuntimeInput in;
+    in.argv = {"h", "abcd"};  // NUL lands out of bounds
+    const auto r = Interpreter(m, in).run();
+    ASSERT_EQ(r.outcome, RunOutcome::kFault);
+    EXPECT_EQ(r.fault.kind, interp::FaultKind::kOobStore);
+  }
+}
+
+}  // namespace
+}  // namespace statsym::apps

@@ -1,0 +1,179 @@
+// Unit tests for the support library: deterministic RNG, string helpers,
+// and the table renderer.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/table.h"
+
+namespace statsym {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::int64_t v = rng.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng rng(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(rng.uniform(9, 9), 9);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedPickProportions) {
+  Rng rng(19);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 60'000; ++i) {
+    ++counts[rng.weighted_pick({1.0, 2.0, 3.0})];
+  }
+  EXPECT_NEAR(counts[0] / 10'000.0, 1.0, 0.2);
+  EXPECT_NEAR(counts[1] / 10'000.0, 2.0, 0.25);
+  EXPECT_NEAR(counts[2] / 10'000.0, 3.0, 0.3);
+}
+
+TEST(Rng, WeightedPickIgnoresNonPositive) {
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.weighted_pick({0.0, 5.0, -1.0}), 1u);
+  }
+}
+
+TEST(Rng, SplitIsIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  // The split stream differs from the parent's continuation.
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Strings, SplitBasic) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitEmpty) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, "|"), "x|y|z");
+  EXPECT_EQ(split(join(parts, "|"), '|'), parts);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("convert_fileName", "convert"));
+  EXPECT_FALSE(starts_with("ab", "abc"));
+  EXPECT_TRUE(ends_with("main():enter", ":enter"));
+  EXPECT_FALSE(ends_with("x", "xx"));
+}
+
+TEST(Strings, ParseI64) {
+  std::int64_t v = 0;
+  EXPECT_TRUE(parse_i64("-123", v));
+  EXPECT_EQ(v, -123);
+  EXPECT_FALSE(parse_i64("12x", v));
+  EXPECT_FALSE(parse_i64("", v));
+  EXPECT_FALSE(parse_i64("999999999999999999999999", v));
+}
+
+TEST(Strings, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(parse_double("3.5", v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(parse_double("-inf", v));
+  EXPECT_FALSE(parse_double("abc", v));
+}
+
+TEST(Strings, FmtDouble) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "n"});
+  t.add_row({"polymorph", "63"});
+  t.add_row({"ctree", "112"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("polymorph  63"), std::string::npos);
+  EXPECT_NE(out.find("ctree"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, PadsMissingCells) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.render().find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace statsym
