@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_path_lengths.dir/bench_fig7_path_lengths.cc.o"
+  "CMakeFiles/bench_fig7_path_lengths.dir/bench_fig7_path_lengths.cc.o.d"
+  "bench_fig7_path_lengths"
+  "bench_fig7_path_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_path_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_statsym_vs_pure.dir/bench_table4_statsym_vs_pure.cc.o"
+  "CMakeFiles/bench_table4_statsym_vs_pure.dir/bench_table4_statsym_vs_pure.cc.o.d"
+  "bench_table4_statsym_vs_pure"
+  "bench_table4_statsym_vs_pure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_statsym_vs_pure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_polymorph_predicates.dir/bench_table5_polymorph_predicates.cc.o"
+  "CMakeFiles/bench_table5_polymorph_predicates.dir/bench_table5_polymorph_predicates.cc.o.d"
+  "bench_table5_polymorph_predicates"
+  "bench_table5_polymorph_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_polymorph_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

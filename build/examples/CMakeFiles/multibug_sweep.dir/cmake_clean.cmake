@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multibug_sweep.dir/multibug_sweep.cpp.o"
+  "CMakeFiles/multibug_sweep.dir/multibug_sweep.cpp.o.d"
+  "multibug_sweep"
+  "multibug_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multibug_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymorph_hunt.dir/polymorph_hunt.cpp.o"
+  "CMakeFiles/polymorph_hunt.dir/polymorph_hunt.cpp.o.d"
+  "polymorph_hunt"
+  "polymorph_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymorph_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_study.dir/sampling_study.cpp.o"
+  "CMakeFiles/sampling_study.dir/sampling_study.cpp.o.d"
+  "sampling_study"
+  "sampling_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_audit.dir/server_audit.cpp.o"
+  "CMakeFiles/server_audit.dir/server_audit.cpp.o.d"
+  "server_audit"
+  "server_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym.dir/tools/statsym_cli.cc.o"
+  "CMakeFiles/statsym.dir/tools/statsym_cli.cc.o.d"
+  "statsym"
+  "statsym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

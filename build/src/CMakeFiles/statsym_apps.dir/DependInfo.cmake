@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ctree.cc" "src/CMakeFiles/statsym_apps.dir/apps/ctree.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/ctree.cc.o.d"
+  "/root/repo/src/apps/fig2.cc" "src/CMakeFiles/statsym_apps.dir/apps/fig2.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/fig2.cc.o.d"
+  "/root/repo/src/apps/grep.cc" "src/CMakeFiles/statsym_apps.dir/apps/grep.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/grep.cc.o.d"
+  "/root/repo/src/apps/polymorph.cc" "src/CMakeFiles/statsym_apps.dir/apps/polymorph.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/polymorph.cc.o.d"
+  "/root/repo/src/apps/registry.cc" "src/CMakeFiles/statsym_apps.dir/apps/registry.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/registry.cc.o.d"
+  "/root/repo/src/apps/stdlib.cc" "src/CMakeFiles/statsym_apps.dir/apps/stdlib.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/stdlib.cc.o.d"
+  "/root/repo/src/apps/thttpd.cc" "src/CMakeFiles/statsym_apps.dir/apps/thttpd.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/thttpd.cc.o.d"
+  "/root/repo/src/apps/workload.cc" "src/CMakeFiles/statsym_apps.dir/apps/workload.cc.o" "gcc" "src/CMakeFiles/statsym_apps.dir/apps/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/statsym_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

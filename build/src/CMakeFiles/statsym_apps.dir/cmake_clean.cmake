@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_apps.dir/apps/ctree.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/ctree.cc.o.d"
+  "CMakeFiles/statsym_apps.dir/apps/fig2.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/fig2.cc.o.d"
+  "CMakeFiles/statsym_apps.dir/apps/grep.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/grep.cc.o.d"
+  "CMakeFiles/statsym_apps.dir/apps/polymorph.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/polymorph.cc.o.d"
+  "CMakeFiles/statsym_apps.dir/apps/registry.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/registry.cc.o.d"
+  "CMakeFiles/statsym_apps.dir/apps/stdlib.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/stdlib.cc.o.d"
+  "CMakeFiles/statsym_apps.dir/apps/thttpd.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/thttpd.cc.o.d"
+  "CMakeFiles/statsym_apps.dir/apps/workload.cc.o"
+  "CMakeFiles/statsym_apps.dir/apps/workload.cc.o.d"
+  "libstatsym_apps.a"
+  "libstatsym_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_core.dir/statsym/engine.cc.o"
+  "CMakeFiles/statsym_core.dir/statsym/engine.cc.o.d"
+  "CMakeFiles/statsym_core.dir/statsym/guidance.cc.o"
+  "CMakeFiles/statsym_core.dir/statsym/guidance.cc.o.d"
+  "CMakeFiles/statsym_core.dir/statsym/guided_searcher.cc.o"
+  "CMakeFiles/statsym_core.dir/statsym/guided_searcher.cc.o.d"
+  "CMakeFiles/statsym_core.dir/statsym/report.cc.o"
+  "CMakeFiles/statsym_core.dir/statsym/report.cc.o.d"
+  "libstatsym_core.a"
+  "libstatsym_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstatsym_core.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_interp.dir/interp/interpreter.cc.o"
+  "CMakeFiles/statsym_interp.dir/interp/interpreter.cc.o.d"
+  "CMakeFiles/statsym_interp.dir/interp/memory.cc.o"
+  "CMakeFiles/statsym_interp.dir/interp/memory.cc.o.d"
+  "CMakeFiles/statsym_interp.dir/interp/value.cc.o"
+  "CMakeFiles/statsym_interp.dir/interp/value.cc.o.d"
+  "libstatsym_interp.a"
+  "libstatsym_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

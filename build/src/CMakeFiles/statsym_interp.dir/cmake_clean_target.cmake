@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libstatsym_interp.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/builder.cc" "src/CMakeFiles/statsym_ir.dir/ir/builder.cc.o" "gcc" "src/CMakeFiles/statsym_ir.dir/ir/builder.cc.o.d"
+  "/root/repo/src/ir/function.cc" "src/CMakeFiles/statsym_ir.dir/ir/function.cc.o" "gcc" "src/CMakeFiles/statsym_ir.dir/ir/function.cc.o.d"
+  "/root/repo/src/ir/instr.cc" "src/CMakeFiles/statsym_ir.dir/ir/instr.cc.o" "gcc" "src/CMakeFiles/statsym_ir.dir/ir/instr.cc.o.d"
+  "/root/repo/src/ir/module.cc" "src/CMakeFiles/statsym_ir.dir/ir/module.cc.o" "gcc" "src/CMakeFiles/statsym_ir.dir/ir/module.cc.o.d"
+  "/root/repo/src/ir/printer.cc" "src/CMakeFiles/statsym_ir.dir/ir/printer.cc.o" "gcc" "src/CMakeFiles/statsym_ir.dir/ir/printer.cc.o.d"
+  "/root/repo/src/ir/program_stats.cc" "src/CMakeFiles/statsym_ir.dir/ir/program_stats.cc.o" "gcc" "src/CMakeFiles/statsym_ir.dir/ir/program_stats.cc.o.d"
+  "/root/repo/src/ir/verifier.cc" "src/CMakeFiles/statsym_ir.dir/ir/verifier.cc.o" "gcc" "src/CMakeFiles/statsym_ir.dir/ir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/statsym_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

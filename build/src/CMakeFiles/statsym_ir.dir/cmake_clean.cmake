@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_ir.dir/ir/builder.cc.o"
+  "CMakeFiles/statsym_ir.dir/ir/builder.cc.o.d"
+  "CMakeFiles/statsym_ir.dir/ir/function.cc.o"
+  "CMakeFiles/statsym_ir.dir/ir/function.cc.o.d"
+  "CMakeFiles/statsym_ir.dir/ir/instr.cc.o"
+  "CMakeFiles/statsym_ir.dir/ir/instr.cc.o.d"
+  "CMakeFiles/statsym_ir.dir/ir/module.cc.o"
+  "CMakeFiles/statsym_ir.dir/ir/module.cc.o.d"
+  "CMakeFiles/statsym_ir.dir/ir/printer.cc.o"
+  "CMakeFiles/statsym_ir.dir/ir/printer.cc.o.d"
+  "CMakeFiles/statsym_ir.dir/ir/program_stats.cc.o"
+  "CMakeFiles/statsym_ir.dir/ir/program_stats.cc.o.d"
+  "CMakeFiles/statsym_ir.dir/ir/verifier.cc.o"
+  "CMakeFiles/statsym_ir.dir/ir/verifier.cc.o.d"
+  "libstatsym_ir.a"
+  "libstatsym_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/log.cc" "src/CMakeFiles/statsym_monitor.dir/monitor/log.cc.o" "gcc" "src/CMakeFiles/statsym_monitor.dir/monitor/log.cc.o.d"
+  "/root/repo/src/monitor/monitor.cc" "src/CMakeFiles/statsym_monitor.dir/monitor/monitor.cc.o" "gcc" "src/CMakeFiles/statsym_monitor.dir/monitor/monitor.cc.o.d"
+  "/root/repo/src/monitor/serialize.cc" "src/CMakeFiles/statsym_monitor.dir/monitor/serialize.cc.o" "gcc" "src/CMakeFiles/statsym_monitor.dir/monitor/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/statsym_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_monitor.dir/monitor/log.cc.o"
+  "CMakeFiles/statsym_monitor.dir/monitor/log.cc.o.d"
+  "CMakeFiles/statsym_monitor.dir/monitor/monitor.cc.o"
+  "CMakeFiles/statsym_monitor.dir/monitor/monitor.cc.o.d"
+  "CMakeFiles/statsym_monitor.dir/monitor/serialize.cc.o"
+  "CMakeFiles/statsym_monitor.dir/monitor/serialize.cc.o.d"
+  "libstatsym_monitor.a"
+  "libstatsym_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

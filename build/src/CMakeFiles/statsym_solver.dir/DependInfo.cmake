@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/cache.cc" "src/CMakeFiles/statsym_solver.dir/solver/cache.cc.o" "gcc" "src/CMakeFiles/statsym_solver.dir/solver/cache.cc.o.d"
+  "/root/repo/src/solver/expr.cc" "src/CMakeFiles/statsym_solver.dir/solver/expr.cc.o" "gcc" "src/CMakeFiles/statsym_solver.dir/solver/expr.cc.o.d"
+  "/root/repo/src/solver/interval.cc" "src/CMakeFiles/statsym_solver.dir/solver/interval.cc.o" "gcc" "src/CMakeFiles/statsym_solver.dir/solver/interval.cc.o.d"
+  "/root/repo/src/solver/simplify.cc" "src/CMakeFiles/statsym_solver.dir/solver/simplify.cc.o" "gcc" "src/CMakeFiles/statsym_solver.dir/solver/simplify.cc.o.d"
+  "/root/repo/src/solver/solver.cc" "src/CMakeFiles/statsym_solver.dir/solver/solver.cc.o" "gcc" "src/CMakeFiles/statsym_solver.dir/solver/solver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/statsym_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_solver.dir/solver/cache.cc.o"
+  "CMakeFiles/statsym_solver.dir/solver/cache.cc.o.d"
+  "CMakeFiles/statsym_solver.dir/solver/expr.cc.o"
+  "CMakeFiles/statsym_solver.dir/solver/expr.cc.o.d"
+  "CMakeFiles/statsym_solver.dir/solver/interval.cc.o"
+  "CMakeFiles/statsym_solver.dir/solver/interval.cc.o.d"
+  "CMakeFiles/statsym_solver.dir/solver/simplify.cc.o"
+  "CMakeFiles/statsym_solver.dir/solver/simplify.cc.o.d"
+  "CMakeFiles/statsym_solver.dir/solver/solver.cc.o"
+  "CMakeFiles/statsym_solver.dir/solver/solver.cc.o.d"
+  "libstatsym_solver.a"
+  "libstatsym_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

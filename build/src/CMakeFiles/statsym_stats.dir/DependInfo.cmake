@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/path_builder.cc" "src/CMakeFiles/statsym_stats.dir/stats/path_builder.cc.o" "gcc" "src/CMakeFiles/statsym_stats.dir/stats/path_builder.cc.o.d"
+  "/root/repo/src/stats/predicate.cc" "src/CMakeFiles/statsym_stats.dir/stats/predicate.cc.o" "gcc" "src/CMakeFiles/statsym_stats.dir/stats/predicate.cc.o.d"
+  "/root/repo/src/stats/predicate_manager.cc" "src/CMakeFiles/statsym_stats.dir/stats/predicate_manager.cc.o" "gcc" "src/CMakeFiles/statsym_stats.dir/stats/predicate_manager.cc.o.d"
+  "/root/repo/src/stats/samples.cc" "src/CMakeFiles/statsym_stats.dir/stats/samples.cc.o" "gcc" "src/CMakeFiles/statsym_stats.dir/stats/samples.cc.o.d"
+  "/root/repo/src/stats/transition_graph.cc" "src/CMakeFiles/statsym_stats.dir/stats/transition_graph.cc.o" "gcc" "src/CMakeFiles/statsym_stats.dir/stats/transition_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/statsym_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

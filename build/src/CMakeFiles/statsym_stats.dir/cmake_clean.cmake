@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_stats.dir/stats/path_builder.cc.o"
+  "CMakeFiles/statsym_stats.dir/stats/path_builder.cc.o.d"
+  "CMakeFiles/statsym_stats.dir/stats/predicate.cc.o"
+  "CMakeFiles/statsym_stats.dir/stats/predicate.cc.o.d"
+  "CMakeFiles/statsym_stats.dir/stats/predicate_manager.cc.o"
+  "CMakeFiles/statsym_stats.dir/stats/predicate_manager.cc.o.d"
+  "CMakeFiles/statsym_stats.dir/stats/samples.cc.o"
+  "CMakeFiles/statsym_stats.dir/stats/samples.cc.o.d"
+  "CMakeFiles/statsym_stats.dir/stats/transition_graph.cc.o"
+  "CMakeFiles/statsym_stats.dir/stats/transition_graph.cc.o.d"
+  "libstatsym_stats.a"
+  "libstatsym_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_support.dir/support/rng.cc.o"
+  "CMakeFiles/statsym_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/statsym_support.dir/support/stopwatch.cc.o"
+  "CMakeFiles/statsym_support.dir/support/stopwatch.cc.o.d"
+  "CMakeFiles/statsym_support.dir/support/strings.cc.o"
+  "CMakeFiles/statsym_support.dir/support/strings.cc.o.d"
+  "CMakeFiles/statsym_support.dir/support/table.cc.o"
+  "CMakeFiles/statsym_support.dir/support/table.cc.o.d"
+  "libstatsym_support.a"
+  "libstatsym_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symexec/executor.cc" "src/CMakeFiles/statsym_symexec.dir/symexec/executor.cc.o" "gcc" "src/CMakeFiles/statsym_symexec.dir/symexec/executor.cc.o.d"
+  "/root/repo/src/symexec/path_constraints.cc" "src/CMakeFiles/statsym_symexec.dir/symexec/path_constraints.cc.o" "gcc" "src/CMakeFiles/statsym_symexec.dir/symexec/path_constraints.cc.o.d"
+  "/root/repo/src/symexec/searcher.cc" "src/CMakeFiles/statsym_symexec.dir/symexec/searcher.cc.o" "gcc" "src/CMakeFiles/statsym_symexec.dir/symexec/searcher.cc.o.d"
+  "/root/repo/src/symexec/state.cc" "src/CMakeFiles/statsym_symexec.dir/symexec/state.cc.o" "gcc" "src/CMakeFiles/statsym_symexec.dir/symexec/state.cc.o.d"
+  "/root/repo/src/symexec/sym_memory.cc" "src/CMakeFiles/statsym_symexec.dir/symexec/sym_memory.cc.o" "gcc" "src/CMakeFiles/statsym_symexec.dir/symexec/sym_memory.cc.o.d"
+  "/root/repo/src/symexec/sym_value.cc" "src/CMakeFiles/statsym_symexec.dir/symexec/sym_value.cc.o" "gcc" "src/CMakeFiles/statsym_symexec.dir/symexec/sym_value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/statsym_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statsym_symexec.dir/symexec/executor.cc.o"
+  "CMakeFiles/statsym_symexec.dir/symexec/executor.cc.o.d"
+  "CMakeFiles/statsym_symexec.dir/symexec/path_constraints.cc.o"
+  "CMakeFiles/statsym_symexec.dir/symexec/path_constraints.cc.o.d"
+  "CMakeFiles/statsym_symexec.dir/symexec/searcher.cc.o"
+  "CMakeFiles/statsym_symexec.dir/symexec/searcher.cc.o.d"
+  "CMakeFiles/statsym_symexec.dir/symexec/state.cc.o"
+  "CMakeFiles/statsym_symexec.dir/symexec/state.cc.o.d"
+  "CMakeFiles/statsym_symexec.dir/symexec/sym_memory.cc.o"
+  "CMakeFiles/statsym_symexec.dir/symexec/sym_memory.cc.o.d"
+  "CMakeFiles/statsym_symexec.dir/symexec/sym_value.cc.o"
+  "CMakeFiles/statsym_symexec.dir/symexec/sym_value.cc.o.d"
+  "libstatsym_symexec.a"
+  "libstatsym_symexec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statsym_symexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

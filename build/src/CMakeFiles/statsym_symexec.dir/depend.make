@@ -1,0 +1,2 @@
+# Empty dependencies file for statsym_symexec.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps_test.cc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o" "gcc" "tests/CMakeFiles/apps_test.dir/apps_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/statsym_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_symexec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/statsym_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

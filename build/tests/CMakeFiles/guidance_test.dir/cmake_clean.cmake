@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guidance_test.dir/guidance_test.cc.o"
+  "CMakeFiles/guidance_test.dir/guidance_test.cc.o.d"
+  "guidance_test"
+  "guidance_test.pdb"
+  "guidance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guidance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_builder_test.dir/path_builder_test.cc.o"
+  "CMakeFiles/path_builder_test.dir/path_builder_test.cc.o.d"
+  "path_builder_test"
+  "path_builder_test.pdb"
+  "path_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
