@@ -3,11 +3,88 @@
 // StatSym succeeds on all four targets with far fewer paths; pure symbolic
 // execution succeeds only on polymorph (15x slower) and fails on
 // CTree/Grep/thttpd by exhausting memory.
+//
+//   bench_table4_statsym_vs_pure [--jobs N[,N...]] [--json FILE]
+//
+// With a --jobs list (e.g. --jobs 1,2,4,8) the StatSym pipeline additionally
+// runs once per worker count and the per-app wall-clock speedup over the
+// first count is printed; --json writes the sweep as JSON for the bench
+// trajectory. Results are identical at every worker count — only the clock
+// moves.
+#include <cstring>
+#include <fstream>
+#include <vector>
+
 #include "bench_common.h"
+#include "support/stopwatch.h"
 
 using namespace statsym;
 
-int main() {
+namespace {
+
+struct SweepRun {
+  std::size_t jobs{0};
+  double wall_seconds{0.0};
+  core::EngineResult result;
+};
+
+struct AppSweep {
+  std::string app;
+  std::vector<SweepRun> runs;
+};
+
+void write_json(const std::vector<AppSweep>& sweeps, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"bench\": \"table4_jobs_sweep\",\n  \"apps\": [\n";
+  for (std::size_t a = 0; a < sweeps.size(); ++a) {
+    os << "    {\"app\": \"" << sweeps[a].app << "\", \"runs\": [\n";
+    for (std::size_t r = 0; r < sweeps[a].runs.size(); ++r) {
+      const SweepRun& run = sweeps[a].runs[r];
+      os << "      {\"jobs\": " << run.jobs
+         << ", \"wall_seconds\": " << fmt_double(run.wall_seconds, 4)
+         << ", \"log_seconds\": " << fmt_double(run.result.log_seconds, 4)
+         << ", \"symexec_seconds\": "
+         << fmt_double(run.result.symexec_seconds, 4)
+         << ", \"found\": " << (run.result.found ? "true" : "false")
+         << ", \"winning_candidate\": " << run.result.winning_candidate
+         << ", \"paths_explored\": " << run.result.paths_explored << "}"
+         << (r + 1 < sweeps[a].runs.size() ? "," : "") << "\n";
+    }
+    os << "    ]}" << (a + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote sweep JSON to %s\n", path.c_str());
+}
+
+std::vector<std::size_t> parse_jobs_list(const char* s) {
+  std::vector<std::size_t> jobs;
+  for (const std::string& part : split(s, ',')) {
+    if (!part.empty()) jobs.push_back(std::strtoull(part.c_str(), nullptr, 10));
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> jobs_sweep;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs_sweep = parse_jobs_list(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N[,N...]] [--json FILE]\n", argv[0]);
+      return 2;
+    }
+  }
+
   bench::print_header(
       "Table IV: StatSym vs pure symbolic execution (30% sampling)",
       "polymorph 63/214.6s vs 8368/3252s — CTree 112/45.6s vs 17575/Failed — "
@@ -40,5 +117,35 @@ int main() {
     }
   }
   std::printf("%s\n", t.render().c_str());
+
+  if (jobs_sweep.empty()) return 0;
+
+  // --- --jobs sweep: the same pipeline, wall-clock per worker count -------
+  std::printf("StatSym --jobs sweep (full pipeline wall-clock per app)\n");
+  std::vector<AppSweep> sweeps;
+  TextTable sweep_table({"Benchmark", "jobs", "wall(s)", "log(s)", "exec(s)",
+                         "speedup", "found", "cand"});
+  for (const std::string& name : apps::app_names()) {
+    AppSweep sweep{.app = name, .runs = {}};
+    for (const std::size_t jobs : jobs_sweep) {
+      Stopwatch sw;
+      const bench::StatSymRun g = bench::run_statsym(name, 0.3, 424242, jobs);
+      SweepRun run{.jobs = jobs, .wall_seconds = sw.elapsed_seconds(),
+                   .result = g.result};
+      const double base = sweep.runs.empty() ? run.wall_seconds
+                                             : sweep.runs[0].wall_seconds;
+      sweep_table.add_row(
+          {name, std::to_string(jobs), bench::seconds(run.wall_seconds),
+           bench::seconds(run.result.log_seconds),
+           bench::seconds(run.result.symexec_seconds),
+           fmt_double(base / std::max(run.wall_seconds, 1e-9), 2) + "x",
+           run.result.found ? "yes" : "NO",
+           std::to_string(run.result.winning_candidate)});
+      sweep.runs.push_back(std::move(run));
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+  std::printf("%s\n", sweep_table.render().c_str());
+  if (!json_path.empty()) write_json(sweeps, json_path);
   return 0;
 }

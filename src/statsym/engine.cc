@@ -1,11 +1,16 @@
 #include "statsym/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
+#include <future>
 #include <map>
+#include <mutex>
 
 #include "monitor/serialize.h"
 #include "statsym/guided_searcher.h"
 #include "support/stopwatch.h"
+#include "support/thread_pool.h"
 
 namespace statsym::core {
 
@@ -15,29 +20,66 @@ StatSymEngine::StatSymEngine(const ir::Module& m, symexec::SymInputSpec spec,
 
 void StatSymEngine::collect_logs(const WorkloadGen& gen) {
   Stopwatch sw;
-  Rng rng(opts_.seed);
   std::size_t correct = 0;
   std::size_t faulty = 0;
   std::int32_t run_id = 0;
-  for (std::size_t attempt = 0; attempt < opts_.max_workload_runs &&
-                                (correct < opts_.target_correct_logs ||
-                                 faulty < opts_.target_faulty_logs);
-       ++attempt) {
+
+  // Every attempt owns a private RNG stream derived from (seed, attempt),
+  // so the input it generates and the sampling decisions its monitor makes
+  // do not depend on which worker runs it or in what order.
+  auto run_attempt = [&](std::size_t attempt) {
+    Rng rng(derive_seed(opts_.seed, attempt));
     Rng input_rng = rng.split();
     interp::RuntimeInput input = gen(input_rng);
-    auto run = monitor::run_monitored(m_, std::move(input), opts_.monitor,
-                                      rng.split(), run_id);
-    const bool is_faulty = run.log.faulty;
-    // Keep only as many logs per class as the target asks for — the paper
-    // randomly samples 100 correct + 100 faulty logs from a large pool.
+    return monitor::run_monitored(m_, std::move(input), opts_.monitor,
+                                  rng.split(), /*run_id=*/0);
+  };
+  // Keep only as many logs per class as the target asks for — the paper
+  // randomly samples 100 correct + 100 faulty logs from a large pool. The
+  // run id is stamped at admission so it counts kept logs, as before.
+  auto admit = [&](monitor::RunLog&& log) {
+    const bool is_faulty = log.faulty;
     if (is_faulty && faulty < opts_.target_faulty_logs) {
-      logs_.push_back(std::move(run.log));
+      log.run_id = run_id++;
+      logs_.push_back(std::move(log));
       ++faulty;
-      ++run_id;
     } else if (!is_faulty && correct < opts_.target_correct_logs) {
-      logs_.push_back(std::move(run.log));
+      log.run_id = run_id++;
+      logs_.push_back(std::move(log));
       ++correct;
-      ++run_id;
+    }
+  };
+  auto targets_met = [&] {
+    return correct >= opts_.target_correct_logs &&
+           faulty >= opts_.target_faulty_logs;
+  };
+
+  const std::size_t nthreads = effective_threads(opts_.num_threads);
+  if (nthreads <= 1) {
+    for (std::size_t attempt = 0;
+         attempt < opts_.max_workload_runs && !targets_met(); ++attempt) {
+      admit(std::move(run_attempt(attempt).log));
+    }
+  } else {
+    // Waves of independent attempts fan out across the pool and merge in
+    // attempt order, so the admitted set is bit-identical to the sequential
+    // build. A wave may overshoot the point where the sequential loop would
+    // have stopped — that is wasted work, never a semantic difference.
+    ThreadPool pool(nthreads);
+    const std::size_t wave = nthreads * 8;
+    std::size_t next_attempt = 0;
+    while (next_attempt < opts_.max_workload_runs && !targets_met()) {
+      const std::size_t n =
+          std::min(wave, opts_.max_workload_runs - next_attempt);
+      const std::size_t base = next_attempt;
+      std::vector<monitor::RunLog> batch(n);
+      pool.parallel_for(n, [&](std::size_t i) {
+        batch[i] = std::move(run_attempt(base + i).log);
+      });
+      for (std::size_t i = 0; i < n && !targets_met(); ++i) {
+        admit(std::move(batch[i]));
+      }
+      next_attempt += n;
     }
   }
   log_seconds_ = sw.elapsed_seconds();
@@ -88,11 +130,52 @@ EngineResult StatSymEngine::run() {
   Stopwatch exec_sw;
   const std::size_t n_try =
       std::min(res.construction.candidates.size(), opts_.max_candidates_tried);
-  for (std::size_t ci = 0; ci < n_try; ++ci) {
+  run_portfolio(res, failure, n_try);
+  res.symexec_seconds = exec_sw.elapsed_seconds();
+  return res;
+}
+
+void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
+                                  std::size_t n_try) {
+  if (n_try == 0) return;
+  const std::size_t nthreads = effective_threads(opts_.num_threads);
+  const std::size_t width = std::max<std::size_t>(
+      1, std::min(opts_.candidate_portfolio_width, nthreads));
+
+  struct Slot {
+    bool completed{false};  // ran to its natural termination (not cancelled)
+    symexec::ExecResult result;
+  };
+  std::vector<Slot> slots(n_try);
+  // Per-candidate cancel flags (deque: atomics are immovable). A candidate
+  // is cancelled only when a *better-ranked* one has already verified the
+  // vuln, so every candidate ranked at or before the eventual winner runs
+  // to completion and the winner is the same at any thread count — the
+  // sequential one-at-a-time semantics, minus the wall-clock.
+  std::deque<std::atomic<bool>> cancel(n_try);
+  std::atomic<std::size_t> best{n_try};  // best-ranked success so far
+  std::mutex best_mu;                    // orders best updates + fan-out
+
+  // Machine-global budget across the whole portfolio (Table IV "Failed"
+  // semantics): memory and live states describe the machine, so concurrent
+  // candidates share one pool; the instruction budget is the sequential
+  // total (each of the n_try candidates brought its own cap).
+  symexec::SharedBudget budget;
+  budget.max_memory_bytes = opts_.exec.max_memory_bytes;
+  budget.max_live_states = opts_.exec.max_live_states;
+  budget.max_instructions =
+      opts_.exec.max_instructions > ~0ull / n_try
+          ? ~0ull
+          : opts_.exec.max_instructions * n_try;
+
+  auto attempt = [&](std::size_t ci) {
+    if (cancel[ci].load(std::memory_order_relaxed)) return;
     CandidateGuidance guidance(m_, res.construction.candidates[ci],
                                res.predicates, opts_.guidance);
     symexec::ExecOptions exec_opts = opts_.exec;
     exec_opts.max_seconds = opts_.candidate_timeout_seconds;
+    // Independent deterministic stream per candidate, whoever runs it.
+    exec_opts.seed = derive_seed(opts_.exec.seed, ci);
     // Hunt the failure mode the logs describe; other faults reachable on
     // the way (a second bug in a multi-vulnerability program) end their
     // paths without ending the hunt (§III-C).
@@ -107,22 +190,53 @@ EngineResult StatSymEngine::run() {
     symexec::SymExecutor ex(m_, spec_, exec_opts);
     ex.set_guidance(&guidance);
     ex.set_searcher(std::make_unique<GuidedSearcher>());
+    ex.set_stop_flag(&cancel[ci]);
+    ex.set_shared_budget(&budget);
 
     symexec::ExecResult er = ex.run();
-    ++res.candidates_tried;
-    res.paths_explored += er.stats.paths_explored;
-    res.instructions += er.stats.instructions;
-    res.last_exec_stats = er.stats;
-    if (er.termination == symexec::Termination::kFoundFault &&
-        er.vuln.has_value()) {
-      res.found = true;
-      res.vuln = std::move(er.vuln);
-      res.winning_candidate = ci + 1;
-      break;
+    slots[ci].completed =
+        er.termination != symexec::Termination::kCancelled;
+    const bool won = er.termination == symexec::Termination::kFoundFault &&
+                     er.vuln.has_value();
+    slots[ci].result = std::move(er);
+    if (won) {
+      std::lock_guard<std::mutex> lock(best_mu);
+      if (ci < best.load(std::memory_order_relaxed)) {
+        best.store(ci, std::memory_order_relaxed);
+        for (std::size_t j = ci + 1; j < n_try; ++j) {
+          cancel[j].store(true, std::memory_order_relaxed);
+        }
+      }
     }
+  };
+
+  {
+    ThreadPool pool(width);
+    std::vector<std::future<void>> futs;
+    futs.reserve(n_try);
+    for (std::size_t ci = 0; ci < n_try; ++ci) {
+      futs.push_back(pool.submit([&attempt, ci] { attempt(ci); }));
+    }
+    for (auto& f : futs) f.get();
   }
-  res.symexec_seconds = exec_sw.elapsed_seconds();
-  return res;
+
+  const std::size_t winner = best.load(std::memory_order_relaxed);
+  if (winner < n_try) {
+    res.found = true;
+    res.vuln = std::move(slots[winner].result.vuln);
+    res.winning_candidate = winner + 1;
+  }
+  // Account only the candidates the sequential loop would have tried (all
+  // of which ran to completion here), keeping the sums thread-count
+  // independent; cancelled better-than-nothing work is reported separately.
+  const std::size_t counted = winner < n_try ? winner + 1 : n_try;
+  for (std::size_t ci = 0; ci < counted; ++ci) {
+    ++res.candidates_tried;
+    res.paths_explored += slots[ci].result.stats.paths_explored;
+    res.instructions += slots[ci].result.stats.instructions;
+  }
+  res.candidates_cancelled = n_try - counted;
+  res.last_exec_stats = slots[counted - 1].result.stats;
 }
 
 std::vector<EngineResult> StatSymEngine::run_all(std::size_t max_vulns) {

@@ -1,7 +1,13 @@
 // The end-to-end StatSym pipeline (Fig. 3 / Fig. 5): workload execution
 // under the sampling monitor → predicate construction and ranking →
-// candidate-path construction → statistics-guided symbolic execution, one
-// candidate path at a time until the vulnerable path is verified.
+// candidate-path construction → statistics-guided symbolic execution over
+// the ranked candidates until the vulnerable path is verified.
+//
+// Phases 1a and 3 are embarrassingly parallel and run on a worker pool
+// (EngineOptions::num_threads): workload runs fan out with per-run derived
+// seeds and merge in run order; the top candidates execute as a portfolio
+// in which the first verified vuln cancels every worse-ranked worker. Both
+// phases produce results identical to the single-threaded build.
 #pragma once
 
 #include <functional>
@@ -32,6 +38,18 @@ struct EngineOptions {
   double candidate_timeout_seconds{900.0};  // paper: 15 min per candidate
   std::size_t max_candidates_tried{16};
 
+  // --- parallel pipeline --------------------------------------------------
+  // Worker threads for Phase 1a log collection and the Phase 3 candidate
+  // portfolio; 0 = all hardware threads (`--jobs` in the CLI). Every task
+  // seeds its RNG via derive_seed(seed, task_index) and results merge in
+  // task-index order, so the pipeline's output is identical at any value.
+  std::size_t num_threads{0};
+  // How many ranked candidate paths execute concurrently in Phase 3; the
+  // effective concurrency is min(width, num_threads). The reported winner
+  // is always the best-ranked successful candidate, so this only trades
+  // hardware for wall-clock, never changes the answer.
+  std::size_t candidate_portfolio_width{4};
+
   std::uint64_t seed{42};
 };
 
@@ -55,11 +73,19 @@ struct EngineResult {
   std::size_t num_correct_logs{0};
   std::size_t num_faulty_logs{0};
 
-  // Symbolic-execution accounting, summed over candidate attempts.
+  // Symbolic-execution accounting. Summed over the candidates ranked at or
+  // before the winner — exactly the set the sequential one-at-a-time loop
+  // would have tried, and the only candidates guaranteed to run to
+  // completion under portfolio execution — so every field here is
+  // deterministic across thread counts (as long as the shared budget does
+  // not bind; see DESIGN.md §5).
   std::uint64_t paths_explored{0};
   std::uint64_t instructions{0};
   std::size_t candidates_tried{0};
   std::size_t winning_candidate{0};  // 1-based index; 0 when not found
+  // Candidates ranked after the winner that the portfolio started (or would
+  // have started) and cut short once the winner was known.
+  std::size_t candidates_cancelled{0};
   symexec::ExecStats last_exec_stats;
 };
 
@@ -90,6 +116,12 @@ class StatSymEngine {
   std::vector<EngineResult> run_all(std::size_t max_vulns = 8);
 
  private:
+  // Phase 3: runs the top n_try candidates as a portfolio on the worker
+  // pool, cancelling candidates ranked after the best success. Fills the
+  // symbolic-execution fields of `res`.
+  void run_portfolio(EngineResult& res, monitor::LocId failure,
+                     std::size_t n_try);
+
   const ir::Module& m_;
   symexec::SymInputSpec spec_;
   EngineOptions opts_;

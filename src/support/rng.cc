@@ -88,4 +88,13 @@ std::size_t Rng::weighted_pick(const std::vector<double>& weights) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t task_index) {
+  // Two SplitMix64 finalizer rounds over a golden-ratio-spaced combination.
+  // One round already decorrelates adjacent indices; the second guards
+  // against the master seed and index interacting through the low bits.
+  std::uint64_t x = master_seed + (task_index + 1) * 0x9e3779b97f4a7c15ULL;
+  x = splitmix64(x);
+  return splitmix64(x);
+}
+
 }  // namespace statsym

@@ -43,4 +43,14 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// Derives the seed for parallel task `task_index` from a master seed.
+//
+// Unlike Rng::split(), which advances a serial stream (task k's seed depends
+// on having drawn k-1 seeds before it), derive_seed is a pure function of
+// (master_seed, task_index): any worker can compute its own seed without
+// coordination, and the stream a task sees is independent of thread count,
+// scheduling, or how many sibling tasks exist. This is what makes the
+// parallel pipeline's output bit-identical to the sequential build.
+std::uint64_t derive_seed(std::uint64_t master_seed, std::uint64_t task_index);
+
 }  // namespace statsym

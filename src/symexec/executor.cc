@@ -15,6 +15,7 @@ const char* termination_name(Termination t) {
     case Termination::kStateLimit: return "state-limit";
     case Termination::kInstrLimit: return "instr-limit";
     case Termination::kTimeout: return "timeout";
+    case Termination::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -687,6 +688,35 @@ std::size_t SymExecutor::live_memory_estimate() const {
   return total;
 }
 
+void SymExecutor::publish_shared(std::size_t mem_estimate) {
+  if (budget_ == nullptr) return;
+  budget_->instructions.fetch_add(stats_.instructions - published_instrs_,
+                                  std::memory_order_relaxed);
+  published_instrs_ = stats_.instructions;
+  auto adjust = [](std::atomic<std::size_t>& gauge, std::size_t& last,
+                   std::size_t now) {
+    if (now >= last) {
+      gauge.fetch_add(now - last, std::memory_order_relaxed);
+    } else {
+      gauge.fetch_sub(last - now, std::memory_order_relaxed);
+    }
+    last = now;
+  };
+  adjust(budget_->live_states, published_states_, owned_.size());
+  adjust(budget_->memory_bytes, published_mem_, mem_estimate);
+}
+
+void SymExecutor::release_shared() {
+  if (budget_ == nullptr) return;
+  budget_->instructions.fetch_add(stats_.instructions - published_instrs_,
+                                  std::memory_order_relaxed);
+  published_instrs_ = stats_.instructions;
+  budget_->live_states.fetch_sub(published_states_, std::memory_order_relaxed);
+  budget_->memory_bytes.fetch_sub(published_mem_, std::memory_order_relaxed);
+  published_states_ = 0;
+  published_mem_ = 0;
+}
+
 ExecResult SymExecutor::run() {
   build_initial_state();
 
@@ -700,6 +730,10 @@ ExecResult SymExecutor::run() {
   bool done = false;
   while (!done) {
     ++iter;
+    if (stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed)) {
+      term = Termination::kCancelled;
+      break;
+    }
     if (sw.elapsed_seconds() > opts_.max_seconds) {
       term = Termination::kTimeout;
       break;
@@ -710,6 +744,24 @@ ExecResult SymExecutor::run() {
       if (mem > opts_.max_memory_bytes) {
         term = Termination::kOutOfMemory;
         break;
+      }
+      if (budget_ != nullptr) {
+        publish_shared(mem);
+        if (budget_->instructions.load(std::memory_order_relaxed) >
+            budget_->max_instructions) {
+          term = Termination::kInstrLimit;
+          break;
+        }
+        if (budget_->live_states.load(std::memory_order_relaxed) >
+            budget_->max_live_states) {
+          term = Termination::kStateLimit;
+          break;
+        }
+        if (budget_->memory_bytes.load(std::memory_order_relaxed) >
+            budget_->max_memory_bytes) {
+          term = Termination::kOutOfMemory;
+          break;
+        }
       }
     }
     if (stats_.instructions > opts_.max_instructions) {
@@ -813,6 +865,7 @@ ExecResult SymExecutor::run() {
     term = Termination::kFoundFault;
   }
 
+  release_shared();
   stats_.seconds = sw.elapsed_seconds();
   stats_.peak_live_states = std::max(stats_.peak_live_states, owned_.size());
   stats_.paths_explored = stats_.paths_completed + owned_.size();

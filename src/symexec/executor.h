@@ -15,6 +15,7 @@
 // the "Failed" rows of Table IV.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -70,9 +71,27 @@ enum class Termination : std::uint8_t {
   kStateLimit,    // live-state cap exceeded
   kInstrLimit,
   kTimeout,
+  kCancelled,     // cooperative stop (portfolio sibling already won)
 };
 
 const char* termination_name(Termination t);
+
+// Machine-global resource budget shared by every executor of a parallel
+// portfolio. Each worker still enforces its own per-candidate ExecOptions
+// caps; on top of that it periodically publishes its consumption here and
+// stops when the *global* total is exhausted, so Table IV's "Failed =
+// budget exhausted" keeps describing the machine, not one worker.
+// `instructions` accumulates forever; `live_states`/`memory_bytes` are
+// gauges — a finishing executor releases its contribution on exit.
+struct SharedBudget {
+  std::uint64_t max_instructions{~0ull};
+  std::size_t max_live_states{~std::size_t{0}};
+  std::size_t max_memory_bytes{~std::size_t{0}};
+
+  std::atomic<std::uint64_t> instructions{0};
+  std::atomic<std::size_t> live_states{0};
+  std::atomic<std::size_t> memory_bytes{0};
+};
 
 // A discovered vulnerable path: fault point, location trace, constraints,
 // and the reconstructed concrete input that triggers it.
@@ -179,6 +198,12 @@ class SymExecutor {
   void set_guidance(GuidanceHook* hook) { hook_ = hook; }
   // Replaces the default searcher built from opts.searcher.
   void set_searcher(std::unique_ptr<Searcher> s) { searcher_ = std::move(s); }
+  // Cooperative cancellation: run() polls the flag between scheduling slices
+  // and terminates with kCancelled once it reads true. The flag must outlive
+  // the run. Lower-latency than a hard stop and keeps per-state invariants.
+  void set_stop_flag(const std::atomic<bool>* flag) { stop_flag_ = flag; }
+  // Opt this executor into a cross-worker budget (must outlive the run).
+  void set_shared_budget(SharedBudget* budget) { budget_ = budget; }
 
   ExecResult run();
 
@@ -234,6 +259,12 @@ class SymExecutor {
 
   std::size_t live_memory_estimate() const;
 
+  // Publishes consumption deltas into budget_ (instructions cumulative,
+  // states/memory as gauges) / releases this worker's gauge contributions
+  // when the run ends. No-ops without a shared budget.
+  void publish_shared(std::size_t mem_estimate);
+  void release_shared();
+
   const ir::Module& m_;
   SymInputSpec spec_;
   ExecOptions opts_;
@@ -247,6 +278,12 @@ class SymExecutor {
   std::unordered_map<std::uint64_t, std::unique_ptr<State>> owned_;
   std::vector<State*> suspended_;
   GuidanceHook* hook_{nullptr};
+  const std::atomic<bool>* stop_flag_{nullptr};
+  SharedBudget* budget_{nullptr};
+  // Last values published into budget_ (deltas keep the gauges exact).
+  std::uint64_t published_instrs_{0};
+  std::size_t published_states_{0};
+  std::size_t published_mem_{0};
 
   std::uint64_t next_state_id_{1};
   std::unique_ptr<State> sibling_;              // set by exec_branch on fork

@@ -36,10 +36,18 @@ int usage() {
                "  statsym list\n"
                "  statsym run <app> [--sampling R] [--seed N] [--logs FILE] "
                "[--all]\n"
+               "             [--jobs/-j N] [--portfolio K]\n"
                "  statsym pure <app> [--searcher dfs|bfs|random|coverage] "
                "[--mem MB] [--time S]\n"
-               "  statsym collect <app> <out-file> [--sampling R] [--seed N]\n"
-               "  statsym dump <app>\n");
+               "  statsym collect <app> <out-file> [--sampling R] [--seed N] "
+               "[--jobs/-j N]\n"
+               "  statsym dump <app>\n"
+               "\n"
+               "  --jobs/-j N     worker threads for log collection and the\n"
+               "                  candidate portfolio (0 = all hardware "
+               "threads)\n"
+               "  --portfolio K   candidate paths run concurrently (default "
+               "4)\n");
   return 2;
 }
 
@@ -51,6 +59,8 @@ struct Flags {
   std::string searcher{"random"};
   std::size_t mem_mb{256};
   double time_s{300.0};
+  std::size_t jobs{0};       // 0 = hardware_concurrency
+  std::size_t portfolio{4};  // concurrent candidates in Phase 3
 };
 
 bool parse_flags(int argc, char** argv, int start, Flags& f) {
@@ -85,6 +95,14 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       double v;
       if (!next(v)) return false;
       f.time_s = v;
+    } else if (a == "--jobs" || a == "-j") {
+      double v;
+      if (!next(v)) return false;
+      f.jobs = static_cast<std::size_t>(v);
+    } else if (a == "--portfolio") {
+      double v;
+      if (!next(v)) return false;
+      f.portfolio = static_cast<std::size_t>(v);
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
@@ -99,6 +117,8 @@ core::EngineOptions engine_options(const Flags& f) {
   o.seed = f.seed;
   o.candidate_timeout_seconds = f.time_s;
   o.exec.max_memory_bytes = f.mem_mb << 20;
+  o.num_threads = f.jobs;
+  o.candidate_portfolio_width = f.portfolio;
   return o;
 }
 

@@ -135,12 +135,19 @@ TEST(Engine, SamplingRateAffectsLogVolume) {
 
 TEST(Engine, LowSamplingStillFinds) {
   // The paper's headline sensitivity claim: effective even at 20% sampling.
+  // Success at that rate is probabilistic in the sampled logs (Fig. 10), so
+  // assert the success *rate* over several seeds rather than one seed's luck.
   const apps::AppSpec app = apps::make_fig2();
-  EngineOptions o = fast_opts();
-  o.monitor.sampling_rate = 0.2;
-  StatSymEngine engine(app.module, app.sym_spec, o);
-  engine.collect_logs(app.workload);
-  EXPECT_TRUE(engine.run().found);
+  int found = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    EngineOptions o = fast_opts();
+    o.monitor.sampling_rate = 0.2;
+    o.seed = seed;
+    StatSymEngine engine(app.module, app.sym_spec, o);
+    engine.collect_logs(app.workload);
+    found += engine.run().found ? 1 : 0;
+  }
+  EXPECT_GE(found, 6);
 }
 
 TEST(Engine, PureBaselineAlsoFindsFig2) {
