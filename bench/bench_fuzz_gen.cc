@@ -1,0 +1,59 @@
+// Microbenchmarks (google-benchmark) for the fuzzing harness: program
+// generation throughput, per-oracle cost on a representative generated
+// program, and end-to-end campaign rates — the numbers that size CI smoke
+// budgets (--programs N in a 2-minute job).
+#include <benchmark/benchmark.h>
+
+#include "fuzz/diff_driver.h"
+
+using namespace statsym;
+
+namespace {
+
+void BM_GenerateProgram(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    const fuzz::GeneratedProgram p = fuzz::generate_program(seed++);
+    benchmark::DoNotOptimize(p.app.module.functions().size());
+  }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_OracleDifferentialOnly(benchmark::State& state) {
+  fuzz::DiffOptions opts;
+  opts.check_pipeline = false;
+  opts.check_soundness = false;
+  opts.shrink = false;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzz::run_program(i++, opts).ok());
+  }
+}
+BENCHMARK(BM_OracleDifferentialOnly);
+
+void BM_AllOraclesPerProgram(benchmark::State& state) {
+  fuzz::DiffOptions opts;
+  opts.shrink = false;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fuzz::run_program(i++, opts).ok());
+  }
+}
+BENCHMARK(BM_AllOraclesPerProgram);
+
+void BM_Campaign(benchmark::State& state) {
+  fuzz::DiffOptions opts;
+  opts.num_programs = static_cast<std::size_t>(state.range(0));
+  opts.shrink = false;
+  for (auto _ : state) {
+    const fuzz::CampaignResult cr = fuzz::run_campaign(opts);
+    benchmark::DoNotOptimize(cr.pipeline_rate());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Campaign)->Arg(10)->Arg(50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,7 +8,21 @@ std::vector<std::string> app_names() {
   return {"polymorph", "ctree", "grep", "thttpd"};
 }
 
+namespace {
+std::vector<AppFactory>& factories() {
+  static std::vector<AppFactory> fs;
+  return fs;
+}
+}  // namespace
+
+void register_app_factory(AppFactory factory) {
+  factories().push_back(std::move(factory));
+}
+
 AppSpec make_app(const std::string& name) {
+  for (auto it = factories().rbegin(); it != factories().rend(); ++it) {
+    if (auto spec = (*it)(name)) return std::move(*spec);
+  }
   if (name == "polymorph") return make_polymorph();
   if (name == "polymorph-multibug") return make_polymorph_multibug();
   if (name == "ctree") return make_ctree();

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -59,5 +60,12 @@ AppSpec make_fig2();
 // All four evaluation targets, in the paper's order.
 std::vector<std::string> app_names();
 AppSpec make_app(const std::string& name);
+
+// Extension point for dynamically constructed applications (e.g. the fuzz
+// generator's "fuzz:<seed>" programs). make_app consults registered
+// factories — newest first — before the built-in names; a factory returns
+// nullopt for names it does not recognise.
+using AppFactory = std::function<std::optional<AppSpec>(const std::string&)>;
+void register_app_factory(AppFactory factory);
 
 }  // namespace statsym::apps

@@ -1,0 +1,524 @@
+#include "fuzz/diff_driver.h"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "interp/interpreter.h"
+#include "ir/printer.h"
+#include "ir/rewrite.h"
+#include "ir/verifier.h"
+#include "statsym/engine.h"
+#include "support/strings.h"
+#include "support/thread_pool.h"
+#include "symexec/executor.h"
+
+namespace statsym::fuzz {
+
+const char* oracle_name(Oracle o) {
+  switch (o) {
+    case Oracle::kNone: return "ok";
+    case Oracle::kDifferential: return "differential";
+    case Oracle::kPipeline: return "pipeline";
+    case Oracle::kGuidedSoundness: return "guided-soundness";
+  }
+  return "?";
+}
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// Renders a RuntimeInput as a fully-concrete SymInputSpec (the concretised
+// executor sees the exact strings the interpreter ran).
+symexec::SymInputSpec concretize(const interp::RuntimeInput& in) {
+  symexec::SymInputSpec spec;
+  for (const auto& a : in.argv) spec.argv.push_back(symexec::SymStr::fixed(a));
+  for (const auto& [k, v] : in.env) {
+    spec.env.emplace_back(k, symexec::SymStr::fixed(v));
+  }
+  return spec;
+}
+
+interp::RuntimeInput payload_input(std::int64_t len) {
+  interp::RuntimeInput in;
+  in.argv = {"fuzz", std::string(static_cast<std::size_t>(len), 'a')};
+  return in;
+}
+
+symexec::ExecOptions concretized_exec_options() {
+  symexec::ExecOptions o;
+  o.stop_at_first_fault = true;
+  o.max_instructions = 20'000'000;
+  o.max_seconds = 30.0;
+  return o;
+}
+
+// One oracle-(a) comparison. Returns a non-empty description on divergence.
+std::string compare_engines(const ir::Module& m,
+                            const interp::RuntimeInput& input) {
+  interp::Interpreter it(m, input);
+  const interp::RunResult concrete = it.run();
+
+  symexec::SymExecutor ex(m, concretize(input), concretized_exec_options());
+  const symexec::ExecResult symbolic = ex.run();
+
+  const std::int64_t len =
+      input.argv.size() > 1 ? static_cast<std::int64_t>(input.argv[1].size())
+                            : -1;
+  auto tag = [&](const std::string& what) {
+    return "len=" + std::to_string(len) + ": " + what;
+  };
+
+  if (concrete.outcome == interp::RunOutcome::kFault) {
+    if (symbolic.termination != symexec::Termination::kFoundFault) {
+      return tag("interpreter faulted in " + concrete.fault.function +
+                 " but symexec terminated " +
+                 symexec::termination_name(symbolic.termination));
+    }
+    if (!symbolic.vuln.has_value()) return tag("symexec fault without vuln");
+    if (symbolic.vuln->function != concrete.fault.function) {
+      return tag("fault function mismatch: interp=" + concrete.fault.function +
+                 " symexec=" + symbolic.vuln->function);
+    }
+    if (symbolic.vuln->kind != concrete.fault.kind) {
+      return tag(std::string("fault kind mismatch: interp=") +
+                 interp::fault_kind_name(concrete.fault.kind) +
+                 " symexec=" + interp::fault_kind_name(symbolic.vuln->kind));
+    }
+    return {};
+  }
+  if (concrete.outcome != interp::RunOutcome::kOk) {
+    return tag("interpreter hit the step limit (generator invariant broken)");
+  }
+  if (symbolic.termination != symexec::Termination::kExhausted) {
+    return tag(std::string("interpreter ok but symexec terminated ") +
+               symexec::termination_name(symbolic.termination));
+  }
+  if (symbolic.stats.paths_explored != 1 || symbolic.stats.forks != 0) {
+    return tag("concrete input explored " +
+               std::to_string(symbolic.stats.paths_explored) + " paths / " +
+               std::to_string(symbolic.stats.forks) + " forks (want 1 / 0)");
+  }
+  return {};
+}
+
+// Ground-truth check: the interpreter outcome on `input` must match the
+// planted predicate len >= T. Non-empty description on violation.
+std::string check_ground_truth(const GeneratedProgram& prog,
+                               const interp::RuntimeInput& input) {
+  interp::Interpreter it(prog.app.module, input);
+  const interp::RunResult r = it.run();
+  const auto len = static_cast<std::int64_t>(input.argv[1].size());
+  const bool should_fault =
+      prog.fault_planted && len >= prog.app.crash_threshold;
+  const bool faulted = r.outcome == interp::RunOutcome::kFault;
+  if (faulted != should_fault) {
+    return "len=" + std::to_string(len) + ": expected " +
+           (should_fault ? "fault" : "clean run") + ", interpreter says " +
+           (faulted ? "fault in " + r.fault.function : "clean");
+  }
+  if (faulted && (r.fault.function != prog.app.vuln_function ||
+                  r.fault.kind != prog.app.vuln_kind)) {
+    return "len=" + std::to_string(len) + ": fault " +
+           interp::fault_kind_name(r.fault.kind) + " in " + r.fault.function +
+           " does not match planted " +
+           interp::fault_kind_name(prog.app.vuln_kind) + " in " +
+           prog.app.vuln_function;
+  }
+  return {};
+}
+
+core::EngineOptions engine_options(const GeneratedProgram& prog,
+                                   const DiffOptions& opts) {
+  core::EngineOptions eo;
+  eo.monitor.sampling_rate = opts.sampling_rate;
+  eo.target_correct_logs = opts.target_logs;
+  eo.target_faulty_logs = opts.target_logs;
+  eo.max_workload_runs = opts.max_workload_runs;
+  eo.exec.max_instructions = opts.engine_max_instructions;
+  eo.exec.max_seconds = opts.engine_max_seconds;
+  eo.exec.max_live_states = 50'000;
+  eo.exec.max_memory_bytes = 128ull << 20;
+  eo.candidate_timeout_seconds = opts.engine_max_seconds;
+  eo.max_candidates_tried = 8;
+  // Determinism across --jobs comes from one engine per program; programs
+  // are the parallelism axis, so each engine runs single-threaded.
+  eo.num_threads = 1;
+  eo.candidate_portfolio_width = 1;
+  eo.seed = derive_seed(prog.seed, 0x10adu);
+  return eo;
+}
+
+struct PipelineOutcome {
+  core::EngineResult result;
+  std::string failure;  // empty = oracle (b) satisfied
+};
+
+// Runs the full pipeline and applies the oracle-(b) judgement.
+PipelineOutcome run_pipeline(const GeneratedProgram& prog,
+                             const ir::Module& module,
+                             const DiffOptions& opts) {
+  PipelineOutcome out;
+  core::StatSymEngine engine(module, prog.app.sym_spec,
+                             engine_options(prog, opts));
+  engine.collect_logs(prog.app.workload);
+  out.result = engine.run();
+  const core::EngineResult& res = out.result;
+
+  if (!prog.fault_planted) {
+    if (res.found) {
+      out.failure = "pipeline reported a vulnerability in a fault-free "
+                    "program (candidate #" +
+                    std::to_string(res.winning_candidate) + ")";
+    }
+    return out;
+  }
+  if (!res.found) {
+    out.failure = "pipeline did not verify the planted fault (" +
+                  std::to_string(res.construction.candidates.size()) +
+                  " candidates, " + std::to_string(res.num_faulty_logs) +
+                  " faulty logs)";
+    return out;
+  }
+  if (res.vuln->function != prog.app.vuln_function) {
+    out.failure = "pipeline verified " + res.vuln->function +
+                  " instead of planted " + prog.app.vuln_function;
+    return out;
+  }
+  interp::Interpreter replay(module, res.vuln->input);
+  const interp::RunResult rr = replay.run();
+  if (rr.outcome != interp::RunOutcome::kFault ||
+      rr.fault.function != prog.app.vuln_function) {
+    out.failure = "generated crashing input does not replay in " +
+                  prog.app.vuln_function;
+  }
+  return out;
+}
+
+symexec::ExecOptions pure_options(const DiffOptions& opts,
+                                  const std::string& target) {
+  symexec::ExecOptions po;
+  po.searcher = symexec::SearcherKind::kDFS;
+  po.stop_at_first_fault = true;
+  po.target_function = target;
+  po.max_instructions = opts.pure_max_instructions;
+  po.max_seconds = opts.pure_max_seconds;
+  po.max_live_states = 100'000;
+  po.max_memory_bytes = 256ull << 20;
+  return po;
+}
+
+// Oracle (c): non-empty description when pure execution cannot reproduce the
+// guided finding.
+std::string check_soundness(const GeneratedProgram& prog,
+                            const ir::Module& module,
+                            const core::EngineResult& res,
+                            const DiffOptions& opts) {
+  if (!res.found) return {};
+  const auto pr = core::run_pure_symbolic(
+      module, prog.app.sym_spec, pure_options(opts, res.vuln->function));
+  if (pr.termination != symexec::Termination::kFoundFault) {
+    return "guided mode verified " + res.vuln->function +
+           " but pure execution terminated " +
+           std::string(symexec::termination_name(pr.termination));
+  }
+  return {};
+}
+
+// --- shrinking ------------------------------------------------------------
+
+std::size_t total_instrs(const ir::Module& m) {
+  std::size_t n = 0;
+  for (const auto& fn : m.functions()) n += fn.instr_count();
+  return n;
+}
+
+using FailurePred = std::function<bool(const ir::Module&)>;
+
+// Greedy delta debugging over whole functions, then blocks: a rewrite is
+// kept when the module stays verifier-clean, strictly shrinks, and the
+// original failure still reproduces. Strict shrinkage bounds the loop.
+ir::Module shrink_module(ir::Module m, const FailurePred& still_fails,
+                         std::size_t max_checks) {
+  std::size_t checks = 0;
+  auto try_adopt = [&](const ir::Module& candidate) {
+    if (checks >= max_checks) return false;
+    if (total_instrs(candidate) >= total_instrs(m)) return false;
+    if (!ir::verify(candidate).empty()) return false;
+    ++checks;
+    if (!still_fails(candidate)) return false;
+    m = candidate;
+    return true;
+  };
+
+  bool changed = true;
+  while (changed && checks < max_checks) {
+    changed = false;
+    // Pass 1: drop whole functions (largest cuts first by scanning all ids;
+    // ids shift after every adoption, so restart the scan).
+    for (ir::FuncId id = 0;
+         id < static_cast<ir::FuncId>(m.functions().size());) {
+      if (id == m.entry() || !try_adopt(ir::drop_function(m, id))) {
+        ++id;
+      } else {
+        changed = true;
+        id = 0;
+      }
+    }
+    // Pass 2: stub surviving blocks down to `return 0`.
+    for (ir::FuncId f = 0; f < static_cast<ir::FuncId>(m.functions().size());
+         ++f) {
+      const auto nblocks =
+          static_cast<ir::BlockId>(m.function(f).blocks.size());
+      for (ir::BlockId b = 0; b < nblocks; ++b) {
+        if (try_adopt(ir::stub_block(m, f, b))) changed = true;
+      }
+    }
+  }
+  return m;
+}
+
+std::string write_repro(const GeneratedProgram& prog, const ir::Module& shrunk,
+                        Oracle oracle, const std::string& detail,
+                        const DiffOptions& opts) {
+  if (opts.repro_dir.empty()) return {};
+  std::error_code ec;
+  fs::create_directories(opts.repro_dir, ec);
+  const std::string file = opts.repro_dir + "/fuzz-" +
+                           std::to_string(prog.seed) + "-" +
+                           oracle_name(oracle) + ".repro.txt";
+  std::ofstream os(file);
+  if (!os) return {};
+  os << "# statsym_fuzz reproducer\n"
+     << "# oracle: " << oracle_name(oracle) << "\n"
+     << "# detail: " << detail << "\n"
+     << "# replay: statsym_fuzz show --program-seed " << prog.seed << "\n"
+     << "seed " << prog.seed << "\n"
+     << "threshold " << prog.threshold << "\n"
+     << "capacity " << prog.capacity << "\n"
+     << "fault_planted " << (prog.fault_planted ? 1 : 0) << "\n"
+     << "# minimised module (" << total_instrs(shrunk) << " instrs):\n"
+     << ir::to_string(shrunk);
+  return file;
+}
+
+void fail_program(ProgramVerdict& v, const GeneratedProgram& prog,
+                  Oracle oracle, const std::string& detail,
+                  const FailurePred& still_fails, const DiffOptions& opts) {
+  v.failed = oracle;
+  v.detail = detail;
+  ir::Module shrunk =
+      opts.shrink
+          ? shrink_module(prog.app.module, still_fails, opts.max_shrink_checks)
+          : prog.app.module;
+  v.repro_file = write_repro(prog, shrunk, oracle, detail, opts);
+}
+
+}  // namespace
+
+ProgramVerdict run_program_seed(std::size_t index, std::uint64_t program_seed,
+                                const DiffOptions& opts) {
+  ProgramVerdict v;
+  v.index = index;
+  v.seed = program_seed;
+  const GeneratedProgram prog = generate_program(program_seed, opts.gen);
+  v.fault_planted = prog.fault_planted;
+
+  // --- oracle (a): differential agreement + ground-truth labelling --------
+  std::vector<interp::RuntimeInput> inputs;
+  Rng rng(derive_seed(program_seed, 0xd1ffu));
+  for (std::size_t i = 0; i < opts.diff_inputs; ++i) {
+    Rng input_rng = rng.split();
+    inputs.push_back(prog.app.workload(input_rng));
+  }
+  // Boundary pair around the planted threshold (or the capacity edge).
+  if (prog.fault_planted) {
+    inputs.push_back(payload_input(prog.threshold - 1));
+    inputs.push_back(payload_input(prog.threshold));
+  } else {
+    inputs.push_back(payload_input(prog.capacity - 1));
+  }
+  for (const auto& input : inputs) {
+    std::string err = check_ground_truth(prog, input);
+    if (err.empty()) err = compare_engines(prog.app.module, input);
+    if (!err.empty()) {
+      // The failure is tied to this concrete input: a shrunk module must
+      // keep misbehaving on it.
+      auto still_fails = [&prog, &input](const ir::Module& m) {
+        GeneratedProgram p = prog;  // same ground truth, rewritten module
+        p.app.module = m;
+        return !check_ground_truth(p, input).empty() ||
+               !compare_engines(m, input).empty();
+      };
+      fail_program(v, prog, Oracle::kDifferential, err, still_fails, opts);
+      return v;
+    }
+  }
+
+  if (!opts.check_pipeline) return v;
+
+  // --- oracle (b): the pipeline must verify exactly the planted fault -----
+  const PipelineOutcome pipe = run_pipeline(prog, prog.app.module, opts);
+  v.num_candidates = pipe.result.construction.candidates.size();
+  v.winning_candidate = pipe.result.winning_candidate;
+  v.pipeline_found = pipe.result.found;
+  v.guided_paths = pipe.result.paths_explored;
+  if (!pipe.failure.empty()) {
+    auto still_fails = [&prog, &opts](const ir::Module& m) {
+      if (prog.fault_planted) {
+        // Keep only shrinks that preserve the fault itself — a module that
+        // simply lost the bug would "miss" trivially.
+        interp::Interpreter it(m, payload_input(prog.threshold));
+        if (it.run().outcome != interp::RunOutcome::kFault) return false;
+      }
+      return !run_pipeline(prog, m, opts).failure.empty();
+    };
+    fail_program(v, prog, Oracle::kPipeline, pipe.failure, still_fails, opts);
+    return v;
+  }
+
+  // --- oracle (c): guided findings must be pure-reachable -----------------
+  if (opts.check_soundness) {
+    const std::string err =
+        check_soundness(prog, prog.app.module, pipe.result, opts);
+    if (!err.empty()) {
+      auto still_fails = [&prog, &opts](const ir::Module& m) {
+        const PipelineOutcome p = run_pipeline(prog, m, opts);
+        if (!p.failure.empty() || !p.result.found) return false;
+        return !check_soundness(prog, m, p.result, opts).empty();
+      };
+      fail_program(v, prog, Oracle::kGuidedSoundness, err, still_fails, opts);
+      return v;
+    }
+    v.pure_paths = 0;  // pure run only executes on suspected unsoundness
+  }
+  return v;
+}
+
+ProgramVerdict run_program(std::size_t index, const DiffOptions& opts) {
+  return run_program_seed(index, derive_seed(opts.seed, index), opts);
+}
+
+CampaignResult run_campaign(const DiffOptions& opts) {
+  CampaignResult cr;
+  cr.programs.resize(opts.num_programs);
+  const std::size_t jobs = effective_threads(opts.jobs);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < opts.num_programs; ++i) {
+      cr.programs[i] = run_program(i, opts);
+    }
+  } else {
+    ThreadPool pool(jobs);
+    pool.parallel_for(opts.num_programs, [&](std::size_t i) {
+      cr.programs[i] = run_program(i, opts);
+    });
+  }
+  for (const auto& v : cr.programs) {
+    if (v.fault_planted) {
+      ++cr.planted;
+      if (v.pipeline_found && v.failed != Oracle::kPipeline) {
+        ++cr.pipeline_verified;
+      }
+    }
+    switch (v.failed) {
+      case Oracle::kNone: break;
+      case Oracle::kDifferential: ++cr.divergences; break;
+      case Oracle::kPipeline: ++cr.pipeline_misses; break;
+      case Oracle::kGuidedSoundness: ++cr.soundness_failures; break;
+    }
+  }
+  return cr;
+}
+
+std::string format_verdict(const ProgramVerdict& v) {
+  std::ostringstream os;
+  os << "#" << v.index << " seed=" << v.seed
+     << (v.fault_planted ? " planted" : " benign");
+  if (v.ok()) {
+    os << " ok";
+    if (v.fault_planted) {
+      os << " candidates=" << v.num_candidates
+         << " winner=" << v.winning_candidate << " paths=" << v.guided_paths;
+    }
+  } else {
+    os << " FAIL[" << oracle_name(v.failed) << "] " << v.detail;
+    if (!v.repro_file.empty()) os << " repro=" << v.repro_file;
+  }
+  return os.str();
+}
+
+// --- corpus ---------------------------------------------------------------
+
+std::string format_corpus(const CorpusEntry& e) {
+  std::ostringstream os;
+  os << "# statsym_fuzz corpus entry — replay via tests/fuzz_regression_test\n"
+     << "name " << e.name << "\n"
+     << "seed " << e.seed << "\n"
+     << "min_chain " << e.gen.min_chain << "\n"
+     << "max_chain " << e.gen.max_chain << "\n"
+     << "min_leaves " << e.gen.min_leaves << "\n"
+     << "max_leaves " << e.gen.max_leaves << "\n"
+     << "max_segments " << e.gen.max_segments << "\n"
+     << "num_int_globals " << e.gen.num_int_globals << "\n"
+     << "fault_probability " << fmt_double(e.gen.fault_probability, 4) << "\n"
+     << "assert_fault_probability "
+     << fmt_double(e.gen.assert_fault_probability, 4) << "\n"
+     << "min_threshold " << e.gen.min_threshold << "\n"
+     << "max_threshold " << e.gen.max_threshold << "\n"
+     << "capacity_slack " << e.gen.capacity_slack << "\n"
+     << "allow_loops " << (e.gen.allow_loops ? 1 : 0) << "\n"
+     << "allow_memory_ops " << (e.gen.allow_memory_ops ? 1 : 0) << "\n"
+     << "expect_fault " << (e.expect_fault ? 1 : 0) << "\n"
+     << "expect_kind " << e.expect_kind << "\n"
+     << "min_candidates " << e.min_candidates << "\n";
+  if (!e.note.empty()) os << "note " << e.note << "\n";
+  return os.str();
+}
+
+bool parse_corpus(const std::string& text, CorpusEntry& out) {
+  std::istringstream is(text);
+  std::string line;
+  bool have_seed = false;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.find(' ');
+    if (sp == std::string::npos) return false;
+    const std::string key = line.substr(0, sp);
+    const std::string val = line.substr(sp + 1);
+    auto as_u64 = [&] { return std::stoull(val); };
+    auto as_i64 = [&] { return std::stoll(val); };
+    auto as_size = [&] { return static_cast<std::size_t>(std::stoull(val)); };
+    auto as_bool = [&] { return val != "0"; };
+    try {
+      if (key == "name") out.name = val;
+      else if (key == "seed") { out.seed = as_u64(); have_seed = true; }
+      else if (key == "min_chain") out.gen.min_chain = as_size();
+      else if (key == "max_chain") out.gen.max_chain = as_size();
+      else if (key == "min_leaves") out.gen.min_leaves = as_size();
+      else if (key == "max_leaves") out.gen.max_leaves = as_size();
+      else if (key == "max_segments") out.gen.max_segments = as_size();
+      else if (key == "num_int_globals") out.gen.num_int_globals = as_size();
+      else if (key == "fault_probability")
+        out.gen.fault_probability = std::stod(val);
+      else if (key == "assert_fault_probability")
+        out.gen.assert_fault_probability = std::stod(val);
+      else if (key == "min_threshold") out.gen.min_threshold = as_i64();
+      else if (key == "max_threshold") out.gen.max_threshold = as_i64();
+      else if (key == "capacity_slack") out.gen.capacity_slack = as_i64();
+      else if (key == "allow_loops") out.gen.allow_loops = as_bool();
+      else if (key == "allow_memory_ops") out.gen.allow_memory_ops = as_bool();
+      else if (key == "expect_fault") out.expect_fault = as_bool();
+      else if (key == "expect_kind") out.expect_kind = val;
+      else if (key == "min_candidates") out.min_candidates = as_size();
+      else if (key == "note") out.note = val;
+      else return false;  // unknown key: refuse rather than silently drift
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+  return have_seed;
+}
+
+}  // namespace statsym::fuzz

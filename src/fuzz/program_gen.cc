@@ -1,0 +1,368 @@
+#include "fuzz/program_gen.h"
+
+#include <optional>
+#include <vector>
+
+#include "apps/stdlib.h"
+#include "ir/builder.h"
+
+namespace statsym::fuzz {
+
+namespace {
+
+// Kinds of planted fault (kNone = benign sink).
+enum class PlantKind : std::uint8_t { kNone, kOob, kAssert };
+
+// Everything the per-function emitters need. All register values derived
+// from the input are non-negative by construction (lengths, byte values,
+// loop counters), which is what makes the bounds guards below sufficient.
+struct FnCtx {
+  ir::FunctionBuilder& f;
+  Rng& rng;
+  const GenOptions& opts;
+  ir::Reg s;  // input string ref
+  ir::Reg n;  // its length (>= 0)
+  const std::vector<std::string>& globals;
+  const std::vector<std::string>& leaves;  // callable leaf helpers
+  std::int64_t cap;                        // symbolic input capacity
+};
+
+const std::string& pick_global(FnCtx& c) {
+  return c.globals[static_cast<std::size_t>(c.rng.uniform(
+      0, static_cast<std::int64_t>(c.globals.size() - 1)))];
+}
+
+// g = g <op> (n | small constant), wrap-around ops only (no div/rem/shift:
+// chaff must be incapable of faulting).
+void emit_arith_segment(FnCtx& c) {
+  static constexpr ir::BinOp kSafeOps[] = {
+      ir::BinOp::kAdd, ir::BinOp::kSub, ir::BinOp::kMul,
+      ir::BinOp::kAnd, ir::BinOp::kOr,  ir::BinOp::kXor,
+  };
+  const std::string g = pick_global(c);
+  const auto op = kSafeOps[c.rng.uniform(0, 5)];
+  const ir::Reg lhs = c.f.load_global(g);
+  const ir::Reg v = c.rng.chance(0.5)
+                        ? c.f.bin(op, lhs, c.n)
+                        : c.f.bini(op, lhs, c.rng.uniform(1, 9));
+  c.f.store_global(g, v);
+}
+
+// if (n <cmp> K) { arith [+ leaf call] } else { arith }
+void emit_branch_segment(FnCtx& c, bool allow_leaf_call) {
+  static constexpr ir::BinOp kCmps[] = {ir::BinOp::kLt, ir::BinOp::kLe,
+                                        ir::BinOp::kGt, ir::BinOp::kGe,
+                                        ir::BinOp::kEq, ir::BinOp::kNe};
+  const auto cmp = kCmps[c.rng.uniform(0, 5)];
+  const std::int64_t k = c.rng.uniform(0, c.cap - 1);
+  const auto then_b = c.f.block();
+  const auto else_b = c.f.block();
+  const auto join = c.f.block();
+  c.f.br(c.f.bini(cmp, c.n, k), then_b, else_b);
+
+  c.f.at(then_b);
+  if (allow_leaf_call && !c.leaves.empty() && c.rng.chance(0.6)) {
+    const std::string& leaf = c.leaves[static_cast<std::size_t>(c.rng.uniform(
+        0, static_cast<std::int64_t>(c.leaves.size() - 1)))];
+    const ir::Reg r = c.f.call(leaf, {c.s, c.n});
+    const std::string g = pick_global(c);
+    c.f.store_global(g, c.f.add(c.f.load_global(g), r));
+  } else {
+    emit_arith_segment(c);
+  }
+  c.f.jmp(join);
+
+  c.f.at(else_b);
+  emit_arith_segment(c);
+  c.f.jmp(join);
+
+  c.f.at(join);
+}
+
+// if (n >= J) { ch = s[J]; if (ch > letter) arith else arith } else arith
+// The guard makes the load safe concretely: index J <= len(s) is always
+// inside the len+1-byte string object.
+void emit_byte_branch_segment(FnCtx& c) {
+  const std::int64_t j = c.rng.uniform(0, 5);
+  const auto have = c.f.block();
+  const auto skip = c.f.block();
+  const auto join = c.f.block();
+  c.f.br(c.f.gei(c.n, j), have, skip);
+
+  c.f.at(have);
+  const ir::Reg ch = c.f.load(c.s, c.f.ci(j));
+  const auto hi = c.f.block();
+  const auto lo = c.f.block();
+  c.f.br(c.f.gti(ch, c.rng.uniform('d', 'u')), hi, lo);
+  c.f.at(hi);
+  emit_arith_segment(c);
+  c.f.jmp(join);
+  c.f.at(lo);
+  emit_arith_segment(c);
+  c.f.jmp(join);
+
+  c.f.at(skip);
+  emit_arith_segment(c);
+  c.f.jmp(join);
+
+  c.f.at(join);
+}
+
+// for (i = 0; i < K; ++i) g = g + i   — counted, no symbolic forks.
+void emit_loop_segment(FnCtx& c) {
+  const std::int64_t k = c.rng.uniform(2, 5);
+  const std::string g = pick_global(c);
+  const ir::Reg i = c.f.reg();
+  c.f.assign(i, c.f.ci(0));
+  const auto loop = c.f.block();
+  const auto body = c.f.block();
+  const auto done = c.f.block();
+  c.f.jmp(loop);
+  c.f.at(loop);
+  c.f.br(c.f.lti(i, k), body, done);
+  c.f.at(body);
+  c.f.store_global(g, c.f.add(c.f.load_global(g), i));
+  c.f.assign(i, c.f.addi(i, 1));
+  c.f.jmp(loop);
+  c.f.at(done);
+}
+
+// Local scratch buffer: counted fill, then one read back into a global.
+// All indices are constants below the allocation size.
+void emit_mem_segment(FnCtx& c) {
+  const std::int64_t size = c.rng.uniform(8, 32);
+  const std::int64_t k = c.rng.uniform(1, size - 1);
+  const ir::Reg buf = c.f.alloca_buf(size);
+  const ir::Reg i = c.f.reg();
+  c.f.assign(i, c.f.ci(0));
+  const auto loop = c.f.block();
+  const auto body = c.f.block();
+  const auto done = c.f.block();
+  c.f.jmp(loop);
+  c.f.at(loop);
+  c.f.br(c.f.lti(i, k), body, done);
+  c.f.at(body);
+  c.f.store(buf, i, c.f.addi(i, 1));
+  c.f.assign(i, c.f.addi(i, 1));
+  c.f.jmp(loop);
+  c.f.at(done);
+  const ir::Reg x = c.f.load(buf, c.f.ci(c.rng.uniform(0, k - 1)));
+  const std::string g = pick_global(c);
+  c.f.store_global(g, c.f.add(c.f.load_global(g), x));
+}
+
+// m = min(n, K); copy s[0..m) into a local buffer sized above K. Loads stay
+// below len(s), stores below the allocation: bounded on both sides.
+void emit_bounded_copy_segment(FnCtx& c) {
+  const std::int64_t k = c.rng.uniform(3, 10);
+  const ir::Reg buf = c.f.alloca_buf(k + 2);
+  const ir::Reg m = c.f.reg();
+  const auto use_n = c.f.block();
+  const auto use_k = c.f.block();
+  const auto head = c.f.block();
+  c.f.br(c.f.lti(c.n, k), use_n, use_k);
+  c.f.at(use_n);
+  c.f.assign(m, c.n);
+  c.f.jmp(head);
+  c.f.at(use_k);
+  c.f.assign(m, c.f.ci(k));
+  c.f.jmp(head);
+  c.f.at(head);
+  const ir::Reg i = c.f.reg();
+  c.f.assign(i, c.f.ci(0));
+  const auto loop = c.f.block();
+  const auto body = c.f.block();
+  const auto done = c.f.block();
+  c.f.jmp(loop);
+  c.f.at(loop);
+  c.f.br(c.f.lt(i, m), body, done);
+  c.f.at(body);
+  c.f.store(buf, i, c.f.load(c.s, i));
+  c.f.assign(i, c.f.addi(i, 1));
+  c.f.jmp(loop);
+  c.f.at(done);
+  const std::string g = pick_global(c);
+  c.f.store_global(g, c.f.add(c.f.load_global(g), m));
+}
+
+void emit_segments(FnCtx& c, std::size_t count, bool allow_leaf_calls) {
+  for (std::size_t i = 0; i < count; ++i) {
+    // Weighted menu; loop/memory shapes can be disabled by options.
+    std::vector<double> w{3.0, 2.5, 2.0,
+                          c.opts.allow_loops ? 1.5 : 0.0,
+                          c.opts.allow_memory_ops ? 1.5 : 0.0,
+                          c.opts.allow_memory_ops ? 1.0 : 0.0};
+    switch (c.rng.weighted_pick(w)) {
+      case 0: emit_arith_segment(c); break;
+      case 1: emit_branch_segment(c, allow_leaf_calls); break;
+      case 2: emit_byte_branch_segment(c); break;
+      case 3: emit_loop_segment(c); break;
+      case 4: emit_mem_segment(c); break;
+      case 5: emit_bounded_copy_segment(c); break;
+    }
+  }
+}
+
+// The sink carrying the (optional) planted fault.
+//
+//   kOob:    copy loop `do { buf[i] = s[i] } while (s[i] != 0)` into a
+//            T-byte buffer — the store at index len(s) lands out of bounds
+//            exactly when len >= T (polymorph's shape).
+//   kAssert: assert(n < T) — fails exactly when len >= T.
+//   kNone:   bounded copy into a buffer sized above the input capacity;
+//            cannot fault.
+void emit_sink(ir::ModuleBuilder& mb, PlantKind plant, std::int64_t threshold,
+               std::int64_t cap) {
+  if (plant == PlantKind::kAssert) {
+    auto f = mb.func("sink", {"s", "n"});
+    const ir::Reg n = f.param(1);
+    f.assert_true(f.lti(n, threshold));
+    f.ret(n);
+    return;
+  }
+  auto f = mb.func("sink", {"s", "n"});
+  const ir::Reg s = f.param(0);
+  const std::int64_t bufsize = plant == PlantKind::kOob ? threshold : cap + 2;
+  const ir::Reg buf = f.alloca_buf(bufsize);
+  const ir::Reg i = f.reg();
+  f.assign(i, f.ci(0));
+  const auto loop = f.block();
+  const auto next = f.block();
+  const auto done = f.block();
+  f.jmp(loop);
+  f.at(loop);
+  const ir::Reg ch = f.load(s, i);
+  f.store(buf, i, ch);  // plant == kOob: faults at i == len when len >= T
+  f.br(f.eqi(ch, 0), done, next);
+  f.at(next);
+  f.assign(i, f.addi(i, 1));
+  f.jmp(loop);
+  f.at(done);
+  f.ret(i);
+}
+
+}  // namespace
+
+GeneratedProgram generate_program(std::uint64_t seed, const GenOptions& opts) {
+  Rng rng(derive_seed(0x5fa2'57a7'5fa2'57a7ULL ^ seed, seed));
+  GeneratedProgram out;
+  out.seed = seed;
+  out.opts = opts;
+
+  const auto chain_len = static_cast<std::size_t>(
+      rng.uniform(static_cast<std::int64_t>(opts.min_chain),
+                  static_cast<std::int64_t>(opts.max_chain)));
+  const auto num_leaves = static_cast<std::size_t>(
+      rng.uniform(static_cast<std::int64_t>(opts.min_leaves),
+                  static_cast<std::int64_t>(opts.max_leaves)));
+  out.fault_planted = rng.chance(opts.fault_probability);
+  const PlantKind plant =
+      !out.fault_planted ? PlantKind::kNone
+      : rng.chance(opts.assert_fault_probability) ? PlantKind::kAssert
+                                                  : PlantKind::kOob;
+  out.threshold = rng.uniform(opts.min_threshold, opts.max_threshold);
+  out.capacity = out.threshold + opts.capacity_slack;
+
+  const std::string name = "fuzz-" + std::to_string(seed);
+  ir::ModuleBuilder mb(name);
+  apps::emit_stdlib(mb);
+
+  std::vector<std::string> globals;
+  for (std::size_t i = 0; i < opts.num_int_globals; ++i) {
+    globals.push_back("g" + std::to_string(i));
+    mb.global_int(globals.back(), rng.uniform(0, 4));
+  }
+
+  std::vector<std::string> leaves;
+  for (std::size_t i = 0; i < num_leaves; ++i) {
+    leaves.push_back("leaf" + std::to_string(i));
+  }
+  const std::vector<std::string> no_leaves;
+  for (const auto& leaf : leaves) {
+    auto f = mb.func(leaf, {"s", "n"});
+    FnCtx c{f,       rng,       opts,        f.param(0),
+            f.param(1), globals, no_leaves, out.capacity};
+    emit_segments(c, 1 + static_cast<std::size_t>(rng.uniform(0, 1)),
+                  /*allow_leaf_calls=*/false);
+    f.ret(rng.chance(0.5) ? f.load_global(globals[0]) : c.n);
+  }
+
+  // Stage chain: stage0(s) computes the length, deeper stages take (s, n);
+  // every stage falls through to the next unconditionally, so the planted
+  // predicate len >= T is the program's one and only failure condition.
+  for (std::size_t i = 0; i < chain_len; ++i) {
+    const bool first = i == 0;
+    auto f = first ? mb.func("stage0", {"s"})
+                   : mb.func("stage" + std::to_string(i), {"s", "n"});
+    const ir::Reg s = f.param(0);
+    const ir::Reg n = first ? f.call("__strlen", {s}) : f.param(1);
+    FnCtx c{f, rng, opts, s, n, globals, leaves, out.capacity};
+    emit_segments(c,
+                  1 + static_cast<std::size_t>(rng.uniform(
+                          0, static_cast<std::int64_t>(opts.max_segments) - 1)),
+                  /*allow_leaf_calls=*/true);
+    const std::string next =
+        i + 1 < chain_len ? "stage" + std::to_string(i + 1) : "sink";
+    const ir::Reg r = f.call(next, {s, n});
+    f.ret(f.add(r, f.load_global(globals[0])));
+  }
+
+  emit_sink(mb, plant, out.threshold, out.capacity);
+
+  {
+    auto f = mb.func("main", {});
+    const ir::Reg ac = f.argc();
+    const auto run = f.block();
+    const auto err = f.block();
+    f.br(f.gei(ac, 2), run, err);
+    f.at(err);
+    f.ret(f.ci(1));
+    f.at(run);
+    const ir::Reg s = f.arg(f.ci(1));
+    f.call("stage0", {s});
+    f.ret(f.ci(0));
+  }
+
+  out.app.name = name;
+  out.app.module = mb.build();
+  out.app.sym_spec.argv = {symexec::SymStr::fixed(name),
+                           symexec::SymStr::sym("payload", out.capacity)};
+  const std::int64_t cap = out.capacity;
+  out.app.workload = [cap](Rng& wrng) {
+    interp::RuntimeInput in;
+    const std::int64_t len = wrng.uniform(0, cap - 1);
+    std::string payload;
+    payload.reserve(static_cast<std::size_t>(len));
+    for (std::int64_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(wrng.uniform('a', 'z')));
+    }
+    in.argv = {"fuzz", std::move(payload)};
+    return in;
+  };
+  if (out.fault_planted) {
+    out.app.vuln_function = "sink";
+    out.app.vuln_kind = plant == PlantKind::kAssert
+                            ? interp::FaultKind::kAssertFail
+                            : interp::FaultKind::kOobStore;
+    out.app.crash_threshold = out.threshold;
+  }
+  return out;
+}
+
+void register_fuzz_apps() {
+  apps::register_app_factory(
+      [](const std::string& name) -> std::optional<apps::AppSpec> {
+        constexpr std::string_view prefix = "fuzz:";
+        if (!name.starts_with(prefix)) return std::nullopt;
+        std::uint64_t seed = 0;
+        const std::string digits = name.substr(prefix.size());
+        if (digits.empty()) return std::nullopt;
+        for (char ch : digits) {
+          if (ch < '0' || ch > '9') return std::nullopt;
+          seed = seed * 10 + static_cast<std::uint64_t>(ch - '0');
+        }
+        return generate_program(seed).app;
+      });
+}
+
+}  // namespace statsym::fuzz

@@ -1,0 +1,78 @@
+// Seeded random mini-IR program generator for differential fuzzing.
+//
+// Each generated module is verifier-clean by construction (the builder runs
+// ir::verify) and is packaged as a full apps::AppSpec — symbolic-input spec,
+// workload generator, ground-truth vulnerable function — so it drops into
+// the registry-driven pipeline exactly like the hand-written targets.
+//
+// Program shape ("grammar", DESIGN.md §8): main() reads one argv string and
+// hands it to a chain of stage functions; stages emit random chaff segments
+// (arithmetic on globals, branches on the input length, byte tests, counted
+// loops, bounded buffer copies, calls into leaf helpers) and pass the string
+// plus its length down the chain unconditionally, until a sink function.
+// With probability GenOptions::fault_probability the sink carries a planted
+// fault — an unchecked copy loop into a fixed-size buffer (OOB write) or a
+// failed assertion on the length — that fires exactly when
+// len(input) >= threshold. Chaff is fault-free by construction (every index
+// is bounds-guarded, loops are counted, arithmetic wraps), so the planted
+// predicate is the program's only failure mode and labels every workload run
+// exactly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apps/registry.h"
+
+namespace statsym::fuzz {
+
+struct GenOptions {
+  // Stage functions on the main → sink call chain (inclusive bounds).
+  std::size_t min_chain{2};
+  std::size_t max_chain{4};
+  // Leaf helper functions callable from chaff segments.
+  std::size_t min_leaves{1};
+  std::size_t max_leaves{3};
+  // Chaff segments emitted per stage function.
+  std::size_t max_segments{4};
+  // Integer globals shared by the chaff (logged at every location).
+  std::size_t num_int_globals{3};
+
+  // Probability a program carries a planted fault; among planted programs,
+  // probability the fault is an assertion failure instead of an OOB write.
+  double fault_probability{0.75};
+  double assert_fault_probability{0.35};
+
+  // Planted-fault trigger: len(input) >= threshold, threshold uniform in
+  // [min_threshold, max_threshold]. The symbolic input capacity is
+  // threshold + capacity_slack, so both classes are reachable.
+  std::int64_t min_threshold{6};
+  std::int64_t max_threshold{20};
+  std::int64_t capacity_slack{10};
+
+  bool allow_loops{true};
+  bool allow_memory_ops{true};
+};
+
+struct GeneratedProgram {
+  apps::AppSpec app;       // module + sym spec + workload + ground truth
+  std::uint64_t seed{0};
+  GenOptions opts;
+  bool fault_planted{false};
+  // When planted: fault fires iff len(input) >= threshold
+  // (== app.crash_threshold). Always: workload lengths are < capacity.
+  std::int64_t threshold{0};
+  std::int64_t capacity{0};
+};
+
+// Pure function of (seed, opts): the same pair reproduces the same module,
+// workload stream and ground truth on every platform.
+GeneratedProgram generate_program(std::uint64_t seed,
+                                  const GenOptions& opts = {});
+
+// Registers the "fuzz:<seed>" application-name factory with the apps
+// registry, so e.g. `statsym run fuzz:17` drives the full pipeline on
+// generated program 17 (default GenOptions).
+void register_fuzz_apps();
+
+}  // namespace statsym::fuzz

@@ -1,0 +1,69 @@
+#include "ir/rewrite.h"
+
+namespace statsym::ir {
+
+namespace {
+
+Module copy_module(const Module& m) {
+  Module out;
+  out.set_name(m.name());
+  for (const auto& g : m.globals()) out.add_global(g);
+  for (const auto& fn : m.functions()) out.add_function(fn);
+  return out;
+}
+
+}  // namespace
+
+Module drop_function(const Module& m, FuncId victim) {
+  if (victim == m.entry()) return copy_module(m);
+
+  Module out;
+  out.set_name(m.name());
+  for (const auto& g : m.globals()) out.add_global(g);
+
+  for (FuncId id = 0; id < static_cast<FuncId>(m.functions().size()); ++id) {
+    if (id == victim) continue;
+    Function fn = m.function(id);
+    for (auto& block : fn.blocks) {
+      std::vector<Instr> kept;
+      kept.reserve(block.instrs.size());
+      for (Instr& in : block.instrs) {
+        if (in.op == Opcode::kCall) {
+          const auto target = static_cast<FuncId>(in.imm);
+          if (target == victim) {
+            if (in.dst == kNoReg) continue;  // void call: erase outright
+            Instr zero;
+            zero.op = Opcode::kConst;
+            zero.dst = in.dst;
+            zero.imm = 0;
+            kept.push_back(zero);
+            continue;
+          }
+          if (target > victim) in.imm = target - 1;
+        }
+        kept.push_back(std::move(in));
+      }
+      block.instrs = std::move(kept);
+    }
+    out.add_function(std::move(fn));
+  }
+  return out;
+}
+
+Module stub_block(const Module& m, FuncId f, BlockId b) {
+  Module out = copy_module(m);
+  Function& fn = out.function(f);
+  if (b < 0 || b >= static_cast<BlockId>(fn.blocks.size())) return out;
+  const Reg r = fn.num_regs++;
+  Instr zero;
+  zero.op = Opcode::kConst;
+  zero.dst = r;
+  zero.imm = 0;
+  Instr ret;
+  ret.op = Opcode::kRet;
+  ret.a = r;
+  fn.blocks[static_cast<std::size_t>(b)].instrs = {zero, ret};
+  return out;
+}
+
+}  // namespace statsym::ir

@@ -1,0 +1,24 @@
+// Module-to-module rewrites used by the fuzz harness's test-case shrinker.
+//
+// Both rewrites return a structurally fresh Module; the input is untouched.
+// They preserve well-formedness mechanically (callers should still run
+// ir::verify before trusting a rewritten module, which the shrinker does).
+#pragma once
+
+#include "ir/module.h"
+
+namespace statsym::ir {
+
+// Copy of `m` without function `victim`. Call sites of the victim are
+// erased: a valued call becomes `dst = 0`, a void call disappears. Remaining
+// kCall targets are remapped to the shifted function ids. The entry function
+// ("main") cannot be dropped; returns an unmodified copy in that case.
+Module drop_function(const Module& m, FuncId victim);
+
+// Copy of `m` with block `b` of function `f` replaced by `return 0` (a
+// fresh register holds the constant, so no live register is clobbered).
+// Branches targeting the block stay valid; the block just cuts the path
+// short.
+Module stub_block(const Module& m, FuncId f, BlockId b);
+
+}  // namespace statsym::ir

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "apps/registry.h"
+#include "fuzz/program_gen.h"
 #include "ir/printer.h"
 #include "ir/program_stats.h"
 #include "monitor/serialize.h"
@@ -260,6 +261,7 @@ int cmd_dump(const std::string& name) {
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  fuzz::register_fuzz_apps();  // enables app names of the form "fuzz:<seed>"
   const std::string cmd = argv[1];
   Flags f;
   if (cmd == "list") return cmd_list();

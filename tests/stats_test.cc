@@ -189,6 +189,87 @@ TEST(PredicateManager, ThresholdKindOutranksUnreachedAtEqualScore) {
   EXPECT_EQ(pm.ranked()[1].pk, PredKind::kUnreached);
 }
 
+TEST(PredicateManager, AllCorrectLogsYieldNoPredicates) {
+  // Degenerate input: the workload never failed. There is no faulty class to
+  // separate from, so no predicate may be emitted (rather than, say, a
+  // spurious kUnreached for every location).
+  std::vector<RunLog> logs;
+  for (int i = 0; i < 20; ++i) {
+    logs.push_back(mk_log(i, false, {{0, {mk_var("x", i)}}}));
+  }
+  SampleSet s;
+  s.build(logs);
+  EXPECT_EQ(s.num_faulty_runs(), 0u);
+  PredicateManager pm;
+  pm.build(s);
+  EXPECT_TRUE(pm.ranked().empty());
+  EXPECT_DOUBLE_EQ(pm.loc_score(0), 0.0);
+}
+
+TEST(PredicateManager, AllFaultyLogsYieldNoPredicates) {
+  // Degenerate input: every run failed. "Reached at all" would separate
+  // nothing (score 0), so again no predicate survives.
+  std::vector<RunLog> logs;
+  for (int i = 0; i < 20; ++i) {
+    logs.push_back(mk_log(i, true, {{0, {mk_var("x", i)}}}));
+  }
+  SampleSet s;
+  s.build(logs);
+  EXPECT_EQ(s.num_correct_runs(), 0u);
+  PredicateManager pm;
+  pm.build(s);
+  EXPECT_TRUE(pm.ranked().empty());
+}
+
+TEST(Predicate, TiedThresholdsBreakDeterministically) {
+  // correct = {1,3}, faulty = {2,4} admits two Eq.1-optimal cuts with equal
+  // Eq.2 score: (> 1.5) and (> 3.5), both with error 1 and score 0.5. The
+  // scan visits cuts in ascending order, kGt before kLt, and only a strict
+  // improvement replaces the incumbent — so the first optimum must win.
+  // This ordering is part of the determinism contract (same predicate on
+  // every platform and thread count); the fuzz harness relies on it.
+  VarSamples vs;
+  vs.loc = 0;
+  vs.var = "x FUNCPARAM";
+  vs.correct = {1, 3};
+  vs.faulty = {2, 4};
+  vs.correct_runs = 2;
+  vs.faulty_runs = 2;
+  Predicate p;
+  ASSERT_TRUE(fit_predicate(vs, 2, 2, p));
+  EXPECT_EQ(p.error, 1u);
+  EXPECT_DOUBLE_EQ(p.score, 0.5);
+  EXPECT_EQ(p.pk, PredKind::kGt);
+  EXPECT_DOUBLE_EQ(p.threshold, 1.5);
+}
+
+TEST(Predicate, ScoreAndErrorStayWithinBounds) {
+  // Eq. 2 is a difference of probabilities and Eq. 1 counts a subset of the
+  // pooled samples; fuzz randomised inputs and check the invariants hold.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    VarSamples vs;
+    vs.loc = 0;
+    vs.var = "x FUNCPARAM";
+    const int nc = 1 + static_cast<int>(rng.uniform(0, 8));
+    const int nf = 1 + static_cast<int>(rng.uniform(0, 8));
+    for (int i = 0; i < nc; ++i) vs.correct.push_back(rng.uniform(-5, 5));
+    for (int i = 0; i < nf; ++i) vs.faulty.push_back(rng.uniform(-5, 5));
+    vs.correct_runs = static_cast<std::size_t>(nc);
+    vs.faulty_runs = static_cast<std::size_t>(nf);
+    Predicate p;
+    if (!fit_predicate(vs, vs.correct_runs, vs.faulty_runs, p)) continue;
+    EXPECT_GE(p.score, 0.0);
+    EXPECT_LE(p.score, 1.0);
+    EXPECT_GE(p.p_correct, 0.0);
+    EXPECT_LE(p.p_correct, 1.0);
+    EXPECT_GE(p.p_faulty, 0.0);
+    EXPECT_LE(p.p_faulty, 1.0);
+    EXPECT_LE(p.error, vs.correct.size() + vs.faulty.size());
+    EXPECT_GT(p.score, 0.0);  // zero-score predicates must not survive
+  }
+}
+
 TEST(TransitionGraph, CountsAndConfidence) {
   std::vector<RunLog> logs;
   // Faulty logs: A->B->C twice; A->C once.

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""Line-coverage gate for the analysis core (src/stats + src/statsym).
+
+Aggregates gcov JSON output from a --coverage build and fails when line
+coverage of the watched directories drops below the committed floor. The
+floor is the merge-time value of the coverage job (see .github/workflows):
+raise it when coverage improves, never lower it to make a PR pass.
+
+Usage:
+  tools/coverage_check.py --build-dir build-cov \
+      [--watch src/stats --watch src/statsym] \
+      [--min-percent 90.0] [--summary-out coverage-summary.txt]
+
+Requires only `gcov` (matching the compiler that produced the .gcda files)
+and the Python standard library.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    out = []
+    for root, _dirs, files in os.walk(build_dir):
+        out.extend(os.path.join(root, f) for f in files if f.endswith(".gcda"))
+    return sorted(out)
+
+
+def run_gcov(gcov, gcda_files, build_dir):
+    """Yields gcov JSON reports, one per translation unit."""
+    for gcda in gcda_files:
+        # --stdout --json-format prints one JSON document per data file;
+        # running from the object directory keeps gcov's path resolution
+        # happy with CMake's layout.
+        proc = subprocess.run(
+            [gcov, "--stdout", "--json-format", os.path.basename(gcda)],
+            cwd=os.path.dirname(gcda),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            check=False,
+        )
+        if proc.returncode != 0 or not proc.stdout:
+            continue
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError:
+                continue
+
+
+def relpath_of(source, repo_root):
+    path = os.path.normpath(os.path.join(repo_root, source)
+                            if not os.path.isabs(source) else source)
+    try:
+        return os.path.relpath(path, repo_root)
+    except ValueError:
+        return source
+
+
+def collect(reports, repo_root, watch_prefixes):
+    """file -> {line_no: max_hits} over all translation units."""
+    files = {}
+    for report in reports:
+        cwd = report.get("current_working_directory", "")
+        for f in report.get("files", []):
+            source = f.get("file", "")
+            if not os.path.isabs(source) and cwd:
+                source = os.path.join(cwd, source)
+            rel = relpath_of(source, repo_root)
+            if not any(rel.startswith(p.rstrip("/") + "/") or rel == p
+                       for p in watch_prefixes):
+                continue
+            lines = files.setdefault(rel, {})
+            for ln in f.get("lines", []):
+                no = ln.get("line_number")
+                if no is None:
+                    continue
+                lines[no] = max(lines.get(no, 0), ln.get("count", 0))
+    return files
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--repo-root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    ap.add_argument("--watch", action="append", default=[],
+                    help="repo-relative dir to gate (repeatable); default "
+                         "src/stats + src/statsym")
+    ap.add_argument("--min-percent", type=float, default=None,
+                    help="fail when total watched line coverage is below this")
+    ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
+    ap.add_argument("--summary-out", default=None)
+    args = ap.parse_args()
+    watch = args.watch or ["src/stats", "src/statsym"]
+
+    gcda = find_gcda(args.build_dir)
+    if not gcda:
+        print(f"error: no .gcda files under {args.build_dir} — "
+              "build with --coverage and run the tests first",
+              file=sys.stderr)
+        return 2
+
+    files = collect(run_gcov(args.gcov, gcda, args.build_dir),
+                    args.repo_root, watch)
+    if not files:
+        print("error: no watched sources appeared in gcov output",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    total_lines = total_covered = 0
+    for rel in sorted(files):
+        lines = files[rel]
+        covered = sum(1 for c in lines.values() if c > 0)
+        total_lines += len(lines)
+        total_covered += covered
+        pct = 100.0 * covered / len(lines) if lines else 0.0
+        rows.append(f"{pct:6.1f}%  {covered:5d}/{len(lines):<5d}  {rel}")
+    total_pct = 100.0 * total_covered / total_lines
+
+    summary = "\n".join(
+        ["line coverage (watched: " + ", ".join(watch) + ")", *rows,
+         f"{total_pct:6.1f}%  {total_covered:5d}/{total_lines:<5d}  TOTAL"])
+    print(summary)
+    if args.summary_out:
+        with open(args.summary_out, "w") as fh:
+            fh.write(summary + "\n")
+
+    if args.min_percent is not None and total_pct < args.min_percent:
+        print(f"\nFAIL: watched line coverage {total_pct:.1f}% is below the "
+              f"floor {args.min_percent:.1f}%", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
