@@ -51,7 +51,17 @@ void write_json(const std::vector<AppSweep>& sweeps, const std::string& path) {
          << fmt_double(run.result.symexec_seconds, 4)
          << ", \"found\": " << (run.result.found ? "true" : "false")
          << ", \"winning_candidate\": " << run.result.winning_candidate
-         << ", \"paths_explored\": " << run.result.paths_explored << "}"
+         << ", \"paths_explored\": " << run.result.paths_explored
+         << ", \"solver_queries\": " << run.result.solver_stats.queries
+         << ", \"solver_slices\": " << run.result.solver_stats.slices
+         << ", \"solver_cache_hits\": " << run.result.solver_stats.cache_hits
+         << ", \"solver_model_reuse_hits\": "
+         << run.result.solver_stats.model_reuse_hits
+         << ", \"solver_shared_cache_hits\": "
+         << run.result.solver_stats.shared_cache_hits
+         << ", \"solver_solves\": " << run.result.solver_stats.solves
+         << ", \"solver_fast_path_rate\": "
+         << fmt_double(run.result.solver_stats.fast_path_rate(), 4) << "}"
          << (r + 1 < sweeps[a].runs.size() ? "," : "") << "\n";
     }
     os << "    ]}" << (a + 1 < sweeps.size() ? "," : "") << "\n";
@@ -115,6 +125,9 @@ int main(int argc, char** argv) {
                   static_cast<double>(pure.stats.paths_explored) /
                       std::max<double>(g.result.paths_explored, 1));
     }
+    std::printf("  %s solver fast-path: %.0f%% of %llu slices\n", name.c_str(),
+                100.0 * g.result.solver_stats.fast_path_rate(),
+                static_cast<unsigned long long>(g.result.solver_stats.slices));
   }
   std::printf("%s\n", t.render().c_str());
 

@@ -1,6 +1,48 @@
 #include "solver/cache.h"
 
+#include <algorithm>
+
 namespace statsym::solver {
+
+namespace {
+
+bool ids_equal(std::span<const ExprId> a, const std::vector<ExprId>& b) {
+  return std::equal(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// SplitMix64 finalizer — the diffusion step between ingredients.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Fp128 fp_absorb(Fp128 h, std::uint64_t v) {
+  // Two lanes with independent round constants; each absorbs the value
+  // against the other lane so the halves never degenerate into copies.
+  h.lo = mix64(h.lo ^ v ^ 0x2545f4914f6cdd1dULL);
+  h.hi = mix64(h.hi ^ v ^ 0x9e6c63d0876a9a62ULL ^ (h.lo >> 1));
+  return h;
+}
+
+Fp128 fp_absorb(Fp128 h, const Fp128& v) {
+  h = fp_absorb(h, v.lo);
+  return fp_absorb(h, v.hi);
+}
+
+std::uint64_t hash_str(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+// --- QueryCache ------------------------------------------------------------
 
 std::uint64_t QueryCache::key_of(std::span<const ExprId> sorted_ids) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
@@ -12,13 +54,150 @@ std::uint64_t QueryCache::key_of(std::span<const ExprId> sorted_ids) {
   return h == 0 ? 1 : h;
 }
 
-const SolveResult* QueryCache::lookup(std::uint64_t key) const {
-  auto it = map_.find(key);
-  return it == map_.end() ? nullptr : &it->second;
+const SolveResult* QueryCache::lookup(
+    std::span<const ExprId> sorted_ids) const {
+  return lookup_with_key(key_of(sorted_ids), sorted_ids);
 }
 
-void QueryCache::insert(std::uint64_t key, const SolveResult& result) {
-  map_[key] = result;
+const SolveResult* QueryCache::lookup_with_key(
+    std::uint64_t key, std::span<const ExprId> sorted_ids) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return nullptr;
+  for (const Entry& e : it->second) {
+    if (ids_equal(sorted_ids, e.ids)) return &e.result;
+  }
+  return nullptr;
+}
+
+void QueryCache::insert(std::span<const ExprId> sorted_ids,
+                        const SolveResult& result) {
+  insert_with_key(key_of(sorted_ids), sorted_ids, result);
+}
+
+void QueryCache::insert_with_key(std::uint64_t key,
+                                 std::span<const ExprId> sorted_ids,
+                                 const SolveResult& result) {
+  auto& bucket = map_[key];
+  for (Entry& e : bucket) {
+    if (ids_equal(sorted_ids, e.ids)) {
+      e.result = result;
+      return;
+    }
+  }
+  bucket.push_back(
+      Entry{{sorted_ids.begin(), sorted_ids.end()}, result});
+  ++entries_;
+}
+
+// --- ExprFingerprinter -----------------------------------------------------
+
+Fp128 ExprFingerprinter::of(ExprId e) {
+  if (const auto it = memo_.find(e); it != memo_.end()) return it->second;
+
+  Fp128 h{0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL};
+  h = fp_absorb(h, static_cast<std::uint64_t>(pool_.op(e)));
+  switch (pool_.op(e)) {
+    case ExprOp::kConst:
+      h = fp_absorb(h, static_cast<std::uint64_t>(pool_.const_val(e)));
+      break;
+    case ExprOp::kVar: {
+      const VarId v = pool_.var_of(e);
+      const VarInfo& vi = pool_.var(v);
+      // VarId *and* declaration bind the identity: a fingerprint match
+      // across pools certifies both sides mean the same variable, which is
+      // what lets models transfer by VarId.
+      h = fp_absorb(h, static_cast<std::uint64_t>(v));
+      h = fp_absorb(h, hash_str(vi.name));
+      h = fp_absorb(h, static_cast<std::uint64_t>(vi.lo));
+      h = fp_absorb(h, static_cast<std::uint64_t>(vi.hi));
+      break;
+    }
+    case ExprOp::kIte:
+      h = fp_absorb(h, of(pool_.lhs(e)));
+      h = fp_absorb(h, of(pool_.rhs(e)));
+      h = fp_absorb(h, of(pool_.third(e)));
+      break;
+    case ExprOp::kNeg:
+    case ExprOp::kNot:
+      h = fp_absorb(h, of(pool_.lhs(e)));
+      break;
+    default:
+      h = fp_absorb(h, of(pool_.lhs(e)));
+      h = fp_absorb(h, of(pool_.rhs(e)));
+      break;
+  }
+  memo_.emplace(e, h);
+  return h;
+}
+
+Fp128 ExprFingerprinter::combine(std::span<const Fp128> sorted_fps,
+                                 const Fp128& salt) {
+  Fp128 h{0x3c6ef372fe94f82bULL, 0xa54ff53a5f1d36f1ULL};
+  h = fp_absorb(h, salt);
+  h = fp_absorb(h, static_cast<std::uint64_t>(sorted_fps.size()));
+  for (const Fp128& fp : sorted_fps) h = fp_absorb(h, fp);
+  return h;
+}
+
+// --- SharedQueryCache ------------------------------------------------------
+
+SharedQueryCache::SharedQueryCache(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards) {}
+
+bool SharedQueryCache::lookup(const Fp128& key, std::span<const Fp128> cs_fps,
+                              SolveResult& out) const {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key.lo);
+  if (it != s.map.end()) {
+    for (const Entry& e : it->second) {
+      if (std::equal(cs_fps.begin(), cs_fps.end(), e.cs_fps.begin(),
+                     e.cs_fps.end())) {
+        out = e.result;
+        ++s.hits;
+        return true;
+      }
+    }
+  }
+  ++s.misses;
+  return false;
+}
+
+void SharedQueryCache::insert(const Fp128& key, std::span<const Fp128> cs_fps,
+                              const SolveResult& result) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& bucket = s.map[key.lo];
+  for (const Entry& e : bucket) {
+    // Canonical solves are pure functions of the query, so a racing
+    // duplicate insert carries an identical result; keep the first.
+    if (std::equal(cs_fps.begin(), cs_fps.end(), e.cs_fps.begin(),
+                   e.cs_fps.end())) {
+      return;
+    }
+  }
+  bucket.push_back(Entry{{cs_fps.begin(), cs_fps.end()}, result});
+  ++s.insertions;
+}
+
+std::size_t SharedQueryCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.insertions;
+  }
+  return n;
+}
+
+SharedQueryCache::Counters SharedQueryCache::counters() const {
+  Counters c;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    c.hits += s.hits;
+    c.misses += s.misses;
+    c.insertions += s.insertions;
+  }
+  return c;
 }
 
 }  // namespace statsym::solver

@@ -1,14 +1,36 @@
-// Query cache for the solver (the KLEE counterexample-cache analogue).
+// Query caches for the solver (the KLEE counterexample-cache analogue).
 //
-// Hash-consing makes ExprIds canonical within a pool, so a sorted constraint
-// id vector hashes to a stable key for a query. Sibling states produced by
-// forking share long constraint prefixes, which makes the hit rate high
-// during path exploration.
+// Two layers with different keys and lifetimes:
+//
+//  * QueryCache — per-solver (one executor), keyed on the *sorted constraint
+//    id vector* of a sliced sub-query. Hash-consing makes ExprIds canonical
+//    within a pool, so the sorted vector is a canonical key there. Entries
+//    store the full id vector and verify it on lookup: a 64-bit hash
+//    collision returns a miss, never another query's result.
+//
+//  * SharedQueryCache — one instance shared by every worker of a parallel
+//    portfolio. ExprIds are pool-local, so keys are 128-bit *structural
+//    fingerprints* of the sliced sub-query: a digest over the expression
+//    DAG in which variables contribute (VarId, name, domain). A fingerprint
+//    match therefore certifies that both pools agree on the identity of
+//    every variable involved, which makes the stored model (VarId → value)
+//    directly reusable by the looking pool. Shards with independent locks
+//    keep worker contention low.
+//
+// Only *canonical* results enter the shared cache — results computed by the
+// deterministic per-query decision procedure, never model-reuse fast-path
+// answers and never budget-limited kUnknowns — so a shared hit is
+// bit-identical to the solve the worker would otherwise have performed.
+// That invariant is what keeps verdicts independent of worker timing; see
+// DESIGN.md §"Solver".
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "solver/expr.h"
 #include "solver/result.h"
@@ -20,14 +42,109 @@ class QueryCache {
   // FNV-1a over the id sequence. Input must be sorted for canonical keys.
   static std::uint64_t key_of(std::span<const ExprId> sorted_ids);
 
-  const SolveResult* lookup(std::uint64_t key) const;
-  void insert(std::uint64_t key, const SolveResult& result);
+  const SolveResult* lookup(std::span<const ExprId> sorted_ids) const;
+  void insert(std::span<const ExprId> sorted_ids, const SolveResult& result);
 
-  std::size_t size() const { return map_.size(); }
-  void clear() { map_.clear(); }
+  // Keyed variants: the regression seam for hash collisions. Two distinct
+  // id vectors inserted under one forced key must each resolve to their own
+  // result (and unknown vectors to a miss) — the pre-verification cache
+  // returned whichever entry owned the key.
+  const SolveResult* lookup_with_key(std::uint64_t key,
+                                     std::span<const ExprId> sorted_ids) const;
+  void insert_with_key(std::uint64_t key, std::span<const ExprId> sorted_ids,
+                       const SolveResult& result);
+
+  std::size_t size() const { return entries_; }
+  void clear() {
+    map_.clear();
+    entries_ = 0;
+  }
 
  private:
-  std::unordered_map<std::uint64_t, SolveResult> map_;
+  struct Entry {
+    std::vector<ExprId> ids;  // verified on lookup
+    SolveResult result;
+  };
+  // Bucket list per key: colliding queries coexist instead of clobbering.
+  std::unordered_map<std::uint64_t, std::vector<Entry>> map_;
+  std::size_t entries_{0};
+};
+
+// 128-bit structural digest. Two lanes mixed with independent constants;
+// treated as collision-free for cache identity (≈2^-128 per pair), with
+// SAT-model hits additionally verified by concrete re-evaluation.
+struct Fp128 {
+  std::uint64_t lo{0};
+  std::uint64_t hi{0};
+
+  bool operator==(const Fp128&) const = default;
+  bool operator<(const Fp128& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+};
+
+// Memoizing structural fingerprinter over one pool. Digests are
+// pool-independent: constants contribute their value, variables contribute
+// (VarId, name, domain), interior nodes contribute their operator and child
+// digests. Memo entries stay valid because pool nodes are immutable.
+class ExprFingerprinter {
+ public:
+  explicit ExprFingerprinter(const ExprPool& pool) : pool_(pool) {}
+
+  Fp128 of(ExprId e);
+
+  // Combines a sequence of constraint digests (pre-sorted by the caller for
+  // a canonical key) into one query digest. `salt` namespaces the key — the
+  // solver mixes in its option tier so fork-budget and validation-budget
+  // results never alias.
+  static Fp128 combine(std::span<const Fp128> sorted_fps, const Fp128& salt);
+
+ private:
+  const ExprPool& pool_;
+  std::unordered_map<ExprId, Fp128> memo_;
+};
+
+// Thread-safe sharded cache shared across the workers of a portfolio.
+class SharedQueryCache {
+ public:
+  explicit SharedQueryCache(std::size_t shards = 16);
+
+  // On hit copies the stored result into `out`. `cs_fps` (the sorted
+  // per-constraint digests) is compared against the stored vector, so even
+  // a combined-key collision cannot cross-wire two queries.
+  bool lookup(const Fp128& key, std::span<const Fp128> cs_fps,
+              SolveResult& out) const;
+  void insert(const Fp128& key, std::span<const Fp128> cs_fps,
+              const SolveResult& result);
+
+  std::size_t size() const;
+
+  struct Counters {
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t insertions{0};
+  };
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    std::vector<Fp128> cs_fps;
+    SolveResult result;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, std::vector<Entry>> map;
+    std::uint64_t hits{0};
+    std::uint64_t misses{0};
+    std::uint64_t insertions{0};
+  };
+
+  Shard& shard_of(const Fp128& key) const {
+    return shards_[static_cast<std::size_t>(key.hi) % shards_.size()];
+  }
+
+  // deque: Shard holds a mutex and must never be moved.
+  mutable std::deque<Shard> shards_;
 };
 
 }  // namespace statsym::solver

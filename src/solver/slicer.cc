@@ -1,0 +1,88 @@
+#include "solver/slicer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace statsym::solver {
+
+namespace {
+
+// Union-find over dense component indices.
+struct UnionFind {
+  std::vector<std::size_t> parent;
+
+  std::size_t make() {
+    parent.push_back(parent.size());
+    return parent.size() - 1;
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];  // path halving
+      x = parent[x];
+    }
+    return x;
+  }
+
+  void join(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[b] = a;
+  }
+};
+
+void finish_slice(Slice& s) {
+  std::sort(s.vars.begin(), s.vars.end());
+  s.vars.erase(std::unique(s.vars.begin(), s.vars.end()), s.vars.end());
+}
+
+}  // namespace
+
+Slice whole_slice(const ExprPool& pool, std::span<const ExprId> cs) {
+  Slice s;
+  s.cs.assign(cs.begin(), cs.end());
+  s.cs_vars.resize(s.cs.size());
+  for (std::size_t i = 0; i < s.cs.size(); ++i) {
+    pool.collect_vars(s.cs[i], s.cs_vars[i]);
+    s.vars.insert(s.vars.end(), s.cs_vars[i].begin(), s.cs_vars[i].end());
+  }
+  finish_slice(s);
+  return s;
+}
+
+std::vector<Slice> slice_constraints(const ExprPool& pool,
+                                     std::span<const ExprId> cs) {
+  const std::size_t n = cs.size();
+  std::vector<std::vector<VarId>> cs_vars(n);
+  UnionFind uf;
+  // One union-find node per constraint; variables map to the first
+  // constraint that mentioned them and union later mentions into it.
+  std::unordered_map<VarId, std::size_t> var_node;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t node = uf.make();
+    pool.collect_vars(cs[i], cs_vars[i]);
+    for (VarId v : cs_vars[i]) {
+      auto [it, inserted] = var_node.try_emplace(v, node);
+      if (!inserted) uf.join(it->second, node);
+    }
+  }
+
+  // Group constraints by component root, slices ordered by first member.
+  std::unordered_map<std::size_t, std::size_t> root_slice;
+  std::vector<Slice> slices;
+  for (std::size_t i = 0; i < n; ++i) {
+    // A variable-free constraint is its own component (its union-find node
+    // was never joined), so it naturally becomes a singleton slice.
+    const std::size_t root = uf.find(i);
+    auto [it, inserted] = root_slice.try_emplace(root, slices.size());
+    if (inserted) slices.emplace_back();
+    Slice& s = slices[it->second];
+    s.cs.push_back(cs[i]);
+    s.cs_vars.push_back(cs_vars[i]);
+    s.vars.insert(s.vars.end(), cs_vars[i].begin(), cs_vars[i].end());
+  }
+  for (Slice& s : slices) finish_slice(s);
+  return slices;
+}
+
+}  // namespace statsym::solver

@@ -1,0 +1,41 @@
+// Constraint independence slicing.
+//
+// A query's constraint set is partitioned into connected components of the
+// constraint–variable graph: two constraints land in the same slice iff they
+// (transitively) share a symbolic variable. Each slice can be decided
+// independently — the conjunction is satisfiable iff every slice is, and a
+// model for the whole query is the union of the per-slice models (the var
+// sets are disjoint by construction). This is KLEE's independence solver:
+// sibling states forked from a common prefix mostly differ in one component,
+// so per-slice cache keys hit where whole-query keys would miss, and the
+// decision procedure only ever searches the component the new constraint
+// touches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "solver/expr.h"
+
+namespace statsym::solver {
+
+// One independent sub-query. Constraints keep their original (path) order
+// within the slice; `vars` is sorted and deduplicated.
+struct Slice {
+  std::vector<ExprId> cs;
+  std::vector<std::vector<VarId>> cs_vars;  // parallel to cs
+  std::vector<VarId> vars;
+};
+
+// Partitions `cs` into independent slices. Deterministic: slices are ordered
+// by the index of their first constraint in `cs`. Variable-free constraints
+// (not folded to constants upstream) each form their own slice. Duplicate
+// constraint ids are kept; they simply ride along in their component.
+std::vector<Slice> slice_constraints(const ExprPool& pool,
+                                     std::span<const ExprId> cs);
+
+// The degenerate single-slice partition (slicing disabled): everything in
+// one slice, with per-constraint and whole-set variables still computed.
+Slice whole_slice(const ExprPool& pool, std::span<const ExprId> cs);
+
+}  // namespace statsym::solver

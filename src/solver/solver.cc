@@ -4,8 +4,7 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
-
-#include "solver/cache.h"
+#include <numeric>
 
 namespace statsym::solver {
 
@@ -324,23 +323,32 @@ bool propagate(const ExprPool& p, ExprId e, bool want, DomainMap& d) {
   return propagate_impl(p, e, want, d, ctx);
 }
 
-Solver::Solver(ExprPool& pool, SolverOptions opts)
-    : pool_(pool), opts_(opts), rng_(opts.seed) {}
+namespace {
 
-Solver::QueryCtx Solver::make_ctx(std::vector<ExprId> cs) {
-  QueryCtx ctx;
-  ctx.cs = std::move(cs);
-  ctx.cs_vars.resize(ctx.cs.size());
-  for (std::size_t i = 0; i < ctx.cs.size(); ++i) {
-    pool_.collect_vars(ctx.cs[i], ctx.cs_vars[i]);
-    ctx.all_vars.insert(ctx.all_vars.end(), ctx.cs_vars[i].begin(),
-                        ctx.cs_vars[i].end());
-  }
-  std::sort(ctx.all_vars.begin(), ctx.all_vars.end());
-  ctx.all_vars.erase(std::unique(ctx.all_vars.begin(), ctx.all_vars.end()),
-                     ctx.all_vars.end());
-  return ctx;
+// Digest over the options that shape a canonical solve: results computed
+// under different budgets or modes must never alias in the shared cache (a
+// fork-tier solver hitting a validation-tier entry would otherwise see a
+// result it could not have computed itself, breaking timing independence).
+Fp128 options_salt(const SolverOptions& o) {
+  std::vector<Fp128> parts;
+  parts.push_back(Fp128{o.max_search_nodes,
+                        static_cast<std::uint64_t>(o.max_fixpoint_rounds)});
+  parts.push_back(Fp128{static_cast<std::uint64_t>(o.random_model_tries),
+                        o.seed});
+  parts.push_back(Fp128{o.propagation_only ? 1u : 0u,
+                        static_cast<std::uint64_t>(o.max_query_seconds * 1e6)});
+  return ExprFingerprinter::combine(parts, Fp128{0x51a7, 0xca11});
 }
+
+}  // namespace
+
+Solver::Solver(ExprPool& pool, SolverOptions opts)
+    : pool_(pool),
+      opts_(opts),
+      model_cache_(opts.model_cache_size),
+      fp_(pool),
+      opts_salt_(options_salt(opts)),
+      rng_(opts.seed) {}
 
 bool Solver::fixpoint(const QueryCtx& ctx, DomainMap& d) {
   for (int round = 0; round < opts_.max_fixpoint_rounds; ++round) {
@@ -594,24 +602,145 @@ SolveResult Solver::check(std::span<const ExprId> constraints) {
     return {Sat::kSat, {}};
   }
 
-  std::uint64_t key = 0;
+  // Partition into independence slices and decide each one through the
+  // fast-path cascade. Slices are conjoined: the first unsat decides the
+  // query; any unknown degrades the verdict; otherwise the per-slice models
+  // merge (var sets are disjoint) into the whole-query model.
+  std::vector<Slice> slices;
+  if (opts_.enable_slicing) {
+    slices = slice_constraints(pool_, cs);
+  } else {
+    slices.push_back(whole_slice(pool_, cs));
+  }
+  stats_.slices += slices.size();
+  if (slices.size() > 1) ++stats_.multi_slice_queries;
+
+  SolveResult out;
+  out.sat = Sat::kSat;
+  for (const Slice& sl : slices) {
+    SolveResult r = solve_slice(sl);
+    if (r.sat == Sat::kUnsat) {
+      ++stats_.unsat;
+      return {Sat::kUnsat, {}};
+    }
+    if (r.sat == Sat::kUnknown) {
+      out.sat = Sat::kUnknown;
+    } else if (out.sat == Sat::kSat) {
+      for (const auto& [v, val] : r.model) out.model.emplace(v, val);
+    }
+  }
+  if (out.sat == Sat::kUnknown) {
+    out.model.clear();
+    ++stats_.unknown;
+    return out;
+  }
+  ++stats_.sat;
+  if (opts_.enable_model_reuse && opts_.model_cache_size > 0 &&
+      slices.size() > 1) {
+    // The merged assignment serves later queries whose constraints join
+    // several of today's components into one slice.
+    model_cache_.remember(out.model);
+  }
+  return out;
+}
+
+SolveResult Solver::solve_slice(const Slice& slice) {
+  std::vector<ExprId> sorted(slice.cs);
+  std::sort(sorted.begin(), sorted.end());
+
   if (cache_ != nullptr) {
-    std::vector<ExprId> sorted = cs;
-    std::sort(sorted.begin(), sorted.end());
-    key = QueryCache::key_of(sorted);
-    if (const SolveResult* hit = cache_->lookup(key)) {
+    if (const SolveResult* hit = cache_->lookup(sorted)) {
       ++stats_.cache_hits;
-      switch (hit->sat) {
-        case Sat::kSat: ++stats_.sat; break;
-        case Sat::kUnsat: ++stats_.unsat; break;
-        case Sat::kUnknown: ++stats_.unknown; break;
-      }
       return *hit;
     }
   }
 
   SolveResult res;
-  const QueryCtx ctx = make_ctx(std::move(cs));
+  if (opts_.enable_model_reuse && opts_.model_cache_size > 0 &&
+      model_cache_.probe(pool_, slice.cs, slice.vars, res.model)) {
+    ++stats_.model_reuse_hits;
+    res.sat = Sat::kSat;
+    // Local-history fast path: memoise locally, but never publish to the
+    // shared cache — other workers have different model histories and must
+    // not observe this worker's.
+    if (cache_ != nullptr) cache_->insert(sorted, res);
+    return res;
+  }
+
+  // Canonical form: constraints ordered by structural digest, combined into
+  // the pool-independent slice key.
+  std::vector<Fp128> fps(slice.cs.size());
+  for (std::size_t i = 0; i < slice.cs.size(); ++i) fps[i] = fp_.of(slice.cs[i]);
+  std::vector<std::size_t> order(slice.cs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (!(fps[a] == fps[b])) return fps[a] < fps[b];
+    return slice.cs[a] < slice.cs[b];  // equal digests ⇒ identical exprs
+  });
+  std::vector<Fp128> sorted_fps(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) sorted_fps[i] = fps[order[i]];
+  const Fp128 slice_fp = ExprFingerprinter::combine(sorted_fps, opts_salt_);
+
+  if (shared_ != nullptr && shared_->lookup(slice_fp, sorted_fps, res)) {
+    // Defense in depth: a SAT model is re-proved by concrete evaluation, so
+    // even a digest collision cannot smuggle in a wrong model. A failed
+    // proof falls through to the canonical solve.
+    bool proved = true;
+    if (res.sat == Sat::kSat) {
+      for (ExprId c : slice.cs) {
+        if (pool_.eval(c, res.model) == 0) {
+          proved = false;
+          break;
+        }
+      }
+    }
+    if (proved) {
+      ++stats_.shared_cache_hits;
+      if (cache_ != nullptr) cache_->insert(sorted, res);
+      if (res.sat == Sat::kSat && opts_.enable_model_reuse &&
+          opts_.model_cache_size > 0) {
+        model_cache_.remember(res.model);
+      }
+      return res;
+    }
+    res = SolveResult{};
+  }
+
+  res = solve_canonical(slice, order, slice_fp);
+  if (res.sat != Sat::kUnknown) {
+    // kUnknown stays out of both caches: it can depend on the wall-clock
+    // deadline, and a bigger-budget sharer (the fault validator) must not
+    // inherit a smaller budget's give-up.
+    if (shared_ != nullptr) shared_->insert(slice_fp, sorted_fps, res);
+    if (cache_ != nullptr) cache_->insert(sorted, res);
+  }
+  if (res.sat == Sat::kSat && opts_.enable_model_reuse &&
+      opts_.model_cache_size > 0) {
+    model_cache_.remember(res.model);
+  }
+  return res;
+}
+
+SolveResult Solver::solve_canonical(const Slice& slice,
+                                    std::span<const std::size_t> order,
+                                    const Fp128& slice_fp) {
+  ++stats_.solves;
+  Stopwatch solve_sw;
+  // Every canonical solve of a given slice draws the same random stream —
+  // in this worker, in a sibling worker, on a repeat — which is what makes
+  // a cache hit bit-identical to recomputation.
+  rng_ = Rng(derive_seed(opts_.seed, slice_fp.lo ^ slice_fp.hi));
+
+  QueryCtx ctx;
+  ctx.cs.reserve(order.size());
+  ctx.cs_vars.reserve(order.size());
+  for (const std::size_t idx : order) {
+    ctx.cs.push_back(slice.cs[idx]);
+    ctx.cs_vars.push_back(slice.cs_vars[idx]);
+  }
+  ctx.all_vars = slice.vars;
+
+  SolveResult res;
   DomainMap d;
   if (!fixpoint(ctx, d)) {
     res.sat = Sat::kUnsat;
@@ -635,17 +764,11 @@ SolveResult Solver::check(std::span<const ExprId> constraints) {
     std::uint64_t budget = opts_.max_search_nodes;
     res.sat = search(ctx, d, res.model, budget);
   }
-
-  switch (res.sat) {
-    case Sat::kSat: ++stats_.sat; break;
-    case Sat::kUnsat: ++stats_.unsat; break;
-    case Sat::kUnknown: ++stats_.unknown; break;
-  }
   if (res.sat == Sat::kUnknown && getenv("STATSYM_DEBUG_UNKNOWN")) {
     fprintf(stderr, "UNKNOWN query ncs=%zu last=%s\n", ctx.cs.size(),
             ctx.cs.empty() ? "-" : pool_.to_string(ctx.cs.back()).substr(0, 160).c_str());
   }
-  if (cache_ != nullptr) cache_->insert(key, res);
+  stats_.solve_seconds += solve_sw.elapsed_seconds();
   return res;
 }
 

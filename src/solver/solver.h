@@ -8,21 +8,31 @@
 // domains used by the mini-IR programs (input bytes in [0,255], lengths and
 // counters in small ranges) the procedure is complete given enough budget;
 // exhausting the budget yields kUnknown, which callers treat conservatively.
+//
+// A query-optimization layer sits between check()/check_with() and that
+// decision procedure: independence slicing (solver/slicer.h) partitions each
+// query into variable-disjoint sub-queries, and every slice runs a fast-path
+// cascade — per-slice local cache → model reuse (solver/model_cache.h) →
+// cross-worker shared cache (solver/cache.h) — before the procedure is
+// invoked. Canonical solves are pure functions of the slice structure (RNG
+// seeded from the slice digest), so any cache hit is bit-identical to the
+// solve it replaces; see DESIGN.md §"Solver" for the determinism argument.
 #pragma once
 
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "solver/cache.h"
 #include "solver/expr.h"
 #include "solver/interval.h"
+#include "solver/model_cache.h"
 #include "solver/result.h"
+#include "solver/slicer.h"
 #include "support/rng.h"
 #include "support/stopwatch.h"
 
 namespace statsym::solver {
-
-class QueryCache;
 
 // Sparse variable-domain map layered over the pool's declared domains.
 class DomainMap {
@@ -89,9 +99,50 @@ struct SolverStats {
   std::uint64_t sat{0};
   std::uint64_t unsat{0};
   std::uint64_t unknown{0};
-  std::uint64_t cache_hits{0};
+  // Query-optimization layer (per sliced sub-query, in probe order):
+  std::uint64_t cache_hits{0};        // local per-slice cache hits
+  std::uint64_t model_reuse_hits{0};  // stored-model fast-path proofs
+  std::uint64_t shared_cache_hits{0};  // cross-worker shared cache hits
+  std::uint64_t slices{0};             // sliced sub-queries decided
+  std::uint64_t multi_slice_queries{0};  // queries that split into >1 slice
+  std::uint64_t solves{0};            // full decision-procedure invocations
+  double solve_seconds{0.0};          // wall time inside those invocations
   std::uint64_t search_nodes{0};
   std::uint64_t propagation_rounds{0};
+
+  SolverStats& operator+=(const SolverStats& o) {
+    queries += o.queries;
+    sat += o.sat;
+    unsat += o.unsat;
+    unknown += o.unknown;
+    cache_hits += o.cache_hits;
+    model_reuse_hits += o.model_reuse_hits;
+    shared_cache_hits += o.shared_cache_hits;
+    slices += o.slices;
+    multi_slice_queries += o.multi_slice_queries;
+    solves += o.solves;
+    solve_seconds += o.solve_seconds;
+    search_nodes += o.search_nodes;
+    propagation_rounds += o.propagation_rounds;
+    return *this;
+  }
+
+  // Fraction of sliced sub-queries answered without the decision procedure.
+  double fast_path_rate() const {
+    const std::uint64_t hits =
+        cache_hits + model_reuse_hits + shared_cache_hits;
+    return slices == 0 ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(slices);
+  }
+  // Estimated solver wall time the fast paths avoided (hits × mean solve).
+  double solve_seconds_saved() const {
+    if (solves == 0) return 0.0;
+    const std::uint64_t hits =
+        cache_hits + model_reuse_hits + shared_cache_hits;
+    return static_cast<double>(hits) * (solve_seconds /
+                                        static_cast<double>(solves));
+  }
 };
 
 struct SolverOptions {
@@ -111,16 +162,32 @@ struct SolverOptions {
   // Disables the search phase: pure interval propagation. Faster but
   // incomplete — kept for the ablation benchmark.
   bool propagation_only{false};
+  // --- query-optimization layer (see DESIGN.md §"Solver") -----------------
+  // Partition each query into variable-independence slices and decide (and
+  // cache) them separately.
+  bool enable_slicing{true};
+  // Re-evaluate retained satisfying assignments against new sub-queries
+  // before invoking the decision procedure.
+  bool enable_model_reuse{true};
+  // Bound on retained models (0 disables reuse outright).
+  std::size_t model_cache_size{32};
 };
 
 class Solver {
  public:
   explicit Solver(ExprPool& pool, SolverOptions opts = {});
 
-  // Optional shared query cache (see solver/cache.h).
+  // Optional per-owner query cache (see solver/cache.h). Entries record
+  // this solver's own returned results; safe for any single-threaded owner.
   void set_cache(QueryCache* cache) { cache_ = cache; }
+  // Optional cross-worker cache. Receives only canonical solve results and
+  // must outlive the solver; safe to share across threads.
+  void set_shared_cache(SharedQueryCache* cache) { shared_ = cache; }
 
-  // Decides the conjunction of `constraints`.
+  // Decides the conjunction of `constraints`. With slicing enabled the set
+  // is partitioned into independent sub-queries decided (and cached)
+  // separately; the combined verdict and merged model are equivalent to the
+  // whole-set solve.
   SolveResult check(std::span<const ExprId> constraints);
 
   // Convenience: satisfiability of `constraints ∧ extra`.
@@ -138,7 +205,18 @@ class Solver {
     std::vector<VarId> all_vars;
   };
 
-  QueryCtx make_ctx(std::vector<ExprId> cs);
+  // Decides one independence slice through the fast-path cascade: local
+  // cache → model reuse → shared cache → canonical solve. Probe order is
+  // deterministic-history-first, which the cross-worker determinism
+  // argument relies on (DESIGN.md §"Solver").
+  SolveResult solve_slice(const Slice& slice);
+
+  // The canonical decision procedure on one slice: constraints in
+  // fingerprint order, RNG seeded from the slice digest — a pure function
+  // of the slice structure, identical in every worker.
+  SolveResult solve_canonical(const Slice& slice,
+                              std::span<const std::size_t> order,
+                              const Fp128& slice_fp);
 
   // Runs propagation over all constraints to a fixpoint. Returns false on
   // contradiction.
@@ -171,6 +249,12 @@ class Solver {
   SolverOptions opts_;
   SolverStats stats_;
   QueryCache* cache_{nullptr};
+  SharedQueryCache* shared_{nullptr};
+  ModelCache model_cache_;
+  ExprFingerprinter fp_;
+  Fp128 opts_salt_;  // namespaces shared-cache keys by option tier
+  // Reseeded per canonical solve from the slice digest, so every solve is a
+  // pure function of the slice (cache hit ≡ recomputation).
   Rng rng_;
   Stopwatch query_sw_;  // restarted per check(); read by search()
 };

@@ -168,6 +168,11 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
           ? ~0ull
           : opts_.exec.max_instructions * n_try;
 
+  // One query cache across the whole portfolio: a candidate's canonical
+  // solver results warm its siblings' lookups. Safe for determinism because
+  // only pure-function results are published (DESIGN.md §"Solver").
+  solver::SharedQueryCache shared_queries;
+
   auto attempt = [&](std::size_t ci) {
     if (cancel[ci].load(std::memory_order_relaxed)) return;
     CandidateGuidance guidance(m_, res.construction.candidates[ci],
@@ -192,6 +197,7 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     ex.set_searcher(std::make_unique<GuidedSearcher>());
     ex.set_stop_flag(&cancel[ci]);
     ex.set_shared_budget(&budget);
+    if (opts_.share_solver_cache) ex.set_shared_solver_cache(&shared_queries);
 
     symexec::ExecResult er = ex.run();
     slots[ci].completed =
@@ -234,6 +240,7 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     ++res.candidates_tried;
     res.paths_explored += slots[ci].result.stats.paths_explored;
     res.instructions += slots[ci].result.stats.instructions;
+    res.solver_stats += slots[ci].result.solver_stats;
   }
   res.candidates_cancelled = n_try - counted;
   res.last_exec_stats = slots[counted - 1].result.stats;

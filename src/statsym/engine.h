@@ -49,6 +49,11 @@ struct EngineOptions {
   // is always the best-ranked successful candidate, so this only trades
   // hardware for wall-clock, never changes the answer.
   std::size_t candidate_portfolio_width{4};
+  // Share one solver query cache across the portfolio's workers, so
+  // candidate A's canonical solves warm candidate B's lookups. Only
+  // pure-function results cross workers (DESIGN.md §"Solver"), so verdicts
+  // and reports stay byte-identical at any --jobs with this on or off.
+  bool share_solver_cache{true};
 
   std::uint64_t seed{42};
 };
@@ -81,6 +86,9 @@ struct EngineResult {
   // not bind; see DESIGN.md §5).
   std::uint64_t paths_explored{0};
   std::uint64_t instructions{0};
+  // Solver-layer accounting (queries, per-level cache hits, slices, solve
+  // wall time), summed over the same candidate set as the fields above.
+  solver::SolverStats solver_stats;
   std::size_t candidates_tried{0};
   std::size_t winning_candidate{0};  // 1-based index; 0 when not found
   // Candidates ranked after the winner that the portfolio started (or would

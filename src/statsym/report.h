@@ -24,4 +24,8 @@ std::string format_candidates(const ir::Module& m,
 // One-paragraph summary of a discovered vulnerable path.
 std::string format_vuln(const ir::Module& m, const symexec::VulnPath& v);
 
+// Solver-layer accounting: queries, slices, per-level cache hits and the
+// wall time the fast paths saved (ISSUE 4 instrumentation).
+std::string format_solver_stats(const solver::SolverStats& s);
+
 }  // namespace statsym::core

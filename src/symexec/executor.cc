@@ -149,7 +149,9 @@ SymExecutor::StepResult SymExecutor::fault_state(State& st,
   // high-budget validation solver (sharing the query cache).
   solver::Solver validator(pool_, opts_.fault_solver_opts);
   validator.set_cache(&cache_);
+  if (shared_cache_ != nullptr) validator.set_shared_cache(shared_cache_);
   const auto res = validator.check(st.pc.list());
+  validator_stats_ += validator.stats();
   if (res.sat == solver::Sat::kUnsat) return StepResult::kInfeasible;
 
   VulnPath v;
@@ -872,6 +874,7 @@ ExecResult SymExecutor::run() {
   result.termination = term;
   result.stats = stats_;
   result.solver_stats = solver_.stats();
+  result.solver_stats += validator_stats_;
   return result;
 }
 

@@ -204,6 +204,14 @@ class SymExecutor {
   void set_stop_flag(const std::atomic<bool>* flag) { stop_flag_ = flag; }
   // Opt this executor into a cross-worker budget (must outlive the run).
   void set_shared_budget(SharedBudget* budget) { budget_ = budget; }
+  // Opt this executor's solvers (fork-time and fault validation) into a
+  // cross-worker query cache (must outlive the run). Only canonical solve
+  // results cross workers, so sharing never perturbs per-candidate
+  // determinism — see DESIGN.md §"Solver".
+  void set_shared_solver_cache(solver::SharedQueryCache* cache) {
+    shared_cache_ = cache;
+    solver_.set_shared_cache(cache);
+  }
 
   ExecResult run();
 
@@ -271,6 +279,10 @@ class SymExecutor {
   solver::ExprPool pool_;
   solver::QueryCache cache_;
   solver::Solver solver_;
+  solver::SharedQueryCache* shared_cache_{nullptr};
+  // Accumulated over the per-fault validation solvers (fault_state), so the
+  // reported solver_stats cover every query the run issued.
+  solver::SolverStats validator_stats_;
   Rng rng_;
 
   std::unique_ptr<Searcher> searcher_;

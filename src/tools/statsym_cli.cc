@@ -133,6 +133,7 @@ void print_result(const apps::AppSpec& app, const core::EngineResult& res) {
                 "paths)\n",
                 res.stat_seconds, res.symexec_seconds,
                 static_cast<unsigned long long>(res.paths_explored));
+    std::printf("%s", core::format_solver_stats(res.solver_stats).c_str());
     return;
   }
   std::printf("%s", core::format_vuln(app.module, *res.vuln).c_str());
@@ -140,6 +141,7 @@ void print_result(const apps::AppSpec& app, const core::EngineResult& res) {
               res.winning_candidate,
               static_cast<unsigned long long>(res.paths_explored),
               res.stat_seconds, res.symexec_seconds);
+  std::printf("%s", core::format_solver_stats(res.solver_stats).c_str());
 
   interp::Interpreter replay(app.module, res.vuln->input);
   const auto rr = replay.run();
@@ -225,6 +227,7 @@ int cmd_pure(const std::string& name, const Flags& f) {
               static_cast<unsigned long long>(r.stats.paths_explored),
               static_cast<unsigned long long>(r.stats.forks), r.stats.seconds,
               r.stats.peak_live_states, r.stats.peak_memory_bytes >> 20);
+  std::printf("%s", core::format_solver_stats(r.solver_stats).c_str());
   if (r.vuln.has_value()) {
     std::printf("%s", core::format_vuln(app.module, *r.vuln).c_str());
   }

@@ -69,6 +69,21 @@ void expect_identical(const PipelineRun& a, const PipelineRun& b) {
   EXPECT_EQ(a.res.candidates_cancelled, b.res.candidates_cancelled);
   EXPECT_EQ(a.res.paths_explored, b.res.paths_explored);
   EXPECT_EQ(a.res.instructions, b.res.instructions);
+  // Solver-layer accounting. Which fast path answers a slice can shift with
+  // worker timing (a shared-cache hit in one schedule is a canonical solve
+  // in another — same answer either way), so only the schedule-independent
+  // counters and the hit+solve total are compared; both sides of every
+  // trade-off are counted, so the sum is invariant.
+  EXPECT_EQ(a.res.solver_stats.queries, b.res.solver_stats.queries);
+  EXPECT_EQ(a.res.solver_stats.slices, b.res.solver_stats.slices);
+  EXPECT_EQ(a.res.solver_stats.multi_slice_queries,
+            b.res.solver_stats.multi_slice_queries);
+  EXPECT_EQ(a.res.solver_stats.cache_hits, b.res.solver_stats.cache_hits);
+  EXPECT_EQ(a.res.solver_stats.model_reuse_hits,
+            b.res.solver_stats.model_reuse_hits);
+  EXPECT_EQ(
+      a.res.solver_stats.shared_cache_hits + a.res.solver_stats.solves,
+      b.res.solver_stats.shared_cache_hits + b.res.solver_stats.solves);
   if (a.res.found) {
     EXPECT_EQ(a.res.vuln->function, b.res.vuln->function);
     EXPECT_EQ(a.res.vuln->input.argv, b.res.vuln->input.argv);
@@ -93,6 +108,26 @@ TEST(ParallelEngine, Fig2DeterministicAcrossThreadCounts) {
   const PipelineRun eight = run_pipeline("fig2", pipeline_opts(8, 0.5));
   ASSERT_TRUE(one.res.found);
   expect_identical(one, eight);
+}
+
+TEST(ParallelEngine, SharedSolverCacheInvisibleInResults) {
+  // The cross-worker query cache may only change wall-clock: the same app at
+  // the same thread count with the cache on vs. off — and the cached
+  // parallel run vs. the single-threaded run — must report identical
+  // results (including the crashing input).
+  EngineOptions on = pipeline_opts(4, 0.2);
+  on.share_solver_cache = true;
+  EngineOptions off = on;
+  off.share_solver_cache = false;
+  EngineOptions seq = on;
+  seq.num_threads = 1;
+
+  const PipelineRun run_on = run_pipeline("polymorph", on);
+  const PipelineRun run_off = run_pipeline("polymorph", off);
+  const PipelineRun run_seq = run_pipeline("polymorph", seq);
+  ASSERT_TRUE(run_on.res.found);
+  expect_identical(run_on, run_off);
+  expect_identical(run_on, run_seq);
 }
 
 TEST(ParallelEngine, ThreadCountDoesNotChangeLogAdmission) {

@@ -1,0 +1,144 @@
+// Unit tests for constraint independence slicing (solver/slicer.h): the
+// connected-component partition over the constraint–variable graph that the
+// query-optimization layer rests on.
+#include <gtest/gtest.h>
+
+#include "solver/slicer.h"
+
+namespace statsym::solver {
+namespace {
+
+struct TestVars {
+  ExprPool pool;
+  VarId x, y, z;
+  ExprId ex, ey, ez;
+
+  TestVars() {
+    x = pool.new_var("x", 0, 255);
+    y = pool.new_var("y", 0, 255);
+    z = pool.new_var("z", 0, 255);
+    ex = pool.var_expr(x);
+    ey = pool.var_expr(y);
+    ez = pool.var_expr(z);
+  }
+};
+
+TEST(Slicer, EmptyConstraintSetYieldsNoSlices) {
+  ExprPool pool;
+  EXPECT_TRUE(slice_constraints(pool, {}).empty());
+}
+
+TEST(Slicer, SingleComponentChainStaysTogether) {
+  TestVars t;
+  // x<y and y<z share y transitively: one slice even though x and z never
+  // appear in the same constraint.
+  const std::vector<ExprId> cs{t.pool.lt(t.ex, t.ey), t.pool.lt(t.ey, t.ez)};
+  const auto slices = slice_constraints(t.pool, cs);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].cs, cs);
+  EXPECT_EQ(slices[0].vars, (std::vector<VarId>{t.x, t.y, t.z}));
+  ASSERT_EQ(slices[0].cs_vars.size(), 2u);
+}
+
+TEST(Slicer, FullyDisjointConstraintsSplit) {
+  TestVars t;
+  const std::vector<ExprId> cs{
+      t.pool.lt(t.ex, t.pool.constant(5)),
+      t.pool.lt(t.ey, t.pool.constant(6)),
+      t.pool.lt(t.ez, t.pool.constant(7)),
+  };
+  const auto slices = slice_constraints(t.pool, cs);
+  ASSERT_EQ(slices.size(), 3u);
+  // Ordered by first-constraint index; each slice holds exactly its var.
+  EXPECT_EQ(slices[0].cs, (std::vector<ExprId>{cs[0]}));
+  EXPECT_EQ(slices[1].cs, (std::vector<ExprId>{cs[1]}));
+  EXPECT_EQ(slices[2].cs, (std::vector<ExprId>{cs[2]}));
+  EXPECT_EQ(slices[0].vars, (std::vector<VarId>{t.x}));
+  EXPECT_EQ(slices[1].vars, (std::vector<VarId>{t.y}));
+  EXPECT_EQ(slices[2].vars, (std::vector<VarId>{t.z}));
+}
+
+TEST(Slicer, BridgingConstraintMergesComponents) {
+  TestVars t;
+  // The x- and z-groups are independent until the last constraint bridges
+  // them; the bridge must pull everything into one slice.
+  const std::vector<ExprId> cs{
+      t.pool.lt(t.ex, t.pool.constant(5)),
+      t.pool.lt(t.ez, t.pool.constant(7)),
+      t.pool.lt(t.ex, t.ez),
+  };
+  const auto slices = slice_constraints(t.pool, cs);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].cs, cs);  // original order preserved
+  EXPECT_EQ(slices[0].vars, (std::vector<VarId>{t.x, t.z}));
+}
+
+TEST(Slicer, VariableFreeConstraintIsItsOwnSlice) {
+  TestVars t;
+  // A non-constant-folded variable-free constraint (the pool folds obvious
+  // ones, so craft the raw false expression) forms a singleton slice.
+  const std::vector<ExprId> cs{
+      t.pool.lt(t.ex, t.pool.constant(5)),
+      t.pool.false_expr(),
+  };
+  const auto slices = slice_constraints(t.pool, cs);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[1].cs, (std::vector<ExprId>{t.pool.false_expr()}));
+  EXPECT_TRUE(slices[1].vars.empty());
+}
+
+TEST(Slicer, DuplicateConstraintsRideAlong) {
+  TestVars t;
+  const ExprId c = t.pool.lt(t.ex, t.pool.constant(5));
+  const std::vector<ExprId> cs{c, c};
+  const auto slices = slice_constraints(t.pool, cs);
+  ASSERT_EQ(slices.size(), 1u);
+  EXPECT_EQ(slices[0].cs.size(), 2u);
+}
+
+TEST(Slicer, OrderFollowsFirstConstraintIndex) {
+  TestVars t;
+  // z's constraint comes first, so the z-slice must come first even though
+  // z was created after x.
+  const std::vector<ExprId> cs{
+      t.pool.lt(t.ez, t.pool.constant(7)),
+      t.pool.lt(t.ex, t.pool.constant(5)),
+  };
+  const auto slices = slice_constraints(t.pool, cs);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].vars, (std::vector<VarId>{t.z}));
+  EXPECT_EQ(slices[1].vars, (std::vector<VarId>{t.x}));
+}
+
+TEST(Slicer, WholeSliceKeepsEverythingTogether) {
+  TestVars t;
+  const std::vector<ExprId> cs{
+      t.pool.lt(t.ex, t.pool.constant(5)),
+      t.pool.lt(t.ey, t.pool.constant(6)),
+  };
+  const Slice w = whole_slice(t.pool, cs);
+  EXPECT_EQ(w.cs, cs);
+  EXPECT_EQ(w.vars, (std::vector<VarId>{t.x, t.y}));
+  ASSERT_EQ(w.cs_vars.size(), 2u);
+  EXPECT_EQ(w.cs_vars[0], (std::vector<VarId>{t.x}));
+  EXPECT_EQ(w.cs_vars[1], (std::vector<VarId>{t.y}));
+}
+
+TEST(Slicer, DeterministicAcrossCalls) {
+  TestVars t;
+  const std::vector<ExprId> cs{
+      t.pool.lt(t.ex, t.ey),
+      t.pool.lt(t.ez, t.pool.constant(7)),
+      t.pool.ne(t.ey, t.pool.constant(3)),
+  };
+  const auto a = slice_constraints(t.pool, cs);
+  const auto b = slice_constraints(t.pool, cs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cs, b[i].cs);
+    EXPECT_EQ(a[i].vars, b[i].vars);
+  }
+}
+
+}  // namespace
+}  // namespace statsym::solver

@@ -340,6 +340,214 @@ TEST(QueryCache, KeyIsOrderCanonical) {
   EXPECT_NE(QueryCache::key_of(a), 0u);
 }
 
+TEST(QueryCache, ForcedCollisionResolvesPerQuery) {
+  // Regression: two distinct queries forced onto one 64-bit key must each
+  // resolve to their own result. The pre-verification cache returned
+  // whichever entry owned the key — an unsound answer for the other query.
+  QueryCache cache;
+  const std::vector<ExprId> q1{1, 2, 3};
+  const std::vector<ExprId> q2{4, 5};
+  const std::vector<ExprId> q3{7, 8};
+  SolveResult r1;
+  r1.sat = Sat::kSat;
+  r1.model = {{VarId{0}, 11}};
+  SolveResult r2;
+  r2.sat = Sat::kUnsat;
+  const std::uint64_t forced_key = 42;
+  cache.insert_with_key(forced_key, q1, r1);
+  cache.insert_with_key(forced_key, q2, r2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  const SolveResult* h1 = cache.lookup_with_key(forced_key, q1);
+  ASSERT_NE(h1, nullptr);
+  EXPECT_EQ(h1->sat, Sat::kSat);
+  EXPECT_EQ(h1->model.at(VarId{0}), 11);
+
+  const SolveResult* h2 = cache.lookup_with_key(forced_key, q2);
+  ASSERT_NE(h2, nullptr);
+  EXPECT_EQ(h2->sat, Sat::kUnsat);
+
+  // A third query colliding on the same key is a miss, not q1's or q2's
+  // result.
+  EXPECT_EQ(cache.lookup_with_key(forced_key, q3), nullptr);
+}
+
+TEST(Solver, ModelReuseAnswersCompatibleQueries) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 255);
+  const std::vector<ExprId> q1{p.lt(p.var_expr(x), p.constant(10))};
+  ASSERT_EQ(s.check(q1).sat, Sat::kSat);
+  EXPECT_EQ(s.stats().model_reuse_hits, 0u);
+  // Any model of x<10 also satisfies x<10 ∧ x≠200, so the retained model
+  // answers the second query without the decision procedure.
+  const std::vector<ExprId> q2{q1[0], p.ne(p.var_expr(x), p.constant(200))};
+  const auto r2 = s.check(q2);
+  ASSERT_EQ(r2.sat, Sat::kSat);
+  EXPECT_EQ(s.stats().model_reuse_hits, 1u);
+  for (ExprId c : q2) EXPECT_EQ(p.eval(c, r2.model), 1);
+}
+
+TEST(Solver, ModelReuseDisabledByOption) {
+  ExprPool p;
+  SolverOptions opts;
+  opts.enable_model_reuse = false;
+  Solver s(p, opts);
+  const VarId x = p.new_var("x", 0, 255);
+  const std::vector<ExprId> q1{p.lt(p.var_expr(x), p.constant(10))};
+  const std::vector<ExprId> q2{q1[0], p.ne(p.var_expr(x), p.constant(200))};
+  ASSERT_EQ(s.check(q1).sat, Sat::kSat);
+  ASSERT_EQ(s.check(q2).sat, Sat::kSat);
+  EXPECT_EQ(s.stats().model_reuse_hits, 0u);
+}
+
+TEST(Solver, SlicingSplitsIndependentGroups) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 255);
+  const VarId y = p.new_var("y", 0, 255);
+  const VarId a = p.new_var("a", 0, 255);
+  const std::vector<ExprId> cs{
+      p.lt(p.var_expr(x), p.var_expr(y)),
+      p.eq(p.add(p.var_expr(x), p.var_expr(y)), p.constant(10)),
+      p.lt(p.constant(100), p.var_expr(a)),
+  };
+  const auto r = s.check(cs);
+  ASSERT_EQ(r.sat, Sat::kSat);
+  EXPECT_EQ(s.stats().slices, 2u);  // {x,y} component + {a} component
+  EXPECT_EQ(s.stats().multi_slice_queries, 1u);
+  for (ExprId c : cs) EXPECT_EQ(p.eval(c, r.model), 1);
+}
+
+TEST(Solver, UnsatSliceMakesQueryUnsat) {
+  ExprPool p;
+  Solver s = make_solver(p);
+  const VarId x = p.new_var("x", 0, 255);
+  const VarId a = p.new_var("a", 0, 255);
+  const std::vector<ExprId> cs{
+      p.lt(p.var_expr(x), p.constant(5)),           // sat slice
+      p.lt(p.var_expr(a), p.constant(3)),           // unsat pair below
+      p.lt(p.constant(7), p.var_expr(a)),
+  };
+  EXPECT_EQ(s.check(cs).sat, Sat::kUnsat);
+}
+
+TEST(Solver, SlicingDisabledSameVerdicts) {
+  ExprPool p;
+  SolverOptions off;
+  off.enable_slicing = false;
+  off.enable_model_reuse = false;
+  Solver sliced(p, {});
+  Solver mono(p, off);
+  const VarId x = p.new_var("x", 0, 255);
+  const VarId y = p.new_var("y", 0, 255);
+  const std::vector<std::vector<ExprId>> queries{
+      {p.lt(p.var_expr(x), p.constant(5)), p.lt(p.constant(9), p.var_expr(y))},
+      {p.lt(p.var_expr(x), p.constant(5)), p.lt(p.constant(250), p.var_expr(x))},
+      {p.eq(p.var_expr(y), p.constant(7))},
+  };
+  for (const auto& q : queries) {
+    EXPECT_EQ(sliced.check(q).sat, mono.check(q).sat);
+  }
+  EXPECT_EQ(mono.stats().multi_slice_queries, 0u);
+}
+
+TEST(Solver, SharedCacheCrossSolverHit) {
+  // Two solvers over two distinct pools that build the same variables and
+  // constraints: worker B's structurally-identical query hits worker A's
+  // published canonical result, and the stored model transfers by VarId.
+  SharedQueryCache shared;
+  auto build = [](ExprPool& p, std::vector<ExprId>& cs) {
+    const VarId x = p.new_var("x", 0, 255);
+    const VarId y = p.new_var("y", 0, 255);
+    cs = {p.lt(p.var_expr(x), p.var_expr(y)),
+          p.eq(p.add(p.var_expr(x), p.var_expr(y)), p.constant(10))};
+  };
+  ExprPool pa;
+  std::vector<ExprId> ca;
+  build(pa, ca);
+  Solver sa(pa, {});
+  sa.set_shared_cache(&shared);
+  ASSERT_EQ(sa.check(ca).sat, Sat::kSat);
+  EXPECT_EQ(sa.stats().shared_cache_hits, 0u);
+  EXPECT_GT(shared.size(), 0u);
+
+  ExprPool pb;
+  std::vector<ExprId> cb;
+  build(pb, cb);
+  Solver sb(pb, {});
+  sb.set_shared_cache(&shared);
+  const auto rb = sb.check(cb);
+  ASSERT_EQ(rb.sat, Sat::kSat);
+  EXPECT_EQ(sb.stats().shared_cache_hits, 1u);
+  EXPECT_EQ(sb.stats().solves, 0u);
+  for (ExprId c : cb) EXPECT_EQ(pb.eval(c, rb.model), 1);
+}
+
+TEST(Solver, SharedCacheOptionTiersDoNotAlias) {
+  // Same structural query under different option tiers must not share
+  // entries: a fork-budget kUnsat could otherwise leak into a
+  // validation-budget solver (different completeness guarantees).
+  SharedQueryCache shared;
+  auto query = [](ExprPool& p, std::vector<ExprId>& cs) {
+    const VarId x = p.new_var("x", 0, 255);
+    cs = {p.lt(p.var_expr(x), p.constant(5))};
+  };
+  ExprPool pa;
+  std::vector<ExprId> ca;
+  query(pa, ca);
+  Solver sa(pa, {});
+  sa.set_shared_cache(&shared);
+  ASSERT_EQ(sa.check(ca).sat, Sat::kSat);
+
+  ExprPool pb;
+  std::vector<ExprId> cb;
+  query(pb, cb);
+  SolverOptions other;
+  other.max_search_nodes = 123;  // a different budget tier
+  Solver sb(pb, other);
+  sb.set_shared_cache(&shared);
+  ASSERT_EQ(sb.check(cb).sat, Sat::kSat);
+  EXPECT_EQ(sb.stats().shared_cache_hits, 0u);
+  EXPECT_EQ(shared.size(), 2u);  // one entry per tier
+}
+
+TEST(SharedQueryCache, FingerprintVectorVerifiedOnLookup) {
+  SharedQueryCache shared;
+  const Fp128 key{0xAB, 0xCD};
+  const std::vector<Fp128> fps1{{1, 2}, {3, 4}};
+  const std::vector<Fp128> fps2{{5, 6}};
+  SolveResult r;
+  r.sat = Sat::kUnsat;
+  shared.insert(key, fps1, r);
+  SolveResult out;
+  EXPECT_TRUE(shared.lookup(key, fps1, out));
+  EXPECT_EQ(out.sat, Sat::kUnsat);
+  // Same combined key, different per-constraint digests: a miss, never the
+  // other query's verdict.
+  EXPECT_FALSE(shared.lookup(key, fps2, out));
+  EXPECT_EQ(shared.counters().hits, 1u);
+  EXPECT_EQ(shared.counters().misses, 1u);
+}
+
+TEST(ExprFingerprinter, StableAcrossPools) {
+  auto build = [](ExprPool& p) {
+    const VarId x = p.new_var("x", 0, 255);
+    return p.lt(p.var_expr(x), p.constant(5));
+  };
+  ExprPool pa, pb;
+  const ExprId ea = build(pa);
+  const ExprId eb = build(pb);
+  ExprFingerprinter fa(pa), fb(pb);
+  EXPECT_EQ(fa.of(ea), fb.of(eb));
+  // A different domain for the "same" variable changes the digest.
+  ExprPool pc;
+  const VarId xc = pc.new_var("x", 0, 127);
+  const ExprId ec = pc.lt(pc.var_expr(xc), pc.constant(5));
+  ExprFingerprinter fc(pc);
+  EXPECT_NE(fa.of(ea), fc.of(ec));
+}
+
 TEST(Solver, CheckWithAppendsConstraint) {
   ExprPool p;
   Solver s = make_solver(p);
