@@ -44,11 +44,22 @@ void write_json(const std::vector<AppSweep>& sweeps, const std::string& path) {
     os << "    {\"app\": \"" << sweeps[a].app << "\", \"runs\": [\n";
     for (std::size_t r = 0; r < sweeps[a].runs.size(); ++r) {
       const SweepRun& run = sweeps[a].runs[r];
+      // Per-phase wall times come from the pipeline metrics registry — the
+      // same gauges --metrics-out serialises — so the bench rows and the
+      // observability layer cannot drift apart.
+      const obs::MetricsRegistry& m = run.result.metrics;
       os << "      {\"jobs\": " << run.jobs
          << ", \"wall_seconds\": " << fmt_double(run.wall_seconds, 4)
-         << ", \"log_seconds\": " << fmt_double(run.result.log_seconds, 4)
+         << ", \"log_seconds\": "
+         << fmt_double(m.gauge("phase.log.seconds"), 4)
+         << ", \"stat_seconds\": "
+         << fmt_double(m.gauge("phase.stat.seconds"), 4)
          << ", \"symexec_seconds\": "
-         << fmt_double(run.result.symexec_seconds, 4)
+         << fmt_double(m.gauge("phase.symexec.seconds"), 4)
+         << ", \"pipeline_seconds\": "
+         << fmt_double(m.gauge("phase.total.seconds"), 4)
+         << ", \"solve_seconds\": "
+         << fmt_double(m.gauge("solver.solve.seconds"), 4)
          << ", \"found\": " << (run.result.found ? "true" : "false")
          << ", \"winning_candidate\": " << run.result.winning_candidate
          << ", \"paths_explored\": " << run.result.paths_explored
@@ -136,8 +147,8 @@ int main(int argc, char** argv) {
   // --- --jobs sweep: the same pipeline, wall-clock per worker count -------
   std::printf("StatSym --jobs sweep (full pipeline wall-clock per app)\n");
   std::vector<AppSweep> sweeps;
-  TextTable sweep_table({"Benchmark", "jobs", "wall(s)", "log(s)", "exec(s)",
-                         "speedup", "found", "cand"});
+  TextTable sweep_table({"Benchmark", "jobs", "wall(s)", "log(s)", "stat(s)",
+                         "exec(s)", "speedup", "found", "cand"});
   for (const std::string& name : apps::app_names()) {
     AppSweep sweep{.app = name, .runs = {}};
     for (const std::size_t jobs : jobs_sweep) {
@@ -150,6 +161,7 @@ int main(int argc, char** argv) {
       sweep_table.add_row(
           {name, std::to_string(jobs), bench::seconds(run.wall_seconds),
            bench::seconds(run.result.log_seconds),
+           bench::seconds(run.result.stat_seconds),
            bench::seconds(run.result.symexec_seconds),
            fmt_double(base / std::max(run.wall_seconds, 1e-9), 2) + "x",
            run.result.found ? "yes" : "NO",

@@ -68,6 +68,10 @@ struct RunLog {
   std::int32_t run_id{0};
   bool faulty{false};
   std::string fault_function;  // non-empty for faulty runs
+  // Instrumented-location hits the monitor considered, kept *or* dropped by
+  // the sampling roll — records.size() / records_considered is the realised
+  // sampling rate of this run.
+  std::int64_t records_considered{0};
   std::vector<LogRecord> records;
 };
 

@@ -28,6 +28,7 @@ void Monitor::record(const interp::Interpreter& interp,
     return;
   }
   // Partial logging: each record survives with probability sampling_rate.
+  ++log_.records_considered;
   if (!rng_.chance(opts_.sampling_rate)) return;
 
   const ir::FuncId fid = m_.find_function(fn.name);

@@ -11,6 +11,9 @@ std::string serialize(const RunLog& log) {
   os << "run " << log.run_id << " " << (log.faulty ? "faulty" : "ok");
   if (log.faulty) os << " " << log.fault_function;
   os << "\n";
+  if (log.records_considered > 0) {
+    os << "seen " << log.records_considered << "\n";
+  }
   for (const auto& rec : log.records) {
     os << "rec " << rec.loc << "\n";
     for (const auto& v : rec.vars) {
@@ -53,6 +56,11 @@ bool deserialize(const std::string& text, std::vector<RunLog>& out) {
       logs.push_back(std::move(log));
       cur = &logs.back();
       cur_rec = nullptr;
+    } else if (starts_with(line, "seen ")) {
+      if (cur == nullptr || cur_rec != nullptr) return false;
+      std::int64_t seen = 0;
+      if (!parse_i64(trim(line.substr(5)), seen) || seen < 0) return false;
+      cur->records_considered = seen;
     } else if (starts_with(line, "rec ")) {
       if (cur == nullptr) return false;
       std::int64_t loc = 0;

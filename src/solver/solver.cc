@@ -581,6 +581,20 @@ Sat Solver::search(const QueryCtx& ctx, DomainMap d, Model& model,
   return saw_unknown ? Sat::kUnknown : Sat::kUnsat;
 }
 
+namespace {
+
+// Trace payload code for a verdict (obs::EventKind::kSolverQuery/-Slice).
+std::int64_t verdict_code(Sat s) {
+  switch (s) {
+    case Sat::kSat: return 0;
+    case Sat::kUnsat: return 1;
+    case Sat::kUnknown: return 2;
+  }
+  return 2;
+}
+
+}  // namespace
+
 SolveResult Solver::check(std::span<const ExprId> constraints) {
   ++stats_.queries;
   query_sw_.reset();
@@ -591,6 +605,10 @@ SolveResult Solver::check(std::span<const ExprId> constraints) {
     if (pool_.is_const(c)) {
       if (pool_.const_val(c) == 0) {
         ++stats_.unsat;
+        if (trace_ != nullptr) {
+          trace_->emit(obs::EventKind::kSolverQuery, verdict_code(Sat::kUnsat),
+                       0);
+        }
         return {Sat::kUnsat, {}};
       }
       continue;  // trivially true
@@ -599,6 +617,9 @@ SolveResult Solver::check(std::span<const ExprId> constraints) {
   }
   if (cs.empty()) {
     ++stats_.sat;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::EventKind::kSolverQuery, verdict_code(Sat::kSat), 0);
+    }
     return {Sat::kSat, {}};
   }
 
@@ -617,10 +638,15 @@ SolveResult Solver::check(std::span<const ExprId> constraints) {
 
   SolveResult out;
   out.sat = Sat::kSat;
+  const auto nslices = static_cast<std::int64_t>(slices.size());
   for (const Slice& sl : slices) {
     SolveResult r = solve_slice(sl);
     if (r.sat == Sat::kUnsat) {
       ++stats_.unsat;
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kSolverQuery, verdict_code(Sat::kUnsat),
+                     nslices);
+      }
       return {Sat::kUnsat, {}};
     }
     if (r.sat == Sat::kUnknown) {
@@ -628,6 +654,9 @@ SolveResult Solver::check(std::span<const ExprId> constraints) {
     } else if (out.sat == Sat::kSat) {
       for (const auto& [v, val] : r.model) out.model.emplace(v, val);
     }
+  }
+  if (trace_ != nullptr) {
+    trace_->emit(obs::EventKind::kSolverQuery, verdict_code(out.sat), nslices);
   }
   if (out.sat == Sat::kUnknown) {
     out.model.clear();
@@ -651,6 +680,9 @@ SolveResult Solver::solve_slice(const Slice& slice) {
   if (cache_ != nullptr) {
     if (const SolveResult* hit = cache_->lookup(sorted)) {
       ++stats_.cache_hits;
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kSolverSlice, 0, verdict_code(hit->sat));
+      }
       return *hit;
     }
   }
@@ -660,6 +692,9 @@ SolveResult Solver::solve_slice(const Slice& slice) {
       model_cache_.probe(pool_, slice.cs, slice.vars, res.model)) {
     ++stats_.model_reuse_hits;
     res.sat = Sat::kSat;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::EventKind::kSolverSlice, 1, verdict_code(res.sat));
+    }
     // Local-history fast path: memoise locally, but never publish to the
     // shared cache — other workers have different model histories and must
     // not observe this worker's.
@@ -701,12 +736,21 @@ SolveResult Solver::solve_slice(const Slice& slice) {
           opts_.model_cache_size > 0) {
         model_cache_.remember(res.model);
       }
+      // Level 2 ("canonical"), same as a solve: whether a sibling already
+      // published this slice is the one schedule-dependent fork in the
+      // cascade, and the result is bit-identical either way.
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kSolverSlice, 2, verdict_code(res.sat));
+      }
       return res;
     }
     res = SolveResult{};
   }
 
   res = solve_canonical(slice, order, slice_fp);
+  if (trace_ != nullptr) {
+    trace_->emit(obs::EventKind::kSolverSlice, 2, verdict_code(res.sat));
+  }
   if (res.sat != Sat::kUnknown) {
     // kUnknown stays out of both caches: it can depend on the wall-clock
     // deadline, and a bigger-budget sharer (the fault validator) must not

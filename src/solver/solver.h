@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "solver/cache.h"
 #include "solver/expr.h"
 #include "solver/interval.h"
@@ -183,6 +184,11 @@ class Solver {
   // Optional cross-worker cache. Receives only canonical solve results and
   // must outlive the solver; safe to share across threads.
   void set_shared_cache(SharedQueryCache* cache) { shared_ = cache; }
+  // Optional structured tracing (obs/trace.h): one kSolverQuery event per
+  // check(), one kSolverSlice event per sliced sub-query. Shared-cache hits
+  // and canonical solves report the same level (they are bit-identical by
+  // construction), so the event stream stays schedule-invariant.
+  void set_trace(obs::TraceBuffer* trace) { trace_ = trace; }
 
   // Decides the conjunction of `constraints`. With slicing enabled the set
   // is partitioned into independent sub-queries decided (and cached)
@@ -250,6 +256,7 @@ class Solver {
   SolverStats stats_;
   QueryCache* cache_{nullptr};
   SharedQueryCache* shared_{nullptr};
+  obs::TraceBuffer* trace_{nullptr};
   ModelCache model_cache_;
   ExprFingerprinter fp_;
   Fp128 opts_salt_;  // namespaces shared-cache keys by option tier

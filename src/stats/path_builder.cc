@@ -1,6 +1,7 @@
 #include "stats/path_builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -232,7 +233,7 @@ CandidatePath PathBuilder::join(
 }
 
 std::optional<PathConstruction> PathBuilder::build(
-    monitor::LocId failure) const {
+    monitor::LocId failure, obs::TraceBuffer* trace) const {
   PathConstruction pc;
   pc.failure = failure;
   pc.skeleton = find_skeleton(failure);
@@ -261,6 +262,20 @@ std::optional<PathConstruction> PathBuilder::build(
   for (auto& c : cands) {
     if (pc.candidates.size() >= opts_.max_candidates) break;
     if (seen.insert(c.nodes).second) pc.candidates.push_back(std::move(c));
+  }
+
+  if (trace != nullptr) {
+    trace->emit(obs::EventKind::kNote,
+                static_cast<std::int64_t>(pc.skeleton.size()),
+                static_cast<std::int64_t>(pc.detours.size()),
+                static_cast<std::int64_t>(failure), "skeleton");
+    for (std::size_t i = 0; i < pc.candidates.size(); ++i) {
+      const CandidatePath& c = pc.candidates[i];
+      trace->emit(obs::EventKind::kCandidateRanked,
+                  static_cast<std::int64_t>(i),
+                  static_cast<std::int64_t>(c.nodes.size()),
+                  std::llround(c.avg_score * 1e6));
+    }
   }
   return pc;
 }

@@ -72,7 +72,10 @@ class PathBuilder {
 
   // Builds skeleton, detours and the ranked candidate list toward
   // `failure`. Returns nullopt when no entry→failure path exists.
-  std::optional<PathConstruction> build(monitor::LocId failure) const;
+  // Optionally emits one kCandidateRanked trace event per candidate, in
+  // rank order, plus a kNote for the skeleton.
+  std::optional<PathConstruction> build(
+      monitor::LocId failure, obs::TraceBuffer* trace = nullptr) const;
 
  private:
   std::vector<monitor::LocId> find_skeleton(monitor::LocId failure) const;

@@ -35,10 +35,39 @@ std::size_t count_holds(const std::vector<double>& vals, PredKind pk,
   return n;
 }
 
+// Lower confidence bound on the class-probability gap |pf − pc|: the
+// larger side's Wilson lower bound minus the smaller side's upper bound,
+// clamped at 0. This is what score_lcb stores.
+double gap_lcb(double pc, std::size_t nc, double pf, std::size_t nf,
+               double z) {
+  const double lo = pf >= pc ? wilson_lower(pf, nf, z) - wilson_upper(pc, nc, z)
+                             : wilson_lower(pc, nc, z) - wilson_upper(pf, nf, z);
+  return std::max(0.0, lo);
+}
+
 }  // namespace
 
+double wilson_lower(double phat, std::size_t n, double z) {
+  if (n == 0) return 0.0;
+  if (z <= 0.0) return phat;
+  const double nn = static_cast<double>(n);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = phat + z2 / (2.0 * nn);
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn));
+  return std::max(0.0, (center - half) / denom);
+}
+
+double wilson_upper(double phat, std::size_t n, double z) {
+  if (n == 0) return 1.0;
+  if (z <= 0.0) return phat;
+  return 1.0 - wilson_lower(1.0 - phat, n, z);
+}
+
 bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
-                   std::size_t num_faulty_runs, Predicate& out) {
+                   std::size_t num_faulty_runs, Predicate& out,
+                   double confidence_z) {
   out.loc = vs.loc;
   out.var = vs.var;
   out.kind = vs.kind;
@@ -58,6 +87,10 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
     out.p_faulty = 0.0;
     out.score = out.p_correct;
     out.error = vs.correct.size();  // |P ∩ C| with P = everything observed
+    out.n_correct = num_correct_runs;
+    out.n_faulty = num_faulty_runs;
+    out.score_lcb = gap_lcb(out.p_correct, num_correct_runs, 0.0,
+                            num_faulty_runs, confidence_z);
     return out.score > 0.0;
   }
   if (vs.correct.empty()) {
@@ -72,6 +105,10 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
                     : static_cast<double>(vs.faulty_runs) /
                           static_cast<double>(num_faulty_runs);
     out.error = 0;
+    out.n_correct = num_correct_runs;
+    out.n_faulty = num_faulty_runs;
+    out.score_lcb = gap_lcb(0.0, num_correct_runs, out.score,
+                            num_faulty_runs, confidence_z);
     return out.score > 0.0;
   }
 
@@ -118,6 +155,12 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
         out.error = err;
       }
     }
+  }
+  if (found) {
+    out.n_correct = vs.correct.size();
+    out.n_faulty = vs.faulty.size();
+    out.score_lcb = gap_lcb(out.p_correct, out.n_correct, out.p_faulty,
+                            out.n_faulty, confidence_z);
   }
   return found && out.score > 0.0;
 }

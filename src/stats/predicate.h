@@ -38,6 +38,19 @@ struct Predicate {
   double p_faulty{0.0};   // P(x | F)
   std::size_t error{0};   // Eq. 1 quantification error on the samples
 
+  // Sample support behind p_correct / p_faulty (samples for threshold
+  // predicates, runs for the observation-rate kinds).
+  std::size_t n_correct{0};
+  std::size_t n_faulty{0};
+  // Starvation-aware score: a Wilson lower confidence bound on |P(x|C) −
+  // P(x|F)|. The plug-in Eq. 2 score treats 7-of-10 samples the same as
+  // 700-of-1000; under log starvation that lets accidental separators reach
+  // guidance-grade scores, and injecting them suspends every on-path state.
+  // score_lcb shrinks toward 0 as support thins (score_lcb <= score always,
+  // converging to score as samples grow), so consumers that *act* on a
+  // predicate gate on it, while ranking/reporting keep the paper's score.
+  double score_lcb{0.0};
+
   bool holds(double v) const {
     switch (pk) {
       case PredKind::kGt: return v > threshold;
@@ -51,12 +64,21 @@ struct Predicate {
   std::string display() const;
 };
 
+// Wilson score interval bounds for a binomial proportion: the smallest /
+// largest true p consistent (at z standard errors) with observing phat * n
+// successes in n trials. z = 0 degenerates to phat; n = 0 returns the
+// uninformative bound (0 for lower, 1 for upper).
+double wilson_lower(double phat, std::size_t n, double z);
+double wilson_upper(double phat, std::size_t n, double z);
+
 // Fits the best threshold predicate for one (loc, var) sample set. Requires
 // at least one sample in each class; for the unreached case (no faulty
 // samples) returns the kUnreached predicate scored by the observation-rate
 // difference. Returns false when no meaningful predicate exists (e.g. no
-// correct samples either, or zero score).
+// correct samples either, or zero score). confidence_z controls the
+// score_lcb shrinkage (0 makes score_lcb == score).
 bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
-                   std::size_t num_faulty_runs, Predicate& out);
+                   std::size_t num_faulty_runs, Predicate& out,
+                   double confidence_z = 2.0);
 
 }  // namespace statsym::stats

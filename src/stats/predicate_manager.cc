@@ -1,13 +1,15 @@
 #include "stats/predicate_manager.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace statsym::stats {
 
 PredicateManager::PredicateManager(PredicateManagerOptions opts)
     : opts_(opts) {}
 
-void PredicateManager::build(const SampleSet& samples) {
+void PredicateManager::build(const SampleSet& samples,
+                             obs::TraceBuffer* trace) {
   ranked_.clear();
   loc_scores_.clear();
 
@@ -19,7 +21,7 @@ void PredicateManager::build(const SampleSet& samples) {
     }
     Predicate p;
     if (!fit_predicate(vs, samples.num_correct_runs(),
-                       samples.num_faulty_runs(), p)) {
+                       samples.num_faulty_runs(), p, opts_.confidence_z)) {
       continue;
     }
     if (p.score < opts_.score_floor) continue;
@@ -29,6 +31,11 @@ void PredicateManager::build(const SampleSet& samples) {
   std::stable_sort(ranked_.begin(), ranked_.end(),
                    [&](const Predicate& a, const Predicate& b) {
                      if (a.score != b.score) return a.score > b.score;
+                     // At equal raw score, better-supported wins (higher
+                     // confidence lower bound).
+                     if (a.score_lcb != b.score_lcb) {
+                       return a.score_lcb > b.score_lcb;
+                     }
                      if (opts_.prefer_threshold_kind &&
                          (a.pk == PredKind::kUnreached) !=
                              (b.pk == PredKind::kUnreached)) {
@@ -41,6 +48,16 @@ void PredicateManager::build(const SampleSet& samples) {
   for (const auto& p : ranked_) {
     auto [it, inserted] = loc_scores_.try_emplace(p.loc, p.score);
     if (!inserted) it->second = std::max(it->second, p.score);
+  }
+
+  if (trace != nullptr) {
+    for (std::size_t i = 0; i < ranked_.size(); ++i) {
+      const Predicate& p = ranked_[i];
+      trace->emit(obs::EventKind::kPredicateFit,
+                  static_cast<std::int64_t>(i),
+                  static_cast<std::int64_t>(p.loc),
+                  std::llround(p.score * 1e6), p.display());
+    }
   }
 }
 

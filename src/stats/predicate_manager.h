@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "stats/predicate.h"
 
 namespace statsym::stats {
@@ -16,6 +17,9 @@ struct PredicateManagerOptions {
   std::size_t min_class_samples{1};
   // Predicates scoring below this are dropped outright.
   double score_floor{1e-9};
+  // Wilson-bound z for score_lcb (see Predicate::score_lcb); 0 disables the
+  // starvation shrinkage and makes score_lcb equal the raw score.
+  double confidence_z{2.0};
   // Threshold predicates outrank unreached predicates at equal score
   // (matches the ordering in the paper's Table V).
   bool prefer_threshold_kind{true};
@@ -25,7 +29,9 @@ class PredicateManager {
  public:
   explicit PredicateManager(PredicateManagerOptions opts = {});
 
-  void build(const SampleSet& samples);
+  // Optionally emits one kPredicateFit trace event per ranked predicate
+  // (rank order, so the stream is independent of fit order).
+  void build(const SampleSet& samples, obs::TraceBuffer* trace = nullptr);
 
   // All surviving predicates, best first.
   const std::vector<Predicate>& ranked() const { return ranked_; }

@@ -14,6 +14,61 @@
 
 namespace statsym::core {
 
+namespace {
+
+// Renders the result's accounting into the named metrics registry. Counters
+// and histograms here are schedule-invariant: the shared-cache-hit vs
+// canonical-solve split (the one schedule-dependent pair in SolverStats) is
+// folded into their sum, and everything wall-clock goes into `*.seconds`
+// gauges.
+void fill_metrics(EngineResult& res,
+                  const std::vector<monitor::RunLog>& logs) {
+  obs::MetricsRegistry& m = res.metrics;
+  m.add("log.correct", res.num_correct_logs);
+  m.add("log.faulty", res.num_faulty_logs);
+  m.add("log.bytes", res.log_bytes);
+  std::uint64_t considered = 0;
+  for (const auto& l : logs) {
+    considered += static_cast<std::uint64_t>(l.records_considered);
+  }
+  m.add("log.records_considered", considered);
+
+  m.add("stat.predicates", res.predicates.size());
+  m.add("stat.candidates", res.construction.candidates.size());
+  for (const auto& p : res.predicates) {
+    m.observe("stat.predicate_score", p.score);
+  }
+  for (const auto& c : res.construction.candidates) {
+    m.observe("stat.candidate_len", static_cast<double>(c.nodes.size()));
+  }
+
+  m.add("symexec.found", res.found ? 1 : 0);
+  m.add("symexec.candidates_tried", res.candidates_tried);
+  m.add("symexec.candidates_cancelled", res.candidates_cancelled);
+  m.add("symexec.paths_explored", res.paths_explored);
+  m.add("symexec.instructions", res.instructions);
+
+  const solver::SolverStats& ss = res.solver_stats;
+  m.add("solver.queries", ss.queries);
+  m.add("solver.sat", ss.sat);
+  m.add("solver.unsat", ss.unsat);
+  m.add("solver.unknown", ss.unknown);
+  m.add("solver.slices", ss.slices);
+  m.add("solver.multi_slice_queries", ss.multi_slice_queries);
+  m.add("solver.local_cache_hits", ss.cache_hits);
+  m.add("solver.model_reuse_hits", ss.model_reuse_hits);
+  m.add("solver.canonical", ss.shared_cache_hits + ss.solves);
+
+  m.set_gauge("phase.log.seconds", res.log_seconds);
+  m.set_gauge("phase.stat.seconds", res.stat_seconds);
+  m.set_gauge("phase.symexec.seconds", res.symexec_seconds);
+  m.set_gauge("phase.total.seconds",
+              res.log_seconds + res.stat_seconds + res.symexec_seconds);
+  m.set_gauge("solver.solve.seconds", ss.solve_seconds);
+}
+
+}  // namespace
+
 StatSymEngine::StatSymEngine(const ir::Module& m, symexec::SymInputSpec spec,
                              EngineOptions opts)
     : m_(m), spec_(std::move(spec)), opts_(opts) {}
@@ -23,6 +78,9 @@ void StatSymEngine::collect_logs(const WorkloadGen& gen) {
   std::size_t correct = 0;
   std::size_t faulty = 0;
   std::int32_t run_id = 0;
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::EventKind::kPhaseBegin, 0, 0, 0, "collect-logs");
+  }
 
   // Every attempt owns a private RNG stream derived from (seed, attempt),
   // so the input it generates and the sampling decisions its monitor makes
@@ -39,15 +97,17 @@ void StatSymEngine::collect_logs(const WorkloadGen& gen) {
   // run id is stamped at admission so it counts kept logs, as before.
   auto admit = [&](monitor::RunLog&& log) {
     const bool is_faulty = log.faulty;
-    if (is_faulty && faulty < opts_.target_faulty_logs) {
-      log.run_id = run_id++;
-      logs_.push_back(std::move(log));
-      ++faulty;
-    } else if (!is_faulty && correct < opts_.target_correct_logs) {
-      log.run_id = run_id++;
-      logs_.push_back(std::move(log));
-      ++correct;
+    const bool take = is_faulty ? faulty < opts_.target_faulty_logs
+                                : correct < opts_.target_correct_logs;
+    if (!take) return;
+    log.run_id = run_id++;
+    if (tracer_ != nullptr) {
+      tracer_->emit(obs::EventKind::kLogAdmitted, log.run_id,
+                    is_faulty ? 1 : 0,
+                    static_cast<std::int64_t>(log.records.size()));
     }
+    logs_.push_back(std::move(log));
+    ++(is_faulty ? faulty : correct);
   };
   auto targets_met = [&] {
     return correct >= opts_.target_correct_logs &&
@@ -83,6 +143,9 @@ void StatSymEngine::collect_logs(const WorkloadGen& gen) {
     }
   }
   log_seconds_ = sw.elapsed_seconds();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "collect-logs");
+  }
 }
 
 void StatSymEngine::use_logs(std::vector<monitor::RunLog> logs) {
@@ -102,12 +165,16 @@ EngineResult StatSymEngine::run() {
   res.log_bytes = monitor::serialize(logs_).size();
 
   // --- Statistical analysis module ---------------------------------------
+  obs::TraceBuffer* trace = tracer_ != nullptr ? &tracer_->buffer() : nullptr;
+  if (trace != nullptr) {
+    trace->emit(obs::EventKind::kPhaseBegin, 0, 0, 0, "stat");
+  }
   Stopwatch stat_sw;
   stats::SampleSet samples;
   samples.build(logs_);
 
   stats::PredicateManager preds(opts_.predicates);
-  preds.build(samples);
+  preds.build(samples, trace);
   res.predicates = preds.ranked();
 
   stats::TransitionGraph graph(opts_.graph);
@@ -117,21 +184,38 @@ EngineResult StatSymEngine::run() {
       stats::TransitionGraph::failure_node(logs_, &m_);
   if (failure == monitor::kNoLoc) {
     res.stat_seconds = stat_sw.elapsed_seconds();
+    if (trace != nullptr) {
+      trace->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "stat");
+    }
+    fill_metrics(res, logs_);
     return res;  // no faulty logs: nothing to guide toward
   }
 
   stats::PathBuilder builder(graph, preds, opts_.paths);
-  auto construction = builder.build(failure);
+  auto construction = builder.build(failure, trace);
   res.stat_seconds = stat_sw.elapsed_seconds();
-  if (!construction.has_value()) return res;
+  if (trace != nullptr) {
+    trace->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "stat");
+  }
+  if (!construction.has_value()) {
+    fill_metrics(res, logs_);
+    return res;
+  }
   res.construction = std::move(*construction);
 
   // --- Statistics-guided symbolic execution ------------------------------
+  if (trace != nullptr) {
+    trace->emit(obs::EventKind::kPhaseBegin, 0, 0, 0, "symexec");
+  }
   Stopwatch exec_sw;
   const std::size_t n_try =
       std::min(res.construction.candidates.size(), opts_.max_candidates_tried);
   run_portfolio(res, failure, n_try);
   res.symexec_seconds = exec_sw.elapsed_seconds();
+  if (trace != nullptr) {
+    trace->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "symexec");
+  }
+  fill_metrics(res, logs_);
   return res;
 }
 
@@ -173,6 +257,20 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
   // only pure-function results are published (DESIGN.md §"Solver").
   solver::SharedQueryCache shared_queries;
 
+  // Per-candidate trace buffers (lane = 1-based rank). Each is written only
+  // by the worker running that candidate; after the join, the buffers of the
+  // *counted* candidates are stitched into the root stream in rank order —
+  // the same order-and-subset rule the stats sums follow — so the stream is
+  // identical at any thread count. Cancelled candidates' events are dropped.
+  std::vector<obs::TraceBuffer> slot_traces;
+  if (tracer_ != nullptr) {
+    slot_traces.reserve(n_try);
+    for (std::size_t ci = 0; ci < n_try; ++ci) {
+      slot_traces.push_back(
+          tracer_->make_worker_buffer(static_cast<std::uint32_t>(ci + 1)));
+    }
+  }
+
   auto attempt = [&](std::size_t ci) {
     if (cancel[ci].load(std::memory_order_relaxed)) return;
     CandidateGuidance guidance(m_, res.construction.candidates[ci],
@@ -198,6 +296,11 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     ex.set_stop_flag(&cancel[ci]);
     ex.set_shared_budget(&budget);
     if (opts_.share_solver_cache) ex.set_shared_solver_cache(&shared_queries);
+    if (tracer_ != nullptr) {
+      slot_traces[ci].emit(obs::EventKind::kExecBegin,
+                           static_cast<std::int64_t>(ci + 1));
+      ex.set_trace(&slot_traces[ci]);
+    }
 
     symexec::ExecResult er = ex.run();
     slots[ci].completed =
@@ -241,6 +344,7 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     res.paths_explored += slots[ci].result.stats.paths_explored;
     res.instructions += slots[ci].result.stats.instructions;
     res.solver_stats += slots[ci].result.solver_stats;
+    if (tracer_ != nullptr) tracer_->absorb(std::move(slot_traces[ci]));
   }
   res.candidates_cancelled = n_try - counted;
   res.last_exec_stats = slots[counted - 1].result.stats;
@@ -275,6 +379,7 @@ std::vector<EngineResult> StatSymEngine::run_all(std::size_t max_vulns) {
     std::vector<monitor::RunLog> subset = correct;
     subset.insert(subset.end(), clusters[*fn].begin(), clusters[*fn].end());
     StatSymEngine sub(m_, spec_, opts_);
+    sub.set_tracer(tracer_);
     sub.use_logs(std::move(subset));
     EngineResult res = sub.run();
     if (res.found) results.push_back(std::move(res));
@@ -284,8 +389,13 @@ std::vector<EngineResult> StatSymEngine::run_all(std::size_t max_vulns) {
 
 symexec::ExecResult run_pure_symbolic(const ir::Module& m,
                                       const symexec::SymInputSpec& spec,
-                                      const symexec::ExecOptions& opts) {
+                                      const symexec::ExecOptions& opts,
+                                      obs::TraceBuffer* trace) {
   symexec::SymExecutor ex(m, spec, opts);
+  if (trace != nullptr) {
+    trace->emit(obs::EventKind::kExecBegin, 0);
+    ex.set_trace(trace);
+  }
   return ex.run();
 }
 

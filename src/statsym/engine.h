@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "monitor/monitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "statsym/guidance.h"
 #include "stats/path_builder.h"
 #include "stats/predicate_manager.h"
@@ -95,6 +97,13 @@ struct EngineResult {
   // have started) and cut short once the winner was known.
   std::size_t candidates_cancelled{0};
   symexec::ExecStats last_exec_stats;
+
+  // Named pipeline metrics (obs/metrics.h). Every counter and histogram in
+  // here is schedule-invariant — values that depend on which worker got
+  // there first (e.g. the shared-cache-hit vs canonical-solve split) are
+  // folded into invariant combinations or left to SolverStats. Gauges named
+  // `*.seconds` carry wall times and are the only nondeterministic values.
+  obs::MetricsRegistry metrics;
 };
 
 class StatSymEngine {
@@ -109,6 +118,13 @@ class StatSymEngine {
   // Phase 1b alternative: injects pre-collected logs (e.g. deserialised
   // from files, or corrupted by a failure-injection test).
   void use_logs(std::vector<monitor::RunLog> logs);
+
+  // Optional structured tracing (obs/trace.h): phase begin/end, log
+  // admissions, predicate fits, candidate ranks, and per-candidate symbolic
+  // execution events stitched in rank order over the counted candidates.
+  // The tracer must outlive the engine. Null (the default) disables tracing;
+  // the cost of the disabled path is one pointer test per would-be event.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   const std::vector<monitor::RunLog>& logs() const { return logs_; }
 
@@ -135,12 +151,16 @@ class StatSymEngine {
   EngineOptions opts_;
   std::vector<monitor::RunLog> logs_;
   double log_seconds_{0.0};
+  obs::Tracer* tracer_{nullptr};
 };
 
 // Pure-KLEE baseline on the same module/input spec: unguided symbolic
 // execution with the given options (Table IV's right-hand columns).
+// `trace`, when non-null, receives the execution's state/solver events
+// (kExecBegin carries candidate rank 0 = pure run).
 symexec::ExecResult run_pure_symbolic(const ir::Module& m,
                                       const symexec::SymInputSpec& spec,
-                                      const symexec::ExecOptions& opts);
+                                      const symexec::ExecOptions& opts,
+                                      obs::TraceBuffer* trace = nullptr);
 
 }  // namespace statsym::core

@@ -22,7 +22,7 @@ CandidateGuidance::CandidateGuidance(const ir::Module& m,
     : m_(m), path_(std::move(path)), opts_(opts) {
   for (auto& p : predicates) {
     if (p.pk == stats::PredKind::kUnreached) continue;  // negative evidence
-    if (p.score < opts_.predicate_score_floor) continue;
+    if (p.score_lcb < opts_.predicate_score_floor) continue;
     preds_by_loc_[p.loc].push_back(std::move(p));
   }
   for (std::size_t i = 0; i < path_.nodes.size(); ++i) {

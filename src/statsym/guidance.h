@@ -28,7 +28,12 @@ namespace statsym::core {
 struct GuidanceOptions {
   std::int32_t tau{10};  // hop-diversion threshold (paper default)
   bool inject_predicates{true};
-  // Only predicates with at least this confidence score are injected.
+  // Only predicates whose *confidence-adjusted* score (score_lcb, the
+  // Wilson lower bound on the Eq. 2 gap) clears this floor are injected.
+  // Gating on the raw score let accidental separators fitted from a handful
+  // of sampled records through; injected as hard constraints they suspend
+  // every on-path state, so a starved log budget turned into guaranteed
+  // path-infeasibility misses.
   double predicate_score_floor{0.5};
   // Cap on per-byte constraints lowered from one length predicate.
   std::int64_t max_len_constraint{4096};

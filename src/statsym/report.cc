@@ -109,4 +109,23 @@ std::string format_solver_stats(const solver::SolverStats& s) {
   return os.str();
 }
 
+std::string format_metrics(const obs::MetricsRegistry& m) {
+  TextTable t({"Metric", "Value"});
+  for (const auto& [name, v] : m.counters()) {
+    t.add_row({name, std::to_string(v)});
+  }
+  for (const auto& [name, g] : m.gauges()) {
+    t.add_row({name, fmt_double(g.value, 3)});
+  }
+  for (const auto& [name, h] : m.histograms()) {
+    std::ostringstream cell;
+    const double mean =
+        h.count == 0 ? 0.0 : h.sum / static_cast<double>(h.count);
+    cell << h.count << " obs, min " << fmt_double(h.min, 3) << ", mean "
+         << fmt_double(mean, 3) << ", max " << fmt_double(h.max, 3);
+    t.add_row({name, cell.str()});
+  }
+  return t.render();
+}
+
 }  // namespace statsym::core

@@ -28,4 +28,8 @@ std::string format_vuln(const ir::Module& m, const symexec::VulnPath& v);
 // wall time the fast paths saved (ISSUE 4 instrumentation).
 std::string format_solver_stats(const solver::SolverStats& s);
 
+// Named pipeline metrics (obs/metrics.h) as an aligned counter/gauge table;
+// histograms print count/min/mean/max.
+std::string format_metrics(const obs::MetricsRegistry& m);
+
 }  // namespace statsym::core

@@ -94,6 +94,10 @@ void SymExecutor::build_initial_state() {
   if (apply_hook(*raw, monitor::enter_loc(entry)) ==
       StepResult::kSuspend) {
     ++stats_.suspensions;
+    if (trace_ != nullptr) {
+      trace_->emit(obs::EventKind::kStateSuspend,
+                   static_cast<std::int64_t>(raw->id));
+    }
     suspended_.push_back(raw);
   } else {
     searcher_->add(raw);
@@ -150,6 +154,7 @@ SymExecutor::StepResult SymExecutor::fault_state(State& st,
   solver::Solver validator(pool_, opts_.fault_solver_opts);
   validator.set_cache(&cache_);
   if (shared_cache_ != nullptr) validator.set_shared_cache(shared_cache_);
+  if (trace_ != nullptr) validator.set_trace(trace_);
   const auto res = validator.check(st.pc.list());
   validator_stats_ += validator.stats();
   if (res.sat == solver::Sat::kUnsat) return StepResult::kInfeasible;
@@ -781,6 +786,10 @@ ExecResult SymExecutor::run() {
         // the suspended set (paper §V-C footnote: worst case equals pure).
         for (State* st : suspended_) {
           if (hook_ != nullptr) hook_->on_wake(*st);
+          if (trace_ != nullptr) {
+            trace_->emit(obs::EventKind::kStateWake,
+                         static_cast<std::int64_t>(st->id));
+          }
           searcher_->add(st);
         }
         stats_.wakes += suspended_.size();
@@ -811,6 +820,11 @@ ExecResult SymExecutor::run() {
           owned_.emplace(sib->id, std::move(sibling_));
           stats_.peak_live_states =
               std::max(stats_.peak_live_states, owned_.size());
+          if (trace_ != nullptr) {
+            trace_->emit(obs::EventKind::kStateFork,
+                         static_cast<std::int64_t>(st->id),
+                         static_cast<std::int64_t>(sib->id));
+          }
           searcher_->add(sib);
           searcher_->add(st);  // current continues (then-branch) first in DFS
           requeue = false;
@@ -819,17 +833,29 @@ ExecResult SymExecutor::run() {
         case StepResult::kTerminated:
           ++stats_.paths_ok;
           ++stats_.paths_completed;
+          if (trace_ != nullptr) {
+            trace_->emit(obs::EventKind::kStateTerminate,
+                         static_cast<std::int64_t>(st->id), /*reason=*/0);
+          }
           destroy(st);
           requeue = false;
           break;
         case StepResult::kInfeasible:
           ++stats_.paths_infeasible;
           ++stats_.paths_completed;
+          if (trace_ != nullptr) {
+            trace_->emit(obs::EventKind::kStateTerminate,
+                         static_cast<std::int64_t>(st->id), /*reason=*/1);
+          }
           destroy(st);
           requeue = false;
           break;
         case StepResult::kFault: {
           ++stats_.paths_completed;
+          if (trace_ != nullptr) {
+            trace_->emit(obs::EventKind::kStateTerminate,
+                         static_cast<std::int64_t>(st->id), /*reason=*/2);
+          }
           destroy(st);
           requeue = false;
           const bool on_target =
@@ -853,6 +879,10 @@ ExecResult SymExecutor::run() {
         }
         case StepResult::kSuspend:
           ++stats_.suspensions;
+          if (trace_ != nullptr) {
+            trace_->emit(obs::EventKind::kStateSuspend,
+                         static_cast<std::int64_t>(st->id));
+          }
           suspended_.push_back(st);
           requeue = false;
           break;
@@ -871,6 +901,11 @@ ExecResult SymExecutor::run() {
   stats_.seconds = sw.elapsed_seconds();
   stats_.peak_live_states = std::max(stats_.peak_live_states, owned_.size());
   stats_.paths_explored = stats_.paths_completed + owned_.size();
+  if (trace_ != nullptr) {
+    trace_->emit(obs::EventKind::kExecEnd, static_cast<std::int64_t>(term),
+                 static_cast<std::int64_t>(owned_.size()),
+                 static_cast<std::int64_t>(suspended_.size()));
+  }
   result.termination = term;
   result.stats = stats_;
   result.solver_stats = solver_.stats();

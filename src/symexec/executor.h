@@ -25,6 +25,7 @@
 
 #include "interp/interpreter.h"
 #include "monitor/log.h"
+#include "obs/trace.h"
 #include "solver/cache.h"
 #include "solver/solver.h"
 #include "support/stopwatch.h"
@@ -212,6 +213,14 @@ class SymExecutor {
     shared_cache_ = cache;
     solver_.set_shared_cache(cache);
   }
+  // Opt this executor into structured tracing (must outlive the run): state
+  // fork/suspend/wake/terminate events plus the solvers' query events land
+  // in `trace` in execution order. The run itself is sequential and
+  // deterministic, so the buffer contents are too (see obs/trace.h).
+  void set_trace(obs::TraceBuffer* trace) {
+    trace_ = trace;
+    solver_.set_trace(trace);
+  }
 
   ExecResult run();
 
@@ -291,6 +300,7 @@ class SymExecutor {
   std::vector<State*> suspended_;
   GuidanceHook* hook_{nullptr};
   const std::atomic<bool>* stop_flag_{nullptr};
+  obs::TraceBuffer* trace_{nullptr};
   SharedBudget* budget_{nullptr};
   // Last values published into budget_ (deltas keep the gauges exact).
   std::uint64_t published_instrs_{0};

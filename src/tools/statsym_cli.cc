@@ -48,7 +48,11 @@ int usage() {
                "                  candidate portfolio (0 = all hardware "
                "threads)\n"
                "  --portfolio K   candidate paths run concurrently (default "
-               "4)\n");
+               "4)\n"
+               "  --trace-out F   write the deterministic JSONL event trace\n"
+               "                  (byte-identical at any --jobs)\n"
+               "  --trace-chrome F  write a chrome://tracing JSON timeline\n"
+               "  --metrics-out F write the named pipeline metrics as JSON\n");
   return 2;
 }
 
@@ -62,6 +66,9 @@ struct Flags {
   double time_s{300.0};
   std::size_t jobs{0};       // 0 = hardware_concurrency
   std::size_t portfolio{4};  // concurrent candidates in Phase 3
+  std::string trace_out;     // deterministic JSONL event stream
+  std::string trace_chrome;  // Chrome about://tracing JSON (wall-clocked)
+  std::string metrics_out;   // metrics registry as JSON
 };
 
 bool parse_flags(int argc, char** argv, int start, Flags& f) {
@@ -104,12 +111,61 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       double v;
       if (!next(v)) return false;
       f.portfolio = static_cast<std::size_t>(v);
+    } else if (a == "--trace-out") {
+      if (i + 1 >= argc) return false;
+      f.trace_out = argv[++i];
+    } else if (a == "--trace-chrome") {
+      if (i + 1 >= argc) return false;
+      f.trace_chrome = argv[++i];
+    } else if (a == "--metrics-out") {
+      if (i + 1 >= argc) return false;
+      f.metrics_out = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
     }
   }
   return true;
+}
+
+bool want_trace(const Flags& f) {
+  return !f.trace_out.empty() || !f.trace_chrome.empty();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  os << content;
+  return true;
+}
+
+// Writes whichever of --trace-out / --trace-chrome / --metrics-out were
+// requested. Returns 0, or 1 when a file cannot be written.
+int write_observability(const Flags& f, const obs::Tracer* tracer,
+                        const obs::MetricsRegistry* metrics) {
+  if (tracer != nullptr && !f.trace_out.empty()) {
+    if (!write_file(f.trace_out, tracer->to_jsonl())) return 1;
+    std::printf("trace: %llu events -> %s\n",
+                static_cast<unsigned long long>(tracer->buffer().total()),
+                f.trace_out.c_str());
+  }
+  if (tracer != nullptr && !f.trace_chrome.empty()) {
+    std::ofstream os(f.trace_chrome);
+    if (!os) {
+      std::fprintf(stderr, "cannot write %s\n", f.trace_chrome.c_str());
+      return 1;
+    }
+    tracer->write_chrome(os);
+    std::printf("trace: chrome timeline -> %s\n", f.trace_chrome.c_str());
+  }
+  if (metrics != nullptr && !f.metrics_out.empty()) {
+    if (!write_file(f.metrics_out, metrics->to_json())) return 1;
+    std::printf("metrics -> %s\n", f.metrics_out.c_str());
+  }
+  return 0;
 }
 
 core::EngineOptions engine_options(const Flags& f) {
@@ -171,6 +227,10 @@ int cmd_list() {
 int cmd_run(const std::string& name, const Flags& f) {
   const apps::AppSpec app = apps::make_app(name);
   core::StatSymEngine engine(app.module, app.sym_spec, engine_options(f));
+  obs::TraceOptions topts;
+  topts.wall_clock = !f.trace_chrome.empty();
+  obs::Tracer tracer(topts);
+  if (want_trace(f)) engine.set_tracer(&tracer);
   if (!f.logs_file.empty()) {
     std::ifstream in(f.logs_file);
     if (!in) {
@@ -197,11 +257,20 @@ int cmd_run(const std::string& name, const Flags& f) {
     const auto results = engine.run_all();
     std::printf("fault clusters resolved: %zu\n\n", results.size());
     int rc = results.empty() ? 1 : 0;
-    for (const auto& res : results) print_result(app, res);
-    return rc;
+    obs::MetricsRegistry merged;
+    for (const auto& res : results) {
+      print_result(app, res);
+      merged.merge(res.metrics);
+    }
+    const int obs_rc =
+        write_observability(f, want_trace(f) ? &tracer : nullptr, &merged);
+    return rc != 0 ? rc : obs_rc;
   }
   const core::EngineResult res = engine.run();
   print_result(app, res);
+  const int obs_rc =
+      write_observability(f, want_trace(f) ? &tracer : nullptr, &res.metrics);
+  if (obs_rc != 0) return obs_rc;
   return res.found ? 0 : 1;
 }
 
@@ -219,7 +288,12 @@ int cmd_pure(const std::string& name, const Flags& f) {
   }
   opts.max_memory_bytes = f.mem_mb << 20;
   opts.max_seconds = f.time_s;
-  const auto r = core::run_pure_symbolic(app.module, app.sym_spec, opts);
+  obs::TraceOptions topts;
+  topts.wall_clock = !f.trace_chrome.empty();
+  obs::Tracer tracer(topts);
+  const auto r = core::run_pure_symbolic(
+      app.module, app.sym_spec, opts,
+      want_trace(f) ? &tracer.buffer() : nullptr);
   std::printf("pure[%s]: %s — %llu paths, %llu forks, %.1fs, peak %zu "
               "states / %zu MB\n",
               symexec::searcher_kind_name(opts.searcher),
@@ -231,6 +305,20 @@ int cmd_pure(const std::string& name, const Flags& f) {
   if (r.vuln.has_value()) {
     std::printf("%s", core::format_vuln(app.module, *r.vuln).c_str());
   }
+  obs::MetricsRegistry pm;
+  pm.add("symexec.paths_explored", r.stats.paths_explored);
+  pm.add("symexec.instructions", r.stats.instructions);
+  pm.add("symexec.forks", r.stats.forks);
+  pm.add("solver.queries", r.solver_stats.queries);
+  pm.add("solver.slices", r.solver_stats.slices);
+  pm.add("solver.local_cache_hits", r.solver_stats.cache_hits);
+  pm.add("solver.model_reuse_hits", r.solver_stats.model_reuse_hits);
+  pm.add("solver.canonical",
+         r.solver_stats.shared_cache_hits + r.solver_stats.solves);
+  pm.set_gauge("symexec.seconds", r.stats.seconds);
+  const int obs_rc =
+      write_observability(f, want_trace(f) ? &tracer : nullptr, &pm);
+  if (obs_rc != 0) return obs_rc;
   return r.termination == symexec::Termination::kFoundFault ? 0 : 1;
 }
 

@@ -259,6 +259,7 @@ TEST(Guidance, LengthPredicateInjectionPrunesShortStrings) {
   p.pk = stats::PredKind::kGt;
   p.threshold = 5.5;
   p.score = 1.0;
+  p.score_lcb = 1.0;
 
   stats::CandidatePath cp = path_of(
       {enter(m, "main"), enter(m, "scan"), leave(m, "scan"),
@@ -309,6 +310,7 @@ TEST(Guidance, ConflictingPredicateSuspends) {
   p.pk = stats::PredKind::kGt;
   p.threshold = 100.0;  // impossible: the buffer is 8 bytes
   p.score = 1.0;
+  p.score_lcb = 1.0;
   stats::CandidatePath cp = path_of({enter(m, "main"), enter(m, "a")});
   CandidateGuidance g(m, cp, {p}, {});
   ExecOptions opts;
@@ -330,6 +332,7 @@ TEST(Guidance, UnreachedPredicatesAreNotInjected) {
   p.is_len = true;
   p.pk = stats::PredKind::kUnreached;
   p.score = 1.0;
+  p.score_lcb = 1.0;
   stats::CandidatePath cp = path_of(
       {enter(m, "main"), enter(m, "a"), enter(m, "b"), enter(m, "vuln")});
   CandidateGuidance g(m, cp, {p}, {});
@@ -406,6 +409,7 @@ TEST(Report, FormatsPredicatesAndCandidates) {
   p.pk = stats::PredKind::kGt;
   p.threshold = 536.5;
   p.score = 1.0;
+  p.score_lcb = 1.0;
   const std::string preds = format_predicates(m, {p}, 10);
   EXPECT_NE(preds.find("len(s FUNCPARAM) > 536.5"), std::string::npos);
   EXPECT_NE(preds.find("vuln():enter"), std::string::npos);
@@ -435,6 +439,75 @@ TEST(Report, FormatsVulnWithLongInputTruncated) {
   EXPECT_NE(out.find("oob-store in vuln()"), std::string::npos);
   EXPECT_NE(out.find("len 600"), std::string::npos);
   EXPECT_LT(out.size(), 700u);  // long args are elided, not dumped
+}
+
+TEST(Report, FormatsVulnEnvInputs) {
+  const ir::Module m = chain_module();
+  symexec::VulnPath v;
+  v.kind = interp::FaultKind::kOobStore;
+  v.function = "vuln";
+  v.input.argv = {"prog"};
+  v.input.env["STONESOUP_STACK_BUFFER_64"] = std::string(80, 'B');
+  const std::string out = format_vuln(m, v);
+  EXPECT_NE(out.find("env STONESOUP_STACK_BUFFER_64 len 80"),
+            std::string::npos);
+}
+
+TEST(Report, FormatsDetours) {
+  const ir::Module m = chain_module();
+  stats::PathConstruction pc;
+  pc.failure = enter(m, "vuln");
+  pc.skeleton = {enter(m, "main"), enter(m, "a"), enter(m, "vuln")};
+  stats::Detour d;
+  d.start_idx = 0;
+  d.end_idx = 1;
+  d.via = {enter(m, "b")};
+  d.avg_score = 0.75;
+  pc.detours.push_back(d);
+  const std::string out = format_candidates(m, pc);
+  EXPECT_NE(out.find("Detours: 1"), std::string::npos);
+  EXPECT_NE(out.find("forward 0->1 score 0.75"), std::string::npos);
+  EXPECT_NE(out.find("via b():enter"), std::string::npos);
+}
+
+TEST(Report, FormatsSolverStats) {
+  solver::SolverStats s;
+  s.queries = 10;
+  s.sat = 6;
+  s.unsat = 4;
+  s.slices = 20;
+  s.multi_slice_queries = 3;
+  s.cache_hits = 8;
+  s.model_reuse_hits = 2;
+  s.shared_cache_hits = 4;
+  s.solves = 6;
+  s.solve_seconds = 0.5;
+  const std::string out = format_solver_stats(s);
+  EXPECT_NE(out.find("10 queries (6 sat, 4 unsat, 0 unknown)"),
+            std::string::npos);
+  EXPECT_NE(out.find("20 slices (3 queries split)"), std::string::npos);
+  EXPECT_NE(out.find("8 cache, 2 model-reuse (50.0% of slices)"),
+            std::string::npos);
+  // Shared hits and solves print as their schedule-invariant sum.
+  EXPECT_NE(out.find("10 decided"), std::string::npos);
+
+  // Degenerate: no slices means a 0% fast-path rate, not a division crash.
+  const std::string empty = format_solver_stats(solver::SolverStats{});
+  EXPECT_NE(empty.find("(0.0% of slices)"), std::string::npos);
+}
+
+TEST(Report, FormatsMetricsTable) {
+  obs::MetricsRegistry reg;
+  reg.add("engine.states_forked", 42);
+  reg.set_gauge("engine.exec_wall_s", 1.25, obs::GaugeMerge::kSum);
+  reg.observe("solver.query_s", 0.5);
+  reg.observe("solver.query_s", 1.5);
+  const std::string out = format_metrics(reg);
+  EXPECT_NE(out.find("engine.states_forked"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  EXPECT_NE(out.find("1.25"), std::string::npos);
+  EXPECT_NE(out.find("2 obs, min 0.500, mean 1.000, max 1.500"),
+            std::string::npos);
 }
 
 }  // namespace

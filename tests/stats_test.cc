@@ -243,6 +243,94 @@ TEST(Predicate, TiedThresholdsBreakDeterministically) {
   EXPECT_DOUBLE_EQ(p.threshold, 1.5);
 }
 
+TEST(Predicate, WilsonBoundsBracketAndConverge) {
+  // z = 0 is the plug-in estimate; n = 0 is uninformative.
+  EXPECT_DOUBLE_EQ(wilson_lower(0.7, 10, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(wilson_upper(0.7, 10, 0.0), 0.7);
+  EXPECT_DOUBLE_EQ(wilson_lower(0.7, 0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(wilson_upper(0.7, 0, 2.0), 1.0);
+  // Bounds bracket the estimate and tighten with support.
+  const double lo10 = wilson_lower(1.0, 10, 2.0);
+  const double lo100 = wilson_lower(1.0, 100, 2.0);
+  EXPECT_LT(lo10, 1.0);
+  EXPECT_GT(lo10, 0.5);
+  EXPECT_GT(lo100, lo10);
+  EXPECT_GT(wilson_upper(0.0, 10, 2.0), 0.0);
+  EXPECT_LT(wilson_upper(0.0, 100, 2.0), wilson_upper(0.0, 10, 2.0));
+}
+
+TEST(Predicate, ScoreLcbShrinksUnderStarvation) {
+  // A perfect separator over 10+10 samples keeps a healthy lower bound...
+  VarSamples strong;
+  strong.loc = 0;
+  strong.var = "x FUNCPARAM";
+  for (int i = 0; i < 10; ++i) {
+    strong.correct.push_back(i);
+    strong.faulty.push_back(100 + i);
+  }
+  strong.correct_runs = strong.faulty_runs = 10;
+  Predicate ps;
+  ASSERT_TRUE(fit_predicate(strong, 10, 10, ps));
+  EXPECT_DOUBLE_EQ(ps.score, 1.0);
+  EXPECT_EQ(ps.n_correct, 10u);
+  EXPECT_EQ(ps.n_faulty, 10u);
+  EXPECT_GT(ps.score_lcb, 0.4);
+  EXPECT_LT(ps.score_lcb, ps.score);
+
+  // ...while a 7-of-10 accidental separator (the kind that suspends every
+  // guided state when injected) drops below the 0.5 injection floor even
+  // though its raw Eq. 2 score clears it.
+  VarSamples weak = strong;
+  for (int i = 0; i < 3; ++i) weak.faulty[static_cast<std::size_t>(i)] = i;
+  Predicate pw;
+  ASSERT_TRUE(fit_predicate(weak, 10, 10, pw));
+  EXPECT_DOUBLE_EQ(pw.score, 0.7);
+  EXPECT_LT(pw.score_lcb, 0.5);
+
+  // With 10x the support at the same proportions the bound converges back
+  // above the floor: the shrinkage penalises starvation, not imperfection.
+  VarSamples weak10 = weak;
+  for (int r = 1; r < 10; ++r) {
+    for (int i = 0; i < 10; ++i) {
+      weak10.correct.push_back(weak.correct[static_cast<std::size_t>(i)]);
+      weak10.faulty.push_back(weak.faulty[static_cast<std::size_t>(i)]);
+    }
+  }
+  Predicate pw10;
+  ASSERT_TRUE(fit_predicate(weak10, 10, 10, pw10));
+  EXPECT_DOUBLE_EQ(pw10.score, 0.7);
+  EXPECT_GT(pw10.score_lcb, 0.5);
+
+  // confidence_z = 0 disables the shrinkage entirely.
+  Predicate praw;
+  ASSERT_TRUE(fit_predicate(weak, 10, 10, praw, /*confidence_z=*/0.0));
+  EXPECT_DOUBLE_EQ(praw.score_lcb, praw.score);
+}
+
+TEST(PredicateManager, EqualScoresRankBySupport) {
+  // Two locations separate perfectly, one from 3+3 samples, one from
+  // 12+12. Equal raw score — the better-supported predicate must rank
+  // first (and would survive an injection floor the starved one fails).
+  std::vector<RunLog> logs;
+  for (int i = 0; i < 24; ++i) {
+    const bool faulty = i % 2 == 1;
+    std::vector<LogRecord> recs{{0, {mk_var("big", faulty ? 50.0 : 1.0)}}};
+    if (i < 6) {
+      recs.push_back({1, {mk_var("small", faulty ? 50.0 : 1.0)}});
+    }
+    logs.push_back(mk_log(i, faulty, std::move(recs)));
+  }
+  SampleSet s;
+  s.build(logs);
+  PredicateManager pm;
+  pm.build(s);
+  ASSERT_GE(pm.ranked().size(), 2u);
+  EXPECT_DOUBLE_EQ(pm.ranked()[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(pm.ranked()[1].score, 1.0);
+  EXPECT_EQ(pm.ranked()[0].var, "big FUNCPARAM");
+  EXPECT_GT(pm.ranked()[0].score_lcb, pm.ranked()[1].score_lcb);
+}
+
 TEST(Predicate, ScoreAndErrorStayWithinBounds) {
   // Eq. 2 is a difference of probabilities and Eq. 1 counts a subset of the
   // pooled samples; fuzz randomised inputs and check the invariants hold.
