@@ -6,7 +6,7 @@
 #include "bench_common.h"
 #include "statsym/guidance.h"
 #include "statsym/guided_searcher.h"
-#include "stats/samples.h"
+#include "stats/suff_stats.h"
 
 using namespace statsym;
 
@@ -21,15 +21,16 @@ struct AblationResult {
 AblationResult run_variant(const apps::AppSpec& app,
                            const std::vector<monitor::RunLog>& logs,
                            core::GuidanceOptions gopts, bool guided_sched) {
-  stats::SampleSet samples;
-  samples.build(logs);
+  stats::SuffStats suff;
+  suff.ingest(logs);
   stats::PredicateManager preds;
-  preds.build(samples);
+  preds.build(suff);
   stats::TransitionGraph graph;
-  graph.build(logs);
+  graph.ingest(suff);
+  graph.rerank();
   stats::PathBuilder builder(graph, preds);
   const auto pc = builder.build(
-      stats::TransitionGraph::failure_node(logs, &app.module));
+      stats::TransitionGraph::failure_node(suff, &app.module));
   AblationResult out;
   if (!pc.has_value() || pc->candidates.empty()) return out;
 

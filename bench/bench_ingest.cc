@@ -1,0 +1,236 @@
+// Streaming-ingestion throughput (DESIGN.md §10): pushes synthetic sampled
+// run logs through a ShardedCollector that folds each completed shard into
+// mergeable sufficient statistics and drops the raw logs — the engine's
+// --stream pipeline minus workload execution — and measures sustained
+// runs/sec and the peak retained log footprint at several shard sizes.
+//
+// The memory gate is the point of the architecture: peak retained log bytes
+// must be bounded by the shard size (shard_size * max per-log footprint),
+// never by the total number of runs. The binary exits nonzero if any
+// configuration breaks that bound, if the folded statistics diverge from a
+// one-shot batch ingest, or if throughput falls below --min-runs-per-sec.
+//
+//   bench_ingest --quick                 # 1e5 runs/config (CI smoke)
+//   bench_ingest                         # 1e6 runs/config
+//   bench_ingest --json out.json         # default BENCH_ingest.json
+//   bench_ingest --min-runs-per-sec 1e5  # throughput gate (default 0 = off)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "monitor/shard.h"
+#include "stats/predicate_manager.h"
+#include "stats/suff_stats.h"
+#include "support/rng.h"
+#include "support/stopwatch.h"
+
+using namespace statsym;
+
+namespace {
+
+// Synthetic sampled monitor output: a pool of distinct run shapes (enter/
+// leave locations, integer globals, one length-logged parameter) generated
+// once, then cycled with fresh run ids. Cycling keeps the generator cost off
+// the measured path's critical resource (allocation) without retaining
+// O(total runs) logs anywhere in the harness itself.
+std::vector<monitor::RunLog> make_templates(std::size_t n, Rng& rng) {
+  std::vector<monitor::RunLog> pool;
+  pool.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    monitor::RunLog log;
+    log.faulty = rng.uniform(0, 1) < 0.3;
+    if (log.faulty) log.fault_function = "sink";
+    const int depth = 2 + static_cast<int>(rng.uniform(0, 4));
+    log.records_considered = 2 * depth;
+    for (int d = 0; d < depth; ++d) {
+      monitor::LogRecord rec;
+      rec.loc = monitor::enter_loc(static_cast<ir::FuncId>(d));
+      monitor::VarSample len;
+      len.name = "input";
+      len.kind = monitor::VarKind::kParam;
+      len.is_len = true;
+      len.value = std::floor(rng.uniform(0, 64)) + (log.faulty ? 512 : 0);
+      rec.vars.push_back(len);
+      monitor::VarSample g;
+      g.name = "g_total";
+      g.kind = monitor::VarKind::kGlobal;
+      g.value = std::floor(rng.uniform(-100, 100));
+      rec.vars.push_back(g);
+      log.records.push_back(rec);
+      rec.loc = monitor::leave_loc(static_cast<ir::FuncId>(d));
+      log.records.push_back(rec);
+    }
+    pool.push_back(std::move(log));
+  }
+  return pool;
+}
+
+struct ConfigResult {
+  std::size_t shard_size{0};
+  std::size_t runs{0};
+  double seconds{0.0};
+  double runs_per_sec{0.0};
+  std::uint32_t shards{0};
+  std::size_t peak_retained_bytes{0};
+  std::size_t retained_bound{0};  // shard_size * max per-log footprint
+  std::size_t ranked_predicates{0};
+};
+
+ConfigResult run_config(const std::vector<monitor::RunLog>& templates,
+                        std::size_t max_log_bytes, std::size_t runs,
+                        std::size_t shard_size,
+                        const stats::SuffStats& expect) {
+  ConfigResult r;
+  r.shard_size = shard_size;
+  r.runs = runs;
+  r.retained_bound = shard_size * max_log_bytes;
+
+  stats::SuffStats suff;
+  monitor::ShardedCollector collector(
+      shard_size, [&](monitor::LogShard&& s) { suff.ingest(s); });
+
+  Stopwatch sw;
+  for (std::size_t i = 0; i < runs; ++i) {
+    monitor::RunLog log = templates[i % templates.size()];
+    log.run_id = static_cast<std::int32_t>(i);
+    collector.add(std::move(log));
+  }
+  collector.flush();
+  r.seconds = sw.elapsed_seconds();
+  r.runs_per_sec = r.seconds > 0.0 ? static_cast<double>(runs) / r.seconds
+                                   : 0.0;
+  r.shards = collector.shards_emitted();
+  r.peak_retained_bytes = collector.peak_retained_bytes();
+
+  // The statistics the stream produced must equal the batch fit exactly
+  // (run_id differences don't enter any sufficient statistic).
+  if (suff.num_correct_runs() != expect.num_correct_runs() ||
+      suff.num_faulty_runs() != expect.num_faulty_runs() ||
+      suff.records_considered() != expect.records_considered() ||
+      suff.vars().size() != expect.vars().size()) {
+    std::fprintf(stderr,
+                 "FAIL: shard_size=%zu streamed statistics diverge from the "
+                 "batch ingest\n",
+                 shard_size);
+    std::exit(2);
+  }
+  // And they must be fit-ready: rerank from the folded statistics.
+  stats::PredicateManager pm;
+  pm.build(suff);
+  r.ranked_predicates = pm.ranked().size();
+  return r;
+}
+
+void write_json(const std::string& path, std::size_t runs,
+                std::size_t batch_bytes,
+                const std::vector<ConfigResult>& configs) {
+  std::ofstream os(path);
+  os << "{\n"
+     << "  \"bench\": \"stream_ingest\",\n"
+     << "  \"runs_per_config\": " << runs << ",\n"
+     << "  \"batch_retained_bytes\": " << batch_bytes << ",\n"
+     << "  \"configs\": [\n";
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const ConfigResult& r = configs[i];
+    os << "    {\n"
+       << "      \"shard_size\": " << r.shard_size << ",\n"
+       << "      \"seconds\": " << r.seconds << ",\n"
+       << "      \"runs_per_second\": " << r.runs_per_sec << ",\n"
+       << "      \"shards\": " << r.shards << ",\n"
+       << "      \"peak_retained_log_bytes\": " << r.peak_retained_bytes
+       << ",\n"
+       << "      \"retained_bound_bytes\": " << r.retained_bound << ",\n"
+       << "      \"ranked_predicates\": " << r.ranked_predicates << "\n"
+       << "    }" << (i + 1 < configs.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_ingest.json";
+  double min_runs_per_sec = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-runs-per-sec") == 0 &&
+               i + 1 < argc) {
+      min_runs_per_sec = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 64;
+    }
+  }
+
+  const std::size_t runs = quick ? 100'000 : 1'000'000;
+  Rng rng(20260807);
+  const std::vector<monitor::RunLog> templates = make_templates(256, rng);
+  std::size_t max_log_bytes = 0;
+  std::size_t batch_bytes = 0;  // what batch mode would retain for `runs`
+  stats::SuffStats expect;
+  for (std::size_t i = 0; i < templates.size(); ++i) {
+    const std::size_t b = monitor::approx_log_bytes(templates[i]);
+    max_log_bytes = std::max(max_log_bytes, b);
+    expect.ingest(templates[i]);
+  }
+  {
+    stats::SuffStats full;
+    for (std::size_t i = 1; i * templates.size() <= runs; ++i) {
+      full.merge(expect);
+    }
+    expect = std::move(full);
+    // Remainder runs beyond the last full template cycle.
+    for (std::size_t i = (runs / templates.size()) * templates.size();
+         i < runs; ++i) {
+      expect.ingest(templates[i % templates.size()]);
+    }
+  }
+  for (std::size_t i = 0; i < runs; ++i) {
+    batch_bytes += monitor::approx_log_bytes(templates[i % templates.size()]);
+  }
+
+  std::printf("stream ingest: %zu synthetic sampled runs per config\n", runs);
+  std::printf("  batch mode would retain %.1f MiB of raw logs\n",
+              static_cast<double>(batch_bytes) / (1024.0 * 1024.0));
+
+  std::vector<ConfigResult> configs;
+  int rc = 0;
+  for (const std::size_t shard_size : {std::size_t{1}, std::size_t{64},
+                                       std::size_t{1024}}) {
+    const ConfigResult r =
+        run_config(templates, max_log_bytes, runs, shard_size, expect);
+    std::printf(
+        "  shard=%-5zu %8.0f runs/s  %u shards  peak retained %zu B "
+        "(bound %zu B)\n",
+        r.shard_size, r.runs_per_sec, r.shards, r.peak_retained_bytes,
+        r.retained_bound);
+    if (r.peak_retained_bytes > r.retained_bound) {
+      std::fprintf(stderr,
+                   "FAIL: shard=%zu retained %zu B exceeds the O(shard "
+                   "size) bound %zu B\n",
+                   r.shard_size, r.peak_retained_bytes, r.retained_bound);
+      rc = 1;
+    }
+    if (r.runs_per_sec < min_runs_per_sec) {
+      std::fprintf(stderr,
+                   "FAIL: shard=%zu %.0f runs/s below --min-runs-per-sec "
+                   "%.0f\n",
+                   r.shard_size, r.runs_per_sec, min_runs_per_sec);
+      rc = 1;
+    }
+    configs.push_back(r);
+  }
+
+  write_json(json_path, runs, batch_bytes, configs);
+  std::printf("  wrote %s\n", json_path.c_str());
+  return rc;
+}

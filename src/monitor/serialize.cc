@@ -1,5 +1,6 @@
 #include "monitor/serialize.h"
 
+#include <cstdio>
 #include <sstream>
 
 #include "support/strings.h"
@@ -28,6 +29,45 @@ std::string serialize(const std::vector<RunLog>& logs) {
   std::string out;
   for (const auto& l : logs) out += serialize(l);
   return out;
+}
+
+namespace {
+
+std::size_t int_len(std::int64_t v) {
+  char buf[24];
+  return static_cast<std::size_t>(std::snprintf(buf, sizeof buf, "%lld",
+                                                static_cast<long long>(v)));
+}
+
+// ostream's default double insertion is specified to format as if by
+// printf("%g") at the stream's precision (6), so this length is exact.
+std::size_t double_len(double v) {
+  char buf[40];
+  return static_cast<std::size_t>(std::snprintf(buf, sizeof buf, "%.6g", v));
+}
+
+}  // namespace
+
+std::size_t serialized_size(const RunLog& log) {
+  // "run <id> <ok|faulty>[ <fault_function>]\n"
+  std::size_t n = 4 + int_len(log.run_id) + 1 +
+                  (log.faulty ? 6 + (log.fault_function.empty()
+                                         ? 0
+                                         : 1 + log.fault_function.size())
+                              : 2) +
+                  1;
+  if (log.records_considered > 0) {
+    n += 5 + int_len(log.records_considered) + 1;  // "seen <n>\n"
+  }
+  for (const auto& rec : log.records) {
+    n += 4 + int_len(rec.loc) + 1;  // "rec <loc>\n"
+    for (const auto& v : rec.vars) {
+      // "var <kind>|<is_len>|<value>|<name>\n"
+      n += 4 + std::string_view(var_kind_name(v.kind)).size() + 1 + 1 + 1 +
+           double_len(v.value) + 1 + v.name.size() + 1;
+    }
+  }
+  return n;
 }
 
 bool deserialize(const std::string& text, std::vector<RunLog>& out) {

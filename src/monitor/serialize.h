@@ -21,6 +21,12 @@ namespace statsym::monitor {
 std::string serialize(const RunLog& log);
 std::string serialize(const std::vector<RunLog>& logs);
 
+// Exact byte count of serialize(log), computed without materialising the
+// string. Used on the streaming ingest hot path (stats/suff_stats.h) where
+// the byte accounting must equal the batch `serialize(all_logs).size()`
+// but building ~1 KiB of text per folded run would dominate the fold.
+std::size_t serialized_size(const RunLog& log);
+
 // Parses one or more concatenated run logs. Returns false (and leaves `out`
 // untouched) on malformed input; parsing is strict so corrupted logs are
 // detected rather than silently mis-read.

@@ -1,0 +1,122 @@
+#include "monitor/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "monitor/serialize.h"
+#include "support/strings.h"
+
+namespace statsym::monitor {
+
+std::size_t LogShard::num_correct() const {
+  return static_cast<std::size_t>(
+      std::count_if(logs.begin(), logs.end(),
+                    [](const RunLog& l) { return !l.faulty; }));
+}
+
+std::size_t LogShard::num_faulty() const {
+  return logs.size() - num_correct();
+}
+
+std::size_t approx_log_bytes(const RunLog& log) {
+  std::size_t n = sizeof(RunLog) + log.fault_function.size();
+  for (const auto& rec : log.records) {
+    n += sizeof(LogRecord);
+    for (const auto& v : rec.vars) n += sizeof(VarSample) + v.name.size();
+  }
+  return n;
+}
+
+std::string serialize_shard(const LogShard& shard) {
+  std::string out = "shard|" + std::to_string(LogShard::kFormatVersion) +
+                    "|" + std::to_string(shard.shard_id) + "|" +
+                    std::to_string(shard.logs.size()) + "\n";
+  out += serialize(shard.logs);
+  out += "endshard\n";
+  return out;
+}
+
+namespace {
+
+bool fail(std::string* error, std::string why) {
+  if (error != nullptr) *error = std::move(why);
+  return false;
+}
+
+}  // namespace
+
+bool deserialize_shard(const std::string& text, LogShard& out,
+                       std::string* error) {
+  const std::size_t eol = text.find('\n');
+  if (eol == std::string::npos) {
+    return fail(error, "shard: missing header line");
+  }
+  const std::string_view header = trim(std::string_view(text).substr(0, eol));
+  const auto fields = split(header, '|');
+  if (fields.size() != 4 || fields[0] != "shard") {
+    return fail(error, "shard: malformed header (want "
+                       "'shard|<version>|<id>|<num_logs>')");
+  }
+  std::int64_t version = 0;
+  std::int64_t shard_id = 0;
+  std::int64_t num_logs = 0;
+  if (!parse_i64(fields[1], version) || !parse_i64(fields[2], shard_id) ||
+      !parse_i64(fields[3], num_logs) || shard_id < 0 || num_logs < 0) {
+    return fail(error, "shard: non-numeric header field");
+  }
+  if (version != LogShard::kFormatVersion) {
+    return fail(error, "shard: unsupported format version " +
+                           std::to_string(version) + " (this build reads " +
+                           "version " +
+                           std::to_string(LogShard::kFormatVersion) + ")");
+  }
+
+  const std::size_t trailer = text.rfind("endshard");
+  if (trailer == std::string::npos || trailer < eol + 1 ||
+      trim(std::string_view(text).substr(trailer)) != "endshard") {
+    return fail(error, "shard: missing 'endshard' trailer");
+  }
+
+  LogShard shard;
+  shard.shard_id = static_cast<std::uint32_t>(shard_id);
+  const std::string body = text.substr(eol + 1, trailer - eol - 1);
+  if (!deserialize(body, shard.logs)) {
+    return fail(error, "shard: malformed run-log body");
+  }
+  if (shard.logs.size() != static_cast<std::size_t>(num_logs)) {
+    return fail(error, "shard: header declares " + std::to_string(num_logs) +
+                           " logs but body holds " +
+                           std::to_string(shard.logs.size()));
+  }
+  for (const auto& log : shard.logs) shard.bytes += approx_log_bytes(log);
+  out = std::move(shard);
+  return true;
+}
+
+ShardedCollector::ShardedCollector(std::size_t shard_size, ShardSink sink)
+    : shard_size_(std::max<std::size_t>(1, shard_size)),
+      sink_(std::move(sink)) {
+  pending_.shard_id = next_shard_id_;
+}
+
+void ShardedCollector::add(RunLog&& log) {
+  pending_.bytes += approx_log_bytes(log);
+  pending_.logs.push_back(std::move(log));
+  ++logs_added_;
+  peak_retained_bytes_ = std::max(peak_retained_bytes_, pending_.bytes);
+  if (pending_.logs.size() >= shard_size_) emit();
+}
+
+void ShardedCollector::flush() {
+  if (!pending_.logs.empty()) emit();
+}
+
+void ShardedCollector::emit() {
+  LogShard shard = std::move(pending_);
+  pending_ = LogShard{};
+  pending_.shard_id = ++next_shard_id_;
+  ++shards_emitted_;
+  if (sink_) sink_(std::move(shard));
+}
+
+}  // namespace statsym::monitor

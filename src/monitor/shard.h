@@ -1,0 +1,97 @@
+// Log shards: the unit of streaming ingestion.
+//
+// Batch-mode StatSym accumulates every RunLog in one vector and fits the
+// statistics in a single pass; that caps "monitor in production, analyse
+// continuously" at whatever fits in memory. A LogShard is a small,
+// serialisable batch of runs; the ShardedCollector groups admitted logs into
+// shards and hands each one off as soon as it is full, so a consumer that
+// folds shards into mergeable sufficient statistics (stats/suff_stats.h)
+// only ever retains O(shard size) raw log bytes, not O(total runs).
+//
+// Shards have their own wire format on top of the per-run text format so
+// they can be persisted, shipped between processes, and replayed. The
+// header carries an explicit format-version field; readers reject unknown
+// versions with a clear error instead of guessing.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "monitor/log.h"
+
+namespace statsym::monitor {
+
+struct LogShard {
+  // Bump when the shard wire format changes shape. Readers accept exactly
+  // the versions they understand (currently: only this one).
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint32_t shard_id{0};
+  std::vector<RunLog> logs;
+  // In-memory footprint estimate of `logs` (approx_log_bytes sums), kept by
+  // the collector so consumers can report retained-bytes without touching
+  // the logs again.
+  std::size_t bytes{0};
+
+  std::size_t num_correct() const;
+  std::size_t num_faulty() const;
+};
+
+// Cheap in-memory footprint estimate for the retained-bytes accounting
+// (variable names + per-record/var overheads). Deliberately not the
+// serialized size: it is called once per admitted log on the hot ingest
+// path, where serialising would double the cost of the whole fold.
+std::size_t approx_log_bytes(const RunLog& log);
+
+// Shard wire format:
+//   shard|<version>|<shard_id>|<num_logs>
+//   <num_logs concatenated run logs in the monitor text format>
+//   endshard
+std::string serialize_shard(const LogShard& shard);
+
+// Strict parse. On failure returns false, leaves `out` untouched and, when
+// `error` is non-null, stores a human-readable reason — in particular an
+// unknown format version names both the found and the supported version.
+bool deserialize_shard(const std::string& text, LogShard& out,
+                       std::string* error = nullptr);
+
+// Groups admitted logs into fixed-size shards and emits each shard through
+// the sink the moment it fills; flush() emits the trailing partial shard.
+// Tracks the retained-log footprint so callers can assert the O(shard size)
+// memory bound.
+class ShardedCollector {
+ public:
+  using ShardSink = std::function<void(LogShard&&)>;
+
+  // shard_size 0 is clamped to 1 (every log its own shard).
+  ShardedCollector(std::size_t shard_size, ShardSink sink);
+
+  void add(RunLog&& log);
+  // Emits the pending partial shard, if any. Idempotent.
+  void flush();
+
+  std::size_t shard_size() const { return shard_size_; }
+  std::uint64_t logs_added() const { return logs_added_; }
+  std::uint32_t shards_emitted() const { return shards_emitted_; }
+  // Currently retained (not yet emitted) logs and their footprint.
+  std::size_t retained_logs() const { return pending_.logs.size(); }
+  std::size_t retained_bytes() const { return pending_.bytes; }
+  // High-water mark of retained_bytes() across the collector's lifetime —
+  // the number the O(shard size) memory-bound gate checks.
+  std::size_t peak_retained_bytes() const { return peak_retained_bytes_; }
+
+ private:
+  void emit();
+
+  std::size_t shard_size_;
+  ShardSink sink_;
+  LogShard pending_;
+  std::uint32_t next_shard_id_{0};
+  std::uint64_t logs_added_{0};
+  std::uint32_t shards_emitted_{0};
+  std::size_t peak_retained_bytes_{0};
+};
+
+}  // namespace statsym::monitor

@@ -22,6 +22,8 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kSolverQuery: return "solver-query";
     case EventKind::kSolverSlice: return "solver-slice";
     case EventKind::kExecEnd: return "exec-end";
+    case EventKind::kShardIngest: return "ingest-shard";
+    case EventKind::kRerank: return "rerank";
     case EventKind::kNote: return "note";
   }
   return "?";
@@ -135,6 +137,8 @@ FieldNames fields_of(EventKind k) {
     case EventKind::kSolverQuery: return {"verdict", "slices", "", false};
     case EventKind::kSolverSlice: return {"level", "verdict", "", false};
     case EventKind::kExecEnd: return {"termination", "live", "suspended", false};
+    case EventKind::kShardIngest: return {"shard", "logs", "bytes", false};
+    case EventKind::kRerank: return {"predicates", "nodes", "shards", false};
     case EventKind::kNote: return {"a", "b", "c", true};
   }
   return {"a", "b", "c", true};

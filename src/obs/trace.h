@@ -44,6 +44,8 @@ enum class EventKind : std::uint8_t {
   kSolverSlice,      // a = level (0 local, 1 model-reuse, 2 canonical),
                      // b = verdict
   kExecEnd,          // a = termination code, b = live left, c = suspended left
+  kShardIngest,      // a = shard id, b = logs in shard, c = shard bytes
+  kRerank,           // a = ranked predicates, b = graph nodes, c = shards seen
   kNote,             // free-form marker: name + a/b/c
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "support/strings.h"
@@ -22,50 +23,35 @@ std::string Predicate::display() const {
 
 namespace {
 
-// Counts samples satisfying a candidate predicate.
-std::size_t count_holds(const std::vector<double>& vals, PredKind pk,
-                        double thr) {
+// Counts samples (with multiplicity) satisfying a candidate predicate.
+std::uint64_t count_holds(const ValueHist& hist, PredKind pk, double thr) {
   Predicate tmp;
   tmp.pk = pk;
   tmp.threshold = thr;
-  std::size_t n = 0;
-  for (double v : vals) {
-    if (tmp.holds(v)) ++n;
+  std::uint64_t n = 0;
+  for (const auto& [v, cnt] : hist) {
+    if (tmp.holds(v)) n += cnt;
   }
   return n;
 }
 
-// Lower confidence bound on the class-probability gap |pf − pc|: the
-// larger side's Wilson lower bound minus the smaller side's upper bound,
-// clamped at 0. This is what score_lcb stores.
-double gap_lcb(double pc, std::size_t nc, double pf, std::size_t nf,
-               double z) {
-  const double lo = pf >= pc ? wilson_lower(pf, nf, z) - wilson_upper(pc, nc, z)
-                             : wilson_lower(pc, nc, z) - wilson_upper(pf, nf, z);
-  return std::max(0.0, lo);
-}
-
 }  // namespace
 
-double wilson_lower(double phat, std::size_t n, double z) {
-  if (n == 0) return 0.0;
-  if (z <= 0.0) return phat;
-  const double nn = static_cast<double>(n);
-  const double z2 = z * z;
-  const double denom = 1.0 + z2 / nn;
-  const double center = phat + z2 / (2.0 * nn);
-  const double half =
-      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn));
-  return std::max(0.0, (center - half) / denom);
+double Predicate::recompute_score_lcb(double confidence_z) const {
+  if (pk == PredKind::kUnreached) {
+    // Observation-rate gap: p_correct is the rate, faulty never observes.
+    return gap_lcb(p_correct, n_correct, 0.0, n_faulty, confidence_z);
+  }
+  if (pk == PredKind::kGt &&
+      threshold == -std::numeric_limits<double>::infinity()) {
+    // "Reached at all" indicator: the faulty side's rate is the score
+    // (faulty_runs / num_faulty_runs), not the per-sample p_faulty.
+    return gap_lcb(0.0, n_correct, score, n_faulty, confidence_z);
+  }
+  return gap_lcb(p_correct, n_correct, p_faulty, n_faulty, confidence_z);
 }
 
-double wilson_upper(double phat, std::size_t n, double z) {
-  if (n == 0) return 1.0;
-  if (z <= 0.0) return phat;
-  return 1.0 - wilson_lower(1.0 - phat, n, z);
-}
-
-bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
+bool fit_predicate(const VarSuff& vs, std::size_t num_correct_runs,
                    std::size_t num_faulty_runs, Predicate& out,
                    double confidence_z) {
   out.loc = vs.loc;
@@ -73,8 +59,8 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
   out.kind = vs.kind;
   out.is_len = vs.is_len;
 
-  if (vs.faulty.empty()) {
-    if (vs.correct.empty() || num_faulty_runs == 0) return false;
+  if (vs.faulty_total == 0) {
+    if (vs.correct_total == 0 || num_faulty_runs == 0) return false;
     // The location/variable is only ever observed on correct runs: faulty
     // executions abort before reaching it. Score is the observation-rate
     // difference between the classes.
@@ -86,14 +72,14 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
                               static_cast<double>(num_correct_runs);
     out.p_faulty = 0.0;
     out.score = out.p_correct;
-    out.error = vs.correct.size();  // |P ∩ C| with P = everything observed
+    // |P ∩ C| with P = everything observed.
+    out.error = static_cast<std::size_t>(vs.correct_total);
     out.n_correct = num_correct_runs;
     out.n_faulty = num_faulty_runs;
-    out.score_lcb = gap_lcb(out.p_correct, num_correct_runs, 0.0,
-                            num_faulty_runs, confidence_z);
+    out.score_lcb = out.recompute_score_lcb(confidence_z);
     return out.score > 0.0;
   }
-  if (vs.correct.empty()) {
+  if (vs.correct_total == 0) {
     // Only observed in faulty runs; a trivial "reached at all" indicator.
     // Encode as value > -inf, which every observation satisfies.
     out.pk = PredKind::kGt;
@@ -107,15 +93,15 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
     out.error = 0;
     out.n_correct = num_correct_runs;
     out.n_faulty = num_faulty_runs;
-    out.score_lcb = gap_lcb(0.0, num_correct_runs, out.score,
-                            num_faulty_runs, confidence_z);
+    out.score_lcb = out.recompute_score_lcb(confidence_z);
     return out.score > 0.0;
   }
 
   // Candidate thresholds: midpoints between adjacent distinct values of the
-  // pooled sample.
-  std::set<double> distinct(vs.correct.begin(), vs.correct.end());
-  distinct.insert(vs.faulty.begin(), vs.faulty.end());
+  // pooled sample. The histogram keys are exactly the distinct values.
+  std::set<double> distinct;
+  for (const auto& [v, cnt] : vs.correct) distinct.insert(v);
+  for (const auto& [v, cnt] : vs.faulty) distinct.insert(v);
   if (distinct.size() < 2) return false;  // identical distributions
 
   std::vector<double> cuts;
@@ -133,14 +119,15 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
   double best_score = 0.0;
   for (double thr : cuts) {
     for (PredKind pk : {PredKind::kGt, PredKind::kLt}) {
-      const std::size_t c_in = count_holds(vs.correct, pk, thr);
-      const std::size_t f_in = count_holds(vs.faulty, pk, thr);
+      const std::uint64_t c_in = count_holds(vs.correct, pk, thr);
+      const std::uint64_t f_in = count_holds(vs.faulty, pk, thr);
       // Eq. 1: correct samples captured by P plus faulty samples missed.
-      const std::size_t err = c_in + (vs.faulty.size() - f_in);
+      const std::size_t err =
+          static_cast<std::size_t>(c_in + (vs.faulty_total - f_in));
       const double pc =
-          static_cast<double>(c_in) / static_cast<double>(vs.correct.size());
+          static_cast<double>(c_in) / static_cast<double>(vs.correct_total);
       const double pf =
-          static_cast<double>(f_in) / static_cast<double>(vs.faulty.size());
+          static_cast<double>(f_in) / static_cast<double>(vs.faulty_total);
       const double score = std::abs(pc - pf);
       if (!found || err < best_err ||
           (err == best_err && score > best_score)) {
@@ -157,10 +144,9 @@ bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
     }
   }
   if (found) {
-    out.n_correct = vs.correct.size();
-    out.n_faulty = vs.faulty.size();
-    out.score_lcb = gap_lcb(out.p_correct, out.n_correct, out.p_faulty,
-                            out.n_faulty, confidence_z);
+    out.n_correct = static_cast<std::size_t>(vs.correct_total);
+    out.n_faulty = static_cast<std::size_t>(vs.faulty_total);
+    out.score_lcb = out.recompute_score_lcb(confidence_z);
   }
   return found && out.score > 0.0;
 }

@@ -7,6 +7,12 @@
 // threshold form is found by scanning candidate cut points (midpoints of
 // adjacent distinct observed values) in both directions (a > σ and a < σ).
 //
+// The fit consumes the class-conditional value *histograms* of a VarSuff
+// (stats/suff_stats.h) — the sufficient statistics — so it costs
+// O(distinct values), is independent of how many runs were ingested, and is
+// byte-identical whether those histograms were built in one batch or merged
+// from shards in any order.
+//
 // A variable observed in correct runs but never in faulty runs gets the
 // paper's "a < -infinity" predicate (Table V, P7–P10): the location is
 // evidence of *non*-failure, the score being the observation-rate gap.
@@ -15,7 +21,8 @@
 #include <string>
 #include <vector>
 
-#include "stats/samples.h"
+#include "stats/suff_stats.h"
+#include "stats/wilson.h"
 
 namespace statsym::stats {
 
@@ -43,12 +50,13 @@ struct Predicate {
   std::size_t n_correct{0};
   std::size_t n_faulty{0};
   // Starvation-aware score: a Wilson lower confidence bound on |P(x|C) −
-  // P(x|F)|. The plug-in Eq. 2 score treats 7-of-10 samples the same as
-  // 700-of-1000; under log starvation that lets accidental separators reach
-  // guidance-grade scores, and injecting them suspends every on-path state.
-  // score_lcb shrinks toward 0 as support thins (score_lcb <= score always,
-  // converging to score as samples grow), so consumers that *act* on a
-  // predicate gate on it, while ranking/reporting keep the paper's score.
+  // P(x|F)| (stats/wilson.h). The plug-in Eq. 2 score treats 7-of-10
+  // samples the same as 700-of-1000; under log starvation that lets
+  // accidental separators reach guidance-grade scores, and injecting them
+  // suspends every on-path state. score_lcb shrinks toward 0 as support
+  // thins (score_lcb <= score always, converging to score as samples grow),
+  // so consumers that *act* on a predicate gate on it, while
+  // ranking/reporting keep the paper's score.
   double score_lcb{0.0};
 
   bool holds(double v) const {
@@ -62,22 +70,23 @@ struct Predicate {
 
   // "len(suspect FUNCPARAM) > 536.5" (paper Table V style).
   std::string display() const;
+
+  // Recomputes the Wilson bound from the stored rates and support through
+  // stats::gap_lcb, branch-aware (the observation-rate kinds compare rates,
+  // not per-sample probabilities). For any fitted predicate, calling this
+  // with the fitting z reproduces the stored score_lcb exactly — this is
+  // the one function consumers (e.g. guidance's injection gate) use to
+  // re-derive confidence at their own z.
+  double recompute_score_lcb(double confidence_z) const;
 };
 
-// Wilson score interval bounds for a binomial proportion: the smallest /
-// largest true p consistent (at z standard errors) with observing phat * n
-// successes in n trials. z = 0 degenerates to phat; n = 0 returns the
-// uninformative bound (0 for lower, 1 for upper).
-double wilson_lower(double phat, std::size_t n, double z);
-double wilson_upper(double phat, std::size_t n, double z);
-
-// Fits the best threshold predicate for one (loc, var) sample set. Requires
-// at least one sample in each class; for the unreached case (no faulty
-// samples) returns the kUnreached predicate scored by the observation-rate
-// difference. Returns false when no meaningful predicate exists (e.g. no
-// correct samples either, or zero score). confidence_z controls the
-// score_lcb shrinkage (0 makes score_lcb == score).
-bool fit_predicate(const VarSamples& vs, std::size_t num_correct_runs,
+// Fits the best threshold predicate for one (loc, var) sufficient-statistic
+// entry. Requires at least one sample in each class; for the unreached case
+// (no faulty samples) returns the kUnreached predicate scored by the
+// observation-rate difference. Returns false when no meaningful predicate
+// exists (e.g. no correct samples either, or zero score). confidence_z
+// controls the score_lcb shrinkage (0 makes score_lcb == score).
+bool fit_predicate(const VarSuff& vs, std::size_t num_correct_runs,
                    std::size_t num_faulty_runs, Predicate& out,
                    double confidence_z = 2.0);
 

@@ -8,20 +8,36 @@ namespace statsym::stats {
 PredicateManager::PredicateManager(PredicateManagerOptions opts)
     : opts_(opts) {}
 
-void PredicateManager::build(const SampleSet& samples,
+void PredicateManager::ingest(const monitor::RunLog& log) {
+  suff_.ingest(log);
+}
+
+void PredicateManager::ingest(const monitor::LogShard& shard) {
+  suff_.ingest(shard);
+}
+
+void PredicateManager::ingest(const SuffStats& suff) { suff_.merge(suff); }
+
+void PredicateManager::build(const SuffStats& suff,
                              obs::TraceBuffer* trace) {
+  suff_ = SuffStats{};
+  suff_.merge(suff);
+  rerank(trace);
+}
+
+void PredicateManager::rerank(obs::TraceBuffer* trace) {
   ranked_.clear();
   loc_scores_.clear();
 
-  for (const auto& vs : samples.entries()) {
-    if (!vs.correct.empty() && !vs.faulty.empty() &&
-        (vs.correct.size() < opts_.min_class_samples ||
-         vs.faulty.size() < opts_.min_class_samples)) {
+  for (const auto& [key, vs] : suff_.vars()) {
+    if (vs.correct_total != 0 && vs.faulty_total != 0 &&
+        (vs.correct_total < opts_.min_class_samples ||
+         vs.faulty_total < opts_.min_class_samples)) {
       continue;
     }
     Predicate p;
-    if (!fit_predicate(vs, samples.num_correct_runs(),
-                       samples.num_faulty_runs(), p, opts_.confidence_z)) {
+    if (!fit_predicate(vs, suff_.num_correct_runs(), suff_.num_faulty_runs(),
+                       p, opts_.confidence_z)) {
       continue;
     }
     if (p.score < opts_.score_floor) continue;

@@ -1,7 +1,14 @@
-// The Predicate Manager (§VI-B): builds every (location, variable)
-// predicate from the sampled logs, ranks them by confidence score (Fig. 5
-// step (d)), and serves per-location score queries to the path constructor
-// and the guided symbolic executor.
+// The Predicate Manager (§VI-B): fits every (location, variable) predicate
+// from sufficient statistics, ranks them by confidence score (Fig. 5 step
+// (d)), and serves per-location score queries to the path constructor and
+// the guided symbolic executor.
+//
+// The manager is incremental: ingest() folds more observations (a shard, a
+// single run, or pre-reduced SuffStats) into its internal statistics, and
+// rerank() refits and re-ranks from those statistics without ever touching
+// the raw logs again. Because SuffStats::merge is schedule-invariant, the
+// ranking after any sequence of ingests is byte-identical to a one-shot
+// batch build over the same runs.
 #pragma once
 
 #include <unordered_map>
@@ -9,6 +16,7 @@
 
 #include "obs/trace.h"
 #include "stats/predicate.h"
+#include "stats/suff_stats.h"
 
 namespace statsym::stats {
 
@@ -29,11 +37,26 @@ class PredicateManager {
  public:
   explicit PredicateManager(PredicateManagerOptions opts = {});
 
-  // Optionally emits one kPredicateFit trace event per ranked predicate
-  // (rank order, so the stream is independent of fit order).
-  void build(const SampleSet& samples, obs::TraceBuffer* trace = nullptr);
+  // --- incremental API ------------------------------------------------------
+  // Folds observations into the internal sufficient statistics. Cheap; does
+  // NOT refit — call rerank() when the current wave of ingests is done.
+  void ingest(const monitor::RunLog& log);
+  void ingest(const monitor::LogShard& shard);
+  void ingest(const SuffStats& suff);
 
-  // All surviving predicates, best first.
+  // Refits and re-ranks every predicate from the accumulated statistics.
+  // Optionally emits one kPredicateFit trace event per ranked predicate
+  // (rank order, so the stream is independent of fit/ingest order).
+  void rerank(obs::TraceBuffer* trace = nullptr);
+
+  // --- one-shot batch API ---------------------------------------------------
+  // Resets the accumulated statistics to `suff` and reranks.
+  void build(const SuffStats& suff, obs::TraceBuffer* trace = nullptr);
+
+  // The accumulated sufficient statistics.
+  const SuffStats& suff() const { return suff_; }
+
+  // All surviving predicates, best first (as of the last rerank/build).
   const std::vector<Predicate>& ranked() const { return ranked_; }
 
   std::vector<Predicate> top(std::size_t k) const;
@@ -47,6 +70,7 @@ class PredicateManager {
 
  private:
   PredicateManagerOptions opts_;
+  SuffStats suff_;
   std::vector<Predicate> ranked_;
   std::unordered_map<monitor::LocId, double> loc_scores_;
 };

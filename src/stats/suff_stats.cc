@@ -1,0 +1,138 @@
+#include "stats/suff_stats.h"
+
+#include <set>
+
+#include "monitor/serialize.h"
+#include "monitor/shard.h"
+
+namespace statsym::stats {
+
+void VarSuff::add(bool faulty_class, double value, std::uint64_t n) {
+  if (faulty_class) {
+    faulty[value] += n;
+    faulty_total += n;
+  } else {
+    correct[value] += n;
+    correct_total += n;
+  }
+}
+
+void VarSuff::merge(const VarSuff& o) {
+  for (const auto& [v, n] : o.correct) correct[v] += n;
+  for (const auto& [v, n] : o.faulty) faulty[v] += n;
+  correct_total += o.correct_total;
+  faulty_total += o.faulty_total;
+  correct_runs += o.correct_runs;
+  faulty_runs += o.faulty_runs;
+}
+
+void TransSuff::ingest(const monitor::RunLog& log) {
+  if (log.records.empty()) return;
+  ++logs;
+  ++first_counts[log.records.front().loc];
+  ++last_counts[log.records.back().loc];
+  for (std::size_t i = 0; i < log.records.size(); ++i) {
+    ++occ[log.records[i].loc];
+    if (i + 1 < log.records.size()) {
+      ++pairs[{log.records[i].loc, log.records[i + 1].loc}];
+    }
+  }
+}
+
+void TransSuff::merge(const TransSuff& o) {
+  for (const auto& [p, n] : o.pairs) pairs[p] += n;
+  for (const auto& [l, n] : o.occ) occ[l] += n;
+  for (const auto& [l, n] : o.first_counts) first_counts[l] += n;
+  for (const auto& [l, n] : o.last_counts) last_counts[l] += n;
+  logs += o.logs;
+}
+
+void SuffStats::ingest(const monitor::RunLog& log) {
+  if (log.faulty) {
+    ++num_faulty_;
+    if (!log.fault_function.empty()) ++fault_fn_counts_[log.fault_function];
+  } else {
+    ++num_correct_;
+  }
+  log_bytes_ += monitor::serialized_size(log);
+  records_considered_ += static_cast<std::uint64_t>(log.records_considered);
+  (log.faulty ? faulty_trans_ : correct_trans_).ingest(log);
+
+  std::set<monitor::LocId> seen_locs;
+  std::set<std::pair<monitor::LocId, std::string>> seen_vars;
+  for (const auto& rec : log.records) {
+    seen_locs.insert(rec.loc);
+    for (const auto& v : rec.vars) {
+      auto key = std::make_pair(rec.loc, v.key());
+      auto it = vars_.find(key);
+      if (it == vars_.end()) {
+        VarSuff vs;
+        vs.loc = rec.loc;
+        vs.var = key.second;
+        vs.kind = v.kind;
+        vs.is_len = v.is_len;
+        it = vars_.emplace(key, std::move(vs)).first;
+      }
+      it->second.add(log.faulty, v.value);
+      if (seen_vars.insert(std::move(key)).second) {
+        ++(log.faulty ? it->second.faulty_runs : it->second.correct_runs);
+      }
+    }
+  }
+  for (monitor::LocId loc : seen_locs) {
+    auto& [c, f] = loc_runs_[loc];
+    ++(log.faulty ? f : c);
+  }
+}
+
+void SuffStats::ingest(const std::vector<monitor::RunLog>& logs) {
+  for (const auto& log : logs) ingest(log);
+}
+
+void SuffStats::ingest(const monitor::LogShard& shard) {
+  for (const auto& log : shard.logs) ingest(log);
+}
+
+void SuffStats::merge(const SuffStats& o) {
+  for (const auto& [key, vs] : o.vars_) {
+    auto it = vars_.find(key);
+    if (it == vars_.end()) {
+      vars_.emplace(key, vs);
+    } else {
+      it->second.merge(vs);
+    }
+  }
+  for (const auto& [loc, counts] : o.loc_runs_) {
+    auto& [c, f] = loc_runs_[loc];
+    c += counts.first;
+    f += counts.second;
+  }
+  correct_trans_.merge(o.correct_trans_);
+  faulty_trans_.merge(o.faulty_trans_);
+  for (const auto& [fn, n] : o.fault_fn_counts_) fault_fn_counts_[fn] += n;
+  num_correct_ += o.num_correct_;
+  num_faulty_ += o.num_faulty_;
+  log_bytes_ += o.log_bytes_;
+  records_considered_ += o.records_considered_;
+}
+
+std::size_t SuffStats::loc_correct_runs(monitor::LocId loc) const {
+  auto it = loc_runs_.find(loc);
+  return it == loc_runs_.end() ? 0
+                               : static_cast<std::size_t>(it->second.first);
+}
+
+std::size_t SuffStats::loc_faulty_runs(monitor::LocId loc) const {
+  auto it = loc_runs_.find(loc);
+  return it == loc_runs_.end() ? 0
+                               : static_cast<std::size_t>(it->second.second);
+}
+
+std::vector<monitor::LocId> SuffStats::locations() const {
+  std::vector<monitor::LocId> out;
+  out.reserve(loc_runs_.size());
+  for (const auto& [loc, counts] : loc_runs_) out.push_back(loc);
+  return out;
+}
+
+}  // namespace statsym::stats

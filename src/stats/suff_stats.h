@@ -1,0 +1,137 @@
+// Mergeable sufficient statistics for the whole statistical module.
+//
+// The Eq. 1 threshold fit and the Eq. 2 / Wilson scores depend on the raw
+// logs only through per-(location, variable) class-conditional value
+// histograms, per-class run counts, and the transition/first/last/fault-tag
+// tallies the graph miner and failure-node picker read. SuffStats captures
+// exactly that: every field is a sum over runs, so
+//
+//   * ingest(log) folds one run in and the log can be dropped immediately —
+//     retained memory is bounded by the number of *distinct* observed
+//     values, not the number of runs;
+//   * merge(other) is associative and commutative (all containers are
+//     ordered maps of counts), so shard-level statistics built in any order
+//     on any worker fold into bit-identical totals — the same
+//     schedule-invariant merge discipline MetricsRegistry established;
+//   * a fit from SuffStats(logs) is byte-identical to the historical fit
+//     from the raw log vector (all divisions see the same integers).
+//
+// This is the pivot of the streaming refactor (DESIGN.md §10): the batch
+// pipeline builds one SuffStats from the full vector, the streaming
+// pipeline folds LogShards as they complete, and everything downstream
+// (PredicateManager, TransitionGraph, PathBuilder, failure node) consumes
+// only SuffStats.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "monitor/log.h"
+
+namespace statsym::monitor {
+struct LogShard;
+}
+
+namespace statsym::stats {
+
+// value -> multiplicity. Ordered so iteration (threshold-cut scanning,
+// merging) is deterministic regardless of insertion order.
+using ValueHist = std::map<double, std::uint64_t>;
+
+// Per-(location, variable) sufficient statistics: the class-conditional
+// value histograms behind one predicate fit.
+struct VarSuff {
+  monitor::LocId loc{monitor::kNoLoc};
+  std::string var;  // identity key, e.g. "suspect FUNCPARAM"
+  monitor::VarKind kind{monitor::VarKind::kGlobal};
+  bool is_len{false};
+  ValueHist correct;
+  ValueHist faulty;
+  // Sample counts with multiplicity (sums of the histograms).
+  std::uint64_t correct_total{0};
+  std::uint64_t faulty_total{0};
+  // #runs (per class) with at least one observation of this (loc, var).
+  std::uint64_t correct_runs{0};
+  std::uint64_t faulty_runs{0};
+
+  void add(bool faulty_class, double value, std::uint64_t n = 1);
+  void merge(const VarSuff& o);
+};
+
+// Transition-mining tallies for one run class (correct or faulty): the
+// counts Eq. 3's µ(ei,ej) = o(ei→ej)/o(ei) is computed from, plus the
+// first/last-record tallies the entry and failure pickers use.
+struct TransSuff {
+  std::map<std::pair<monitor::LocId, monitor::LocId>, std::uint64_t> pairs;
+  std::map<monitor::LocId, std::uint64_t> occ;
+  std::map<monitor::LocId, std::uint64_t> first_counts;
+  std::map<monitor::LocId, std::uint64_t> last_counts;
+  std::uint64_t logs{0};  // non-empty logs tallied
+
+  void ingest(const monitor::RunLog& log);
+  void merge(const TransSuff& o);
+};
+
+class SuffStats {
+ public:
+  // Folds one run in. The log is fully absorbed — callers may drop it.
+  void ingest(const monitor::RunLog& log);
+  void ingest(const std::vector<monitor::RunLog>& logs);
+  void ingest(const monitor::LogShard& shard);
+
+  // Associative, commutative, schedule-invariant.
+  void merge(const SuffStats& o);
+
+  // --- per-variable statistics (the Eq. 1 / Eq. 2 inputs) -----------------
+  const std::map<std::pair<monitor::LocId, std::string>, VarSuff>& vars()
+      const {
+    return vars_;
+  }
+
+  std::size_t num_correct_runs() const {
+    return static_cast<std::size_t>(num_correct_);
+  }
+  std::size_t num_faulty_runs() const {
+    return static_cast<std::size_t>(num_faulty_);
+  }
+
+  // Number of runs (per class) with at least one record at `loc`.
+  std::size_t loc_correct_runs(monitor::LocId loc) const;
+  std::size_t loc_faulty_runs(monitor::LocId loc) const;
+
+  // All locations observed anywhere in the ingested runs.
+  std::vector<monitor::LocId> locations() const;
+
+  // --- transition statistics (Eq. 3 inputs) -------------------------------
+  const TransSuff& trans(bool faulty) const {
+    return faulty ? faulty_trans_ : correct_trans_;
+  }
+
+  // Fault-function tags of the ingested faulty runs (crash reports).
+  const std::map<std::string, std::uint64_t>& fault_fn_counts() const {
+    return fault_fn_counts_;
+  }
+
+  // --- accounting ---------------------------------------------------------
+  // Serialized size of the ingested logs (monitor text format) — matches
+  // serialize(all_logs).size() in any ingest/merge order.
+  std::uint64_t log_bytes() const { return log_bytes_; }
+  // Sum of per-run records_considered (sampling-rate accounting).
+  std::uint64_t records_considered() const { return records_considered_; }
+
+ private:
+  std::map<std::pair<monitor::LocId, std::string>, VarSuff> vars_;
+  std::map<monitor::LocId, std::pair<std::uint64_t, std::uint64_t>> loc_runs_;
+  TransSuff correct_trans_;
+  TransSuff faulty_trans_;
+  std::map<std::string, std::uint64_t> fault_fn_counts_;
+  std::uint64_t num_correct_{0};
+  std::uint64_t num_faulty_{0};
+  std::uint64_t log_bytes_{0};
+  std::uint64_t records_considered_{0};
+};
+
+}  // namespace statsym::stats

@@ -3,46 +3,69 @@
 #include <algorithm>
 #include <set>
 
+#include "monitor/shard.h"
+
 namespace statsym::stats {
 
 const std::vector<Edge> TransitionGraph::kNoEdges;
 
 TransitionGraph::TransitionGraph(TransitionGraphOptions opts) : opts_(opts) {}
 
+void TransitionGraph::ingest(const monitor::RunLog& log) {
+  (log.faulty ? faulty_suff_ : correct_suff_).ingest(log);
+}
+
+void TransitionGraph::ingest(const monitor::LogShard& shard) {
+  for (const auto& log : shard.logs) ingest(log);
+}
+
+void TransitionGraph::ingest(const SuffStats& suff) {
+  correct_suff_.merge(suff.trans(false));
+  faulty_suff_.merge(suff.trans(true));
+}
+
 void TransitionGraph::build(const std::vector<monitor::RunLog>& logs) {
+  correct_suff_ = TransSuff{};
+  faulty_suff_ = TransSuff{};
+  for (const auto& log : logs) ingest(log);
+  rerank();
+}
+
+void TransitionGraph::rerank() {
   nodes_.clear();
   adj_.clear();
   occ_.clear();
   first_counts_.clear();
   mined_logs_ = 0;
 
-  std::map<std::pair<monitor::LocId, monitor::LocId>, std::size_t> pair_counts;
-  for (const auto& log : logs) {
-    if (opts_.faulty_only && !log.faulty) continue;
-    if (!log.records.empty()) {
-      ++mined_logs_;
-      ++first_counts_[log.records.front().loc];
-    }
-    for (std::size_t i = 0; i < log.records.size(); ++i) {
-      ++occ_[log.records[i].loc];
-      if (i + 1 < log.records.size()) {
-        ++pair_counts[{log.records[i].loc, log.records[i + 1].loc}];
-      }
-    }
+  // The mined tallies: faulty runs always, plus correct runs when
+  // configured. Counts are sums, so folding the per-class accumulators
+  // together reproduces the historical single-pass tallies exactly.
+  TransSuff mined;
+  mined.merge(faulty_suff_);
+  if (!opts_.faulty_only) mined.merge(correct_suff_);
+
+  mined_logs_ = static_cast<std::size_t>(mined.logs);
+  for (const auto& [loc, n] : mined.first_counts) {
+    first_counts_[loc] = static_cast<std::size_t>(n);
+  }
+  for (const auto& [loc, n] : mined.occ) {
+    occ_[loc] = static_cast<std::size_t>(n);
   }
 
   std::set<monitor::LocId> node_set;
   for (const auto& [loc, n] : occ_) node_set.insert(loc);
   nodes_.assign(node_set.begin(), node_set.end());
 
-  for (const auto& [pair, count] : pair_counts) {
+  for (const auto& [pair, count] : mined.pairs) {
     if (count < opts_.min_count) continue;
     const auto from_occ = occ_[pair.first];
     const double mu =
         from_occ == 0 ? 0.0
                       : static_cast<double>(count) / static_cast<double>(from_occ);
     if (mu < opts_.min_confidence) continue;
-    adj_[pair.first].push_back({pair.second, mu, count});
+    adj_[pair.first].push_back(
+        {pair.second, mu, static_cast<std::size_t>(count)});
   }
   for (auto& [loc, edges] : adj_) {
     std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
@@ -113,6 +136,33 @@ std::vector<monitor::LocId> TransitionGraph::entry_candidates(
   }
   if (best == monitor::kNoLoc) return entry_nodes();
   return {best};
+}
+
+monitor::LocId TransitionGraph::failure_node(const SuffStats& suff,
+                                             const ir::Module* m) {
+  if (m != nullptr) {
+    std::string best_fn;
+    std::uint64_t best_fn_n = 0;
+    for (const auto& [fn, n] : suff.fault_fn_counts()) {
+      if (n > best_fn_n) {
+        best_fn = fn;
+        best_fn_n = n;
+      }
+    }
+    if (!best_fn.empty()) {
+      const ir::FuncId f = m->find_function(best_fn);
+      if (f != ir::kNoFunc) return monitor::enter_loc(f);
+    }
+  }
+  monitor::LocId best = monitor::kNoLoc;
+  std::uint64_t best_n = 0;
+  for (const auto& [loc, n] : suff.trans(true).last_counts) {
+    if (n > best_n) {
+      best = loc;
+      best_n = n;
+    }
+  }
+  return best;
 }
 
 monitor::LocId TransitionGraph::failure_node(

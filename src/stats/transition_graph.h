@@ -7,13 +7,19 @@
 // an association-rule-mining formulation. Edges with statistically
 // significant confidence form the dynamic control-flow graph over which
 // skeletons and detours are extracted.
+//
+// The miner is incremental: the o(·) tallies are plain sums over runs
+// (TransSuff in stats/suff_stats.h), so ingest() folds shards or
+// pre-reduced statistics in as they arrive and rerank() rebuilds the edge
+// set from the accumulated counts without revisiting any log. Any ingest
+// order yields a byte-identical graph.
 #pragma once
 
 #include <map>
 #include <unordered_map>
 #include <vector>
 
-#include "monitor/log.h"
+#include "stats/suff_stats.h"
 
 namespace statsym::stats {
 
@@ -39,6 +45,19 @@ class TransitionGraph {
  public:
   explicit TransitionGraph(TransitionGraphOptions opts = {});
 
+  // --- incremental API ------------------------------------------------------
+  // Folds observations into the per-class transition tallies. Cheap; does
+  // NOT re-mine — call rerank() when the current wave of ingests is done.
+  void ingest(const monitor::RunLog& log);
+  void ingest(const monitor::LogShard& shard);
+  void ingest(const SuffStats& suff);
+
+  // Rebuilds nodes/edges from the accumulated tallies (honouring
+  // faulty_only).
+  void rerank();
+
+  // --- one-shot batch API ---------------------------------------------------
+  // Resets the tallies, ingests all logs, and reranks.
   void build(const std::vector<monitor::RunLog>& logs);
 
   // All nodes observed (in the runs used for mining).
@@ -68,6 +87,8 @@ class TransitionGraph {
   // frequent final record among faulty logs, which degrades under heavy
   // sampling when hot-loop records crowd out the true last event.
   // Returns kNoLoc when there are no faulty logs.
+  static monitor::LocId failure_node(const SuffStats& suff,
+                                     const ir::Module* m = nullptr);
   static monitor::LocId failure_node(const std::vector<monitor::RunLog>& logs,
                                      const ir::Module* m = nullptr);
 
@@ -75,6 +96,8 @@ class TransitionGraph {
 
  private:
   TransitionGraphOptions opts_;
+  TransSuff correct_suff_;
+  TransSuff faulty_suff_;
   std::vector<monitor::LocId> nodes_;
   std::unordered_map<monitor::LocId, std::vector<Edge>> adj_;
   std::unordered_map<monitor::LocId, std::size_t> occ_;

@@ -1,0 +1,33 @@
+#include "stats/wilson.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace statsym::stats {
+
+double wilson_lower(double phat, std::size_t n, double z) {
+  if (n == 0) return 0.0;
+  if (z <= 0.0) return phat;
+  const double nn = static_cast<double>(n);
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double center = phat + z2 / (2.0 * nn);
+  const double half =
+      z * std::sqrt(phat * (1.0 - phat) / nn + z2 / (4.0 * nn * nn));
+  return std::max(0.0, (center - half) / denom);
+}
+
+double wilson_upper(double phat, std::size_t n, double z) {
+  if (n == 0) return 1.0;
+  if (z <= 0.0) return phat;
+  return 1.0 - wilson_lower(1.0 - phat, n, z);
+}
+
+double gap_lcb(double pc, std::size_t nc, double pf, std::size_t nf,
+               double z) {
+  const double lo = pf >= pc ? wilson_lower(pf, nf, z) - wilson_upper(pc, nc, z)
+                             : wilson_lower(pc, nc, z) - wilson_upper(pf, nf, z);
+  return std::max(0.0, lo);
+}
+
+}  // namespace statsym::stats

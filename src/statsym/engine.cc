@@ -4,34 +4,27 @@
 #include <atomic>
 #include <deque>
 #include <future>
-#include <map>
 #include <mutex>
 
-#include "monitor/serialize.h"
 #include "statsym/guided_searcher.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
 namespace statsym::core {
 
-namespace {
-
 // Renders the result's accounting into the named metrics registry. Counters
 // and histograms here are schedule-invariant: the shared-cache-hit vs
 // canonical-solve split (the one schedule-dependent pair in SolverStats) is
 // folded into their sum, and everything wall-clock goes into `*.seconds`
-// gauges.
-void fill_metrics(EngineResult& res,
-                  const std::vector<monitor::RunLog>& logs) {
+// gauges. Streaming-only counters appear only when shards were folded, so
+// batch-mode metric renderings are unchanged.
+void StatSymEngine::fill_metrics(EngineResult& res,
+                                 const stats::SuffStats& suff) const {
   obs::MetricsRegistry& m = res.metrics;
   m.add("log.correct", res.num_correct_logs);
   m.add("log.faulty", res.num_faulty_logs);
   m.add("log.bytes", res.log_bytes);
-  std::uint64_t considered = 0;
-  for (const auto& l : logs) {
-    considered += static_cast<std::uint64_t>(l.records_considered);
-  }
-  m.add("log.records_considered", considered);
+  m.add("log.records_considered", suff.records_considered());
 
   m.add("stat.predicates", res.predicates.size());
   m.add("stat.candidates", res.construction.candidates.size());
@@ -40,6 +33,13 @@ void fill_metrics(EngineResult& res,
   }
   for (const auto& c : res.construction.candidates) {
     m.observe("stat.candidate_len", static_cast<double>(c.nodes.size()));
+  }
+
+  if (streamed_) {
+    m.add("stream.shards", shards_ingested_);
+    m.add("stream.logs", stream_logs_);
+    m.add("stream.shard_size", std::max<std::size_t>(1, opts_.log_shard_size));
+    m.add("stream.peak_retained_log_bytes", peak_retained_bytes_);
   }
 
   m.add("symexec.found", res.found ? 1 : 0);
@@ -67,11 +67,32 @@ void fill_metrics(EngineResult& res,
   m.set_gauge("solver.solve.seconds", ss.solve_seconds);
 }
 
-}  // namespace
-
 StatSymEngine::StatSymEngine(const ir::Module& m, symexec::SymInputSpec spec,
                              EngineOptions opts)
     : m_(m), spec_(std::move(spec)), opts_(opts) {}
+
+void StatSymEngine::fold_shard(monitor::LogShard&& shard) {
+  streamed_ = true;
+  ++shards_ingested_;
+  stream_logs_ += shard.logs.size();
+  for (const auto& log : shard.logs) {
+    stats::SuffStats& suff =
+        log.faulty ? faulty_suff_[log.fault_function] : correct_suff_;
+    suff.ingest(log);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::EventKind::kShardIngest,
+                  static_cast<std::int64_t>(shard.shard_id),
+                  static_cast<std::int64_t>(shard.logs.size()),
+                  static_cast<std::int64_t>(shard.bytes));
+  }
+  // `shard` (and its logs) dies here: statistics retained, raw logs freed.
+}
+
+void StatSymEngine::ingest_shard(monitor::LogShard&& shard) {
+  peak_retained_bytes_ = std::max(peak_retained_bytes_, shard.bytes);
+  fold_shard(std::move(shard));
+}
 
 void StatSymEngine::collect_logs(const WorkloadGen& gen) {
   Stopwatch sw;
@@ -80,6 +101,16 @@ void StatSymEngine::collect_logs(const WorkloadGen& gen) {
   std::int32_t run_id = 0;
   if (tracer_ != nullptr) {
     tracer_->emit(obs::EventKind::kPhaseBegin, 0, 0, 0, "collect-logs");
+  }
+
+  // Streaming mode routes admitted logs through the collector, which folds
+  // each completed shard into the sufficient statistics and frees the logs;
+  // batch mode retains them all in logs_. Admission is identical either
+  // way, so the set of folded runs is the batch set exactly.
+  std::optional<monitor::ShardedCollector> collector;
+  if (opts_.stream) {
+    collector.emplace(opts_.log_shard_size,
+                      [this](monitor::LogShard&& s) { fold_shard(std::move(s)); });
   }
 
   // Every attempt owns a private RNG stream derived from (seed, attempt),
@@ -106,7 +137,11 @@ void StatSymEngine::collect_logs(const WorkloadGen& gen) {
                     is_faulty ? 1 : 0,
                     static_cast<std::int64_t>(log.records.size()));
     }
-    logs_.push_back(std::move(log));
+    if (collector.has_value()) {
+      collector->add(std::move(log));
+    } else {
+      logs_.push_back(std::move(log));
+    }
     ++(is_faulty ? faulty : correct);
   };
   auto targets_met = [&] {
@@ -142,6 +177,11 @@ void StatSymEngine::collect_logs(const WorkloadGen& gen) {
       next_attempt += n;
     }
   }
+  if (collector.has_value()) {
+    collector->flush();
+    peak_retained_bytes_ =
+        std::max(peak_retained_bytes_, collector->peak_retained_bytes());
+  }
   log_seconds_ = sw.elapsed_seconds();
   if (tracer_ != nullptr) {
     tracer_->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "collect-logs");
@@ -152,17 +192,40 @@ void StatSymEngine::use_logs(std::vector<monitor::RunLog> logs) {
   logs_ = std::move(logs);
 }
 
+void StatSymEngine::fold_pending_logs() {
+  if (!opts_.stream || logs_.empty()) return;
+  monitor::ShardedCollector collector(
+      opts_.log_shard_size,
+      [this](monitor::LogShard&& s) { fold_shard(std::move(s)); });
+  for (auto& log : logs_) collector.add(std::move(log));
+  collector.flush();
+  peak_retained_bytes_ =
+      std::max(peak_retained_bytes_, collector.peak_retained_bytes());
+  logs_.clear();
+  logs_.shrink_to_fit();
+}
+
+stats::SuffStats StatSymEngine::merged_suff() const {
+  stats::SuffStats merged;
+  merged.merge(correct_suff_);
+  for (const auto& [fn, suff] : faulty_suff_) merged.merge(suff);
+  return merged;
+}
+
 EngineResult StatSymEngine::run() {
+  fold_pending_logs();
+  if (streamed_) return run_on(merged_suff());
+  stats::SuffStats suff;
+  suff.ingest(logs_);
+  return run_on(suff);
+}
+
+EngineResult StatSymEngine::run_on(const stats::SuffStats& suff) {
   EngineResult res;
   res.log_seconds = log_seconds_;
-  for (const auto& l : logs_) {
-    if (l.faulty) {
-      ++res.num_faulty_logs;
-    } else {
-      ++res.num_correct_logs;
-    }
-  }
-  res.log_bytes = monitor::serialize(logs_).size();
+  res.num_correct_logs = suff.num_correct_runs();
+  res.num_faulty_logs = suff.num_faulty_runs();
+  res.log_bytes = static_cast<std::size_t>(suff.log_bytes());
 
   // --- Statistical analysis module ---------------------------------------
   obs::TraceBuffer* trace = tracer_ != nullptr ? &tracer_->buffer() : nullptr;
@@ -170,24 +233,31 @@ EngineResult StatSymEngine::run() {
     trace->emit(obs::EventKind::kPhaseBegin, 0, 0, 0, "stat");
   }
   Stopwatch stat_sw;
-  stats::SampleSet samples;
-  samples.build(logs_);
 
   stats::PredicateManager preds(opts_.predicates);
-  preds.build(samples, trace);
+  preds.ingest(suff);
+  preds.rerank(trace);
   res.predicates = preds.ranked();
 
   stats::TransitionGraph graph(opts_.graph);
-  graph.build(logs_);
+  graph.ingest(suff);
+  graph.rerank();
+
+  if (streamed_ && trace != nullptr) {
+    trace->emit(obs::EventKind::kRerank,
+                static_cast<std::int64_t>(res.predicates.size()),
+                static_cast<std::int64_t>(graph.nodes().size()),
+                static_cast<std::int64_t>(shards_ingested_));
+  }
 
   const monitor::LocId failure =
-      stats::TransitionGraph::failure_node(logs_, &m_);
+      stats::TransitionGraph::failure_node(suff, &m_);
   if (failure == monitor::kNoLoc) {
     res.stat_seconds = stat_sw.elapsed_seconds();
     if (trace != nullptr) {
       trace->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "stat");
     }
-    fill_metrics(res, logs_);
+    fill_metrics(res, suff);
     return res;  // no faulty logs: nothing to guide toward
   }
 
@@ -198,7 +268,7 @@ EngineResult StatSymEngine::run() {
     trace->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "stat");
   }
   if (!construction.has_value()) {
-    fill_metrics(res, logs_);
+    fill_metrics(res, suff);
     return res;
   }
   res.construction = std::move(*construction);
@@ -215,7 +285,7 @@ EngineResult StatSymEngine::run() {
   if (trace != nullptr) {
     trace->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "symexec");
   }
-  fill_metrics(res, logs_);
+  fill_metrics(res, suff);
   return res;
 }
 
@@ -351,8 +421,34 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
 }
 
 std::vector<EngineResult> StatSymEngine::run_all(std::size_t max_vulns) {
+  fold_pending_logs();
   std::vector<EngineResult> results;
-  // Cluster the faulty logs by fault function.
+
+  if (streamed_) {
+    // Streaming: the per-cluster sufficient statistics already exist; run
+    // the fit on correct-runs + one faulty cluster at a time, largest
+    // cluster first (ties by name), exactly mirroring the batch subsets.
+    std::vector<const std::string*> order;
+    for (const auto& [fn, suff] : faulty_suff_) order.push_back(&fn);
+    std::sort(order.begin(), order.end(),
+              [&](const std::string* a, const std::string* b) {
+                const std::size_t na = faulty_suff_.at(*a).num_faulty_runs();
+                const std::size_t nb = faulty_suff_.at(*b).num_faulty_runs();
+                if (na != nb) return na > nb;
+                return *a < *b;
+              });
+    for (const std::string* fn : order) {
+      if (results.size() >= max_vulns) break;
+      stats::SuffStats subset;
+      subset.merge(correct_suff_);
+      subset.merge(faulty_suff_.at(*fn));
+      EngineResult res = run_on(subset);
+      if (res.found) results.push_back(std::move(res));
+    }
+    return results;
+  }
+
+  // Batch: cluster the retained faulty logs by fault function.
   std::map<std::string, std::vector<monitor::RunLog>> clusters;
   std::vector<monitor::RunLog> correct;
   for (const auto& log : logs_) {

@@ -8,19 +8,34 @@
 // seeds and merge in run order; the top candidates execute as a portfolio
 // in which the first verified vuln cancels every worse-ranked worker. Both
 // phases produce results identical to the single-threaded build.
+//
+// Log ingestion has two modes (DESIGN.md §10):
+//   * batch (default): every admitted RunLog is retained in one vector and
+//     the statistics are fit from it in a single pass;
+//   * streaming (EngineOptions::stream): admitted logs are grouped into
+//     LogShards (monitor/shard.h) and folded into per-cluster mergeable
+//     sufficient statistics (stats/suff_stats.h) the moment each shard
+//     completes; the raw logs are dropped after the fold, so peak retained
+//     log memory is O(shard size) instead of O(total runs).
+// Both modes drive the identical fit path (run_on), and because every
+// statistic is a schedule-invariant sum, the streamed results — predicate
+// set, scores, score_lcb, candidate ranking — are byte-identical to the
+// batch results at any shard size and any thread count.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
 #include "monitor/monitor.h"
+#include "monitor/shard.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "statsym/guidance.h"
 #include "stats/path_builder.h"
 #include "stats/predicate_manager.h"
-#include "stats/samples.h"
+#include "stats/suff_stats.h"
 #include "stats/transition_graph.h"
 #include "symexec/executor.h"
 
@@ -39,6 +54,15 @@ struct EngineOptions {
   symexec::ExecOptions exec{};       // per-candidate symbolic execution
   double candidate_timeout_seconds{900.0};  // paper: 15 min per candidate
   std::size_t max_candidates_tried{16};
+
+  // --- streaming ingestion ------------------------------------------------
+  // Fold admitted logs into sufficient statistics shard-by-shard and drop
+  // them, instead of retaining the full log vector (`--stream` in the CLI).
+  bool stream{false};
+  // Logs per shard in streaming mode (`--log-shard-size`); 0 is clamped
+  // to 1. Any value produces identical statistics — this knob only trades
+  // peak retained log memory against per-shard fold overhead.
+  std::size_t log_shard_size{64};
 
   // --- parallel pipeline --------------------------------------------------
   // Worker threads for Phase 1a log collection and the Phase 3 candidate
@@ -113,20 +137,37 @@ class StatSymEngine {
 
   // Phase 1a: runs the workload under the sampling monitor until the target
   // number of correct and faulty logs is collected (or the attempt cap).
+  // In streaming mode the admitted logs flow through a ShardedCollector
+  // into per-cluster sufficient statistics and are then dropped.
   void collect_logs(const WorkloadGen& gen);
 
   // Phase 1b alternative: injects pre-collected logs (e.g. deserialised
-  // from files, or corrupted by a failure-injection test).
+  // from files, or corrupted by a failure-injection test). In streaming
+  // mode these are folded shard-by-shard at the next run()/run_all().
   void use_logs(std::vector<monitor::RunLog> logs);
+
+  // Streaming ingestion of an externally produced shard (e.g. replayed from
+  // a file via deserialize_shard). Implies streaming semantics for the
+  // folded logs regardless of EngineOptions::stream.
+  void ingest_shard(monitor::LogShard&& shard);
 
   // Optional structured tracing (obs/trace.h): phase begin/end, log
   // admissions, predicate fits, candidate ranks, and per-candidate symbolic
   // execution events stitched in rank order over the counted candidates.
-  // The tracer must outlive the engine. Null (the default) disables tracing;
-  // the cost of the disabled path is one pointer test per would-be event.
+  // Streaming mode additionally emits kShardIngest per folded shard and
+  // kRerank per refit. The tracer must outlive the engine. Null (the
+  // default) disables tracing; the cost of the disabled path is one pointer
+  // test per would-be event.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  // Batch mode: the retained logs. Streaming mode: empty (logs are dropped
+  // once folded) — use num_logs_collected() for the count.
   const std::vector<monitor::RunLog>& logs() const { return logs_; }
+
+  // Logs admitted so far, in either mode.
+  std::size_t num_logs_collected() const {
+    return logs_.size() + static_cast<std::size_t>(stream_logs_);
+  }
 
   // Phases 2–3: statistical analysis + guided symbolic execution.
   EngineResult run();
@@ -136,20 +177,47 @@ class StatSymEngine {
   // techniques for this separation; the monitor's crash tag is the cluster
   // label) and StatSym runs once per cluster, identifying the vulnerable
   // paths one by one. Returns one EngineResult per discovered vulnerability,
-  // at most `max_vulns`.
+  // at most `max_vulns`. Streaming mode keeps per-cluster sufficient
+  // statistics, so this works without the raw logs.
   std::vector<EngineResult> run_all(std::size_t max_vulns = 8);
 
  private:
+  // Folds one completed shard into the per-cluster sufficient statistics
+  // (correct runs in one accumulator, faulty runs keyed by fault function).
+  void fold_shard(monitor::LogShard&& shard);
+
+  // Streaming mode: routes any logs injected via use_logs() through a
+  // ShardedCollector into fold_shard. No-op in batch mode.
+  void fold_pending_logs();
+
+  // Merged statistics over every ingested run (all clusters).
+  stats::SuffStats merged_suff() const;
+
+  // Phases 2–3 from sufficient statistics — the single fit path both modes
+  // share.
+  EngineResult run_on(const stats::SuffStats& suff);
+
   // Phase 3: runs the top n_try candidates as a portfolio on the worker
   // pool, cancelling candidates ranked after the best success. Fills the
   // symbolic-execution fields of `res`.
   void run_portfolio(EngineResult& res, monitor::LocId failure,
                      std::size_t n_try);
 
+  // Renders the result + ingestion accounting into res.metrics.
+  void fill_metrics(EngineResult& res, const stats::SuffStats& suff) const;
+
   const ir::Module& m_;
   symexec::SymInputSpec spec_;
   EngineOptions opts_;
-  std::vector<monitor::RunLog> logs_;
+  std::vector<monitor::RunLog> logs_;  // batch mode (and pre-fold staging)
+  // Streaming state: per-cluster sufficient statistics ("" keys faulty runs
+  // without a fault tag; correct runs have their own accumulator).
+  bool streamed_{false};
+  stats::SuffStats correct_suff_;
+  std::map<std::string, stats::SuffStats> faulty_suff_;
+  std::uint64_t shards_ingested_{0};
+  std::uint64_t stream_logs_{0};
+  std::size_t peak_retained_bytes_{0};
   double log_seconds_{0.0};
   obs::Tracer* tracer_{nullptr};
 };

@@ -22,7 +22,13 @@ CandidateGuidance::CandidateGuidance(const ir::Module& m,
     : m_(m), path_(std::move(path)), opts_(opts) {
   for (auto& p : predicates) {
     if (p.pk == stats::PredKind::kUnreached) continue;  // negative evidence
-    if (p.score_lcb < opts_.predicate_score_floor) continue;
+    // Confidence-adjusted score, recomputed from the recorded support via
+    // the shared Wilson helper (predicates without support — hand-built in
+    // tests or deserialised from older runs — keep their stored bound).
+    const double lcb = p.n_correct + p.n_faulty > 0
+                           ? p.recompute_score_lcb(opts_.confidence_z)
+                           : p.score_lcb;
+    if (lcb < opts_.predicate_score_floor) continue;
     preds_by_loc_[p.loc].push_back(std::move(p));
   }
   for (std::size_t i = 0; i < path_.nodes.size(); ++i) {

@@ -35,6 +35,13 @@ struct GuidanceOptions {
   // every on-path state, so a starved log budget turned into guaranteed
   // path-infeasibility misses.
   double predicate_score_floor{0.5};
+  // Wilson z for the injection gate. The gate recomputes the bound from the
+  // predicate's recorded support through stats::gap_lcb — the same helper
+  // the fitter used — so fitting and guidance can never disagree about what
+  // "confidence-adjusted" means. Matches PredicateManagerOptions, so for
+  // predicates fitted at the default z the recomputation reproduces the
+  // stored score_lcb exactly.
+  double confidence_z{2.0};
   // Cap on per-byte constraints lowered from one length predicate.
   std::int64_t max_len_constraint{4096};
   // Location events in functions with this prefix are invisible to guidance

@@ -37,7 +37,8 @@ int usage() {
                "  statsym list\n"
                "  statsym run <app> [--sampling R] [--seed N] [--logs FILE] "
                "[--all]\n"
-               "             [--jobs/-j N] [--portfolio K]\n"
+               "             [--jobs/-j N] [--portfolio K] [--stream] "
+               "[--log-shard-size N]\n"
                "  statsym pure <app> [--searcher dfs|bfs|random|coverage] "
                "[--mem MB] [--time S]\n"
                "  statsym collect <app> <out-file> [--sampling R] [--seed N] "
@@ -49,6 +50,13 @@ int usage() {
                "threads)\n"
                "  --portfolio K   candidate paths run concurrently (default "
                "4)\n"
+               "  --stream        fold logs into sufficient statistics "
+               "shard-by-shard\n"
+               "                  instead of retaining them (same results, "
+               "O(shard)\n"
+               "                  retained log memory)\n"
+               "  --log-shard-size N  logs per shard in --stream mode "
+               "(default 64)\n"
                "  --trace-out F   write the deterministic JSONL event trace\n"
                "                  (byte-identical at any --jobs)\n"
                "  --trace-chrome F  write a chrome://tracing JSON timeline\n"
@@ -66,6 +74,8 @@ struct Flags {
   double time_s{300.0};
   std::size_t jobs{0};       // 0 = hardware_concurrency
   std::size_t portfolio{4};  // concurrent candidates in Phase 3
+  bool stream{false};        // shard-streamed statistics ingestion
+  std::size_t log_shard_size{64};
   std::string trace_out;     // deterministic JSONL event stream
   std::string trace_chrome;  // Chrome about://tracing JSON (wall-clocked)
   std::string metrics_out;   // metrics registry as JSON
@@ -111,6 +121,12 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       double v;
       if (!next(v)) return false;
       f.portfolio = static_cast<std::size_t>(v);
+    } else if (a == "--stream") {
+      f.stream = true;
+    } else if (a == "--log-shard-size") {
+      double v;
+      if (!next(v)) return false;
+      f.log_shard_size = static_cast<std::size_t>(v);
     } else if (a == "--trace-out") {
       if (i + 1 >= argc) return false;
       f.trace_out = argv[++i];
@@ -176,6 +192,8 @@ core::EngineOptions engine_options(const Flags& f) {
   o.exec.max_memory_bytes = f.mem_mb << 20;
   o.num_threads = f.jobs;
   o.candidate_portfolio_width = f.portfolio;
+  o.stream = f.stream;
+  o.log_shard_size = f.log_shard_size;
   return o;
 }
 
@@ -245,12 +263,12 @@ int cmd_run(const std::string& name, const Flags& f) {
       return 1;
     }
     engine.use_logs(std::move(logs));
-    std::printf("loaded %zu logs from %s\n", engine.logs().size(),
+    std::printf("loaded %zu logs from %s\n", engine.num_logs_collected(),
                 f.logs_file.c_str());
   } else {
     engine.collect_logs(app.workload);
     std::printf("collected %zu logs at %.0f%% sampling\n",
-                engine.logs().size(), f.sampling * 100.0);
+                engine.num_logs_collected(), f.sampling * 100.0);
   }
 
   if (f.all) {

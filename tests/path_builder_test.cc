@@ -73,8 +73,8 @@ TEST(PathBuilder, FindsLinearSkeleton) {
   TransitionGraph g(loose_graph());
   g.build(fx.logs);
   PredicateManager pm;
-  SampleSet s;
-  s.build(fx.logs);
+  SuffStats s;
+  s.ingest(fx.logs);
   pm.build(s);
   PathBuilder b(g, pm, loose_opts());
   const auto pc = b.build(6);
@@ -92,8 +92,8 @@ TEST(PathBuilder, PrefersHigherScoringPath) {
   fx.score_location(2);
   TransitionGraph g(loose_graph());
   g.build(fx.logs);
-  SampleSet s;
-  s.build(fx.logs);
+  SuffStats s;
+  s.ingest(fx.logs);
   PredicateManager pm;
   pm.build(s);
   PathBuilder b(g, pm, loose_opts());
@@ -123,8 +123,8 @@ TEST(PathBuilder, FindsDetourThroughScoredOffSkeletonNode) {
   fx.score_location(5);
   TransitionGraph g(loose_graph());
   g.build(fx.logs);
-  SampleSet s;
-  s.build(fx.logs);
+  SuffStats s;
+  s.ingest(fx.logs);
   PredicateManager pm;
   pm.build(s);
   PathBuilder b(g, pm, loose_opts());
@@ -146,8 +146,8 @@ TEST(PathBuilder, CandidatesRankedByScoreAndDeduplicated) {
   fx.score_location(5);
   TransitionGraph g(loose_graph());
   g.build(fx.logs);
-  SampleSet s;
-  s.build(fx.logs);
+  SuffStats s;
+  s.ingest(fx.logs);
   PredicateManager pm;
   pm.build(s);
   PathBuilder b(g, pm, loose_opts());
@@ -168,8 +168,8 @@ TEST(PathBuilder, UnreachableFailureYieldsDegeneratePath) {
   fx.add_faulty({7});  // failure node isolated
   TransitionGraph g(loose_graph());
   g.build(fx.logs);
-  SampleSet s;
-  s.build(fx.logs);
+  SuffStats s;
+  s.ingest(fx.logs);
   PredicateManager pm;
   pm.build(s);
   PathBuilder b(g, pm, loose_opts());
@@ -188,8 +188,8 @@ TEST(PathBuilder, CandidatePathsEndAtFailurePoint) {
   fx.score_location(3);
   TransitionGraph g(loose_graph());
   g.build(fx.logs);
-  SampleSet s;
-  s.build(fx.logs);
+  SuffStats s;
+  s.ingest(fx.logs);
   PredicateManager pm;
   pm.build(s);
   PathBuilder b(g, pm, loose_opts());

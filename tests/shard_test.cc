@@ -1,0 +1,246 @@
+// Tests for log shards (monitor/shard.h): wire-format round-trips, the
+// format-version gate, and the ShardedCollector's emission and
+// retained-memory accounting.
+#include <gtest/gtest.h>
+
+#include "monitor/serialize.h"
+#include "monitor/shard.h"
+
+namespace statsym::monitor {
+namespace {
+
+RunLog mk_log(std::int32_t id, bool faulty) {
+  RunLog log;
+  log.run_id = id;
+  log.faulty = faulty;
+  if (faulty) log.fault_function = "vulnerable_fn";
+  log.records_considered = 3;
+  VarSample v;
+  v.name = "suspect";
+  v.kind = VarKind::kParam;
+  v.is_len = true;
+  v.value = 536.0 + id;
+  log.records.push_back({enter_loc(0), {v}});
+  v.name = "track";
+  v.kind = VarKind::kGlobal;
+  v.is_len = false;
+  v.value = -7.0;
+  log.records.push_back({leave_loc(0), {v}});
+  return log;
+}
+
+TEST(ShardFormat, RoundTripPreservesEverything) {
+  LogShard shard;
+  shard.shard_id = 42;
+  for (int i = 0; i < 5; ++i) {
+    RunLog log = mk_log(i, i % 2 == 0);
+    shard.bytes += approx_log_bytes(log);
+    shard.logs.push_back(std::move(log));
+  }
+
+  const std::string text = serialize_shard(shard);
+  LogShard back;
+  std::string error;
+  ASSERT_TRUE(deserialize_shard(text, back, &error)) << error;
+  EXPECT_EQ(back.shard_id, 42u);
+  EXPECT_EQ(back.bytes, shard.bytes);
+  ASSERT_EQ(back.logs.size(), shard.logs.size());
+  for (std::size_t i = 0; i < shard.logs.size(); ++i) {
+    const RunLog& a = shard.logs[i];
+    const RunLog& b = back.logs[i];
+    EXPECT_EQ(b.run_id, a.run_id);
+    EXPECT_EQ(b.faulty, a.faulty);
+    EXPECT_EQ(b.fault_function, a.fault_function);
+    EXPECT_EQ(b.records_considered, a.records_considered);
+    ASSERT_EQ(b.records.size(), a.records.size());
+    for (std::size_t r = 0; r < a.records.size(); ++r) {
+      EXPECT_EQ(b.records[r].loc, a.records[r].loc);
+      EXPECT_EQ(b.records[r].vars, a.records[r].vars);
+    }
+  }
+  // Round-tripping the reconstruction yields the same bytes: the format has
+  // one canonical rendering.
+  EXPECT_EQ(serialize_shard(back), text);
+}
+
+TEST(ShardFormat, EmptyShardRoundTrips) {
+  LogShard shard;
+  shard.shard_id = 0;
+  LogShard back;
+  ASSERT_TRUE(deserialize_shard(serialize_shard(shard), back));
+  EXPECT_EQ(back.logs.size(), 0u);
+  EXPECT_EQ(back.bytes, 0u);
+}
+
+TEST(ShardFormat, CountsClassesAndMatchesRunSerialization) {
+  LogShard shard;
+  for (int i = 0; i < 6; ++i) shard.logs.push_back(mk_log(i, i < 2));
+  EXPECT_EQ(shard.num_faulty(), 2u);
+  EXPECT_EQ(shard.num_correct(), 4u);
+  // The shard body is exactly the concatenated per-run text format, so
+  // existing run-log tooling can read a stripped shard.
+  const std::string text = serialize_shard(shard);
+  const std::size_t eol = text.find('\n');
+  const std::size_t trailer = text.rfind("endshard");
+  std::vector<RunLog> body_logs;
+  ASSERT_TRUE(
+      deserialize(text.substr(eol + 1, trailer - eol - 1), body_logs));
+  EXPECT_EQ(body_logs.size(), shard.logs.size());
+}
+
+TEST(ShardFormat, RejectsUnknownVersionWithClearError) {
+  LogShard shard;
+  shard.shard_id = 7;
+  shard.logs.push_back(mk_log(0, true));
+  std::string text = serialize_shard(shard);
+  // A future writer bumps the version field; this reader must refuse and
+  // say why rather than misparse the body.
+  const std::string v = std::to_string(LogShard::kFormatVersion);
+  ASSERT_EQ(text.rfind("shard|" + v + "|", 0), 0u);
+  text.replace(6, v.size(), "99");
+
+  LogShard out;
+  out.shard_id = 1234;  // sentinel: a failed parse must not touch `out`
+  std::string error;
+  EXPECT_FALSE(deserialize_shard(text, out, &error));
+  EXPECT_EQ(error,
+            "shard: unsupported format version 99 (this build reads version " +
+                v + ")");
+  EXPECT_EQ(out.shard_id, 1234u);
+  EXPECT_TRUE(out.logs.empty());
+}
+
+TEST(ShardFormat, RejectsMalformedInput) {
+  LogShard out;
+  std::string error;
+
+  EXPECT_FALSE(deserialize_shard("", out, &error));
+  EXPECT_EQ(error, "shard: missing header line");
+
+  EXPECT_FALSE(deserialize_shard("run 0 ok\n", out, &error));
+  EXPECT_NE(error.find("malformed header"), std::string::npos);
+
+  EXPECT_FALSE(deserialize_shard("shard|1|x|0\nendshard\n", out, &error));
+  EXPECT_EQ(error, "shard: non-numeric header field");
+
+  // Header present but no trailer: truncated transfer.
+  EXPECT_FALSE(deserialize_shard("shard|1|0|0\n", out, &error));
+  EXPECT_EQ(error, "shard: missing 'endshard' trailer");
+
+  // Declared log count disagrees with the body.
+  LogShard shard;
+  shard.logs.push_back(mk_log(0, false));
+  std::string text = serialize_shard(shard);
+  const std::size_t eol = text.find('\n');
+  text = "shard|1|0|2\n" + text.substr(eol + 1);
+  EXPECT_FALSE(deserialize_shard(text, out, &error));
+  EXPECT_EQ(error, "shard: header declares 2 logs but body holds 1");
+
+  // Corrupted body.
+  EXPECT_FALSE(
+      deserialize_shard("shard|1|0|1\ngarbage\nendshard\n", out, &error));
+  EXPECT_EQ(error, "shard: malformed run-log body");
+}
+
+TEST(ShardFormat, SerializedSizeMatchesSerialize) {
+  // The streaming ingest accounts log bytes via serialized_size without
+  // building the text; it must agree with the real serialisation for every
+  // value shape the monitor can log (including awkward %g cases).
+  const double values[] = {0.0,    -0.0,   1.0,      -1.0,     0.1,
+                           1e-7,   -1e-7,  123456.0, 1234567.0, 1e20,
+                           -1e20,  0.5,    536.5,    1e-300,   1e300,
+                           1.0 / 3.0};
+  RunLog log;
+  log.run_id = 123456;
+  log.faulty = true;
+  log.fault_function = "sink";
+  log.records_considered = 42;
+  int i = 0;
+  for (const double v : values) {
+    VarSample s;
+    s.name = "v" + std::to_string(i);
+    s.kind = static_cast<VarKind>(i % 3);
+    s.is_len = i % 2 == 0;
+    s.value = v;
+    log.records.push_back({static_cast<LocId>(i++), {s}});
+  }
+  EXPECT_EQ(serialized_size(log), serialize(log).size());
+
+  RunLog ok;  // minimal correct log, no seen line, no records
+  ok.run_id = 0;
+  EXPECT_EQ(serialized_size(ok), serialize(ok).size());
+}
+
+TEST(ShardedCollector, EmitsFullShardsAndFlushesRemainder) {
+  std::vector<LogShard> emitted;
+  ShardedCollector c(3, [&](LogShard&& s) { emitted.push_back(std::move(s)); });
+  EXPECT_EQ(c.shard_size(), 3u);
+  for (int i = 0; i < 8; ++i) c.add(mk_log(i, false));
+
+  ASSERT_EQ(emitted.size(), 2u);  // 3 + 3 emitted; 2 pending
+  EXPECT_EQ(c.retained_logs(), 2u);
+  c.flush();
+  c.flush();  // idempotent
+  ASSERT_EQ(emitted.size(), 3u);
+  EXPECT_EQ(c.retained_logs(), 0u);
+  EXPECT_EQ(c.retained_bytes(), 0u);
+  EXPECT_EQ(c.logs_added(), 8u);
+  EXPECT_EQ(c.shards_emitted(), 3u);
+
+  // Shard ids are sequential and logs arrive in admission order.
+  std::int32_t next_run = 0;
+  for (std::size_t s = 0; s < emitted.size(); ++s) {
+    EXPECT_EQ(emitted[s].shard_id, s);
+    for (const RunLog& log : emitted[s].logs) {
+      EXPECT_EQ(log.run_id, next_run++);
+    }
+  }
+  EXPECT_EQ(emitted[0].logs.size(), 3u);
+  EXPECT_EQ(emitted[2].logs.size(), 2u);
+}
+
+TEST(ShardedCollector, ShardSizeZeroClampsToOne) {
+  std::vector<LogShard> emitted;
+  ShardedCollector c(0, [&](LogShard&& s) { emitted.push_back(std::move(s)); });
+  EXPECT_EQ(c.shard_size(), 1u);
+  c.add(mk_log(0, false));
+  c.add(mk_log(1, true));
+  EXPECT_EQ(emitted.size(), 2u);
+  EXPECT_EQ(c.retained_logs(), 0u);
+}
+
+TEST(ShardedCollector, PeakRetainedBytesIsBoundedByShardSize) {
+  // The whole point of sharded ingestion: no matter how many logs stream
+  // through, the collector never holds more than one shard's worth.
+  ShardedCollector c(4, [](LogShard&&) {});
+  std::size_t max_shard_bytes = 0;
+  std::size_t window = 0;
+  for (int i = 0; i < 100; ++i) {
+    RunLog log = mk_log(i, i % 5 == 0);
+    window += approx_log_bytes(log);
+    c.add(std::move(log));
+    if ((i + 1) % 4 == 0) {
+      max_shard_bytes = std::max(max_shard_bytes, window);
+      window = 0;
+    }
+  }
+  EXPECT_EQ(c.logs_added(), 100u);
+  EXPECT_EQ(c.shards_emitted(), 25u);
+  EXPECT_LE(c.peak_retained_bytes(), max_shard_bytes);
+  EXPECT_GT(c.peak_retained_bytes(), 0u);
+}
+
+TEST(ShardedCollector, EmittedBytesMatchApproxAccounting) {
+  std::vector<LogShard> emitted;
+  ShardedCollector c(2, [&](LogShard&& s) { emitted.push_back(std::move(s)); });
+  for (int i = 0; i < 4; ++i) c.add(mk_log(i, false));
+  ASSERT_EQ(emitted.size(), 2u);
+  for (const LogShard& s : emitted) {
+    std::size_t expect = 0;
+    for (const RunLog& log : s.logs) expect += approx_log_bytes(log);
+    EXPECT_EQ(s.bytes, expect);
+  }
+}
+
+}  // namespace
+}  // namespace statsym::monitor

@@ -1,9 +1,11 @@
-// Tests for the statistical analysis module: sample aggregation, predicate
-// fitting (Eq. 1 / Eq. 2), ranking, and transition mining (Eq. 3).
+// Tests for the statistical analysis module: sufficient-statistic
+// aggregation and merging, predicate fitting (Eq. 1 / Eq. 2), Wilson-bound
+// math, ranking, and transition mining (Eq. 3).
 #include <gtest/gtest.h>
 
 #include "stats/predicate_manager.h"
 #include "stats/transition_graph.h"
+#include "stats/wilson.h"
 #include "support/rng.h"
 
 namespace statsym::stats {
@@ -33,30 +35,104 @@ RunLog mk_log(std::int32_t id, bool faulty,
   return log;
 }
 
-TEST(SampleSet, BucketsByLocationAndVariable) {
+// Histogram-building shorthand for fit tests: one observation per value.
+void add_all(VarSuff& vs, bool faulty, std::initializer_list<double> values) {
+  for (double v : values) vs.add(faulty, v);
+}
+
+TEST(SuffStats, BucketsByLocationAndVariable) {
   std::vector<RunLog> logs;
   logs.push_back(mk_log(0, false, {{2, {mk_var("x", 1.0)}},
                                    {4, {mk_var("x", 2.0)}}}));
   logs.push_back(mk_log(1, true, {{2, {mk_var("x", 9.0)}}}));
-  SampleSet s;
-  s.build(logs);
+  SuffStats s;
+  s.ingest(logs);
   EXPECT_EQ(s.num_correct_runs(), 1u);
   EXPECT_EQ(s.num_faulty_runs(), 1u);
   // Same variable at different locations is kept separate (§V-A).
-  ASSERT_EQ(s.entries().size(), 2u);
-  const auto& at2 = s.entries()[0].loc == 2 ? s.entries()[0] : s.entries()[1];
-  EXPECT_EQ(at2.correct.size(), 1u);
-  EXPECT_EQ(at2.faulty.size(), 1u);
+  ASSERT_EQ(s.vars().size(), 2u);
+  const auto it = s.vars().find({2, "x FUNCPARAM"});
+  ASSERT_NE(it, s.vars().end());
+  EXPECT_EQ(it->second.correct_total, 1u);
+  EXPECT_EQ(it->second.faulty_total, 1u);
   EXPECT_EQ(s.loc_correct_runs(2), 1u);
   EXPECT_EQ(s.loc_faulty_runs(4), 0u);
 }
 
+TEST(SuffStats, HistogramsCarryMultiplicity) {
+  VarSuff vs;
+  vs.add(false, 5.0);
+  vs.add(false, 5.0);
+  vs.add(false, 7.0);
+  vs.add(true, 5.0, /*n=*/3);
+  EXPECT_EQ(vs.correct_total, 3u);
+  EXPECT_EQ(vs.faulty_total, 3u);
+  ASSERT_EQ(vs.correct.size(), 2u);  // two distinct values
+  EXPECT_EQ(vs.correct.at(5.0), 2u);
+  EXPECT_EQ(vs.faulty.at(5.0), 3u);
+}
+
+TEST(SuffStats, MergeIsScheduleInvariant) {
+  // Build one log set, ingest it (a) in one pass, (b) log-by-log into two
+  // halves merged A+B, (c) merged B+A. All three must agree exactly —
+  // every field is a sum, so order cannot matter.
+  std::vector<RunLog> logs;
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    const bool faulty = i % 3 == 0;
+    RunLog log = mk_log(i, faulty,
+                        {{0, {mk_var("x", rng.uniform(0, 5))}},
+                         {1, {mk_var("y", rng.uniform(0, 5))}}});
+    if (faulty) log.fault_function = i % 2 == 0 ? "f" : "g";
+    log.records_considered = 2;
+    logs.push_back(std::move(log));
+  }
+
+  SuffStats batch;
+  batch.ingest(logs);
+
+  SuffStats a, b;
+  for (std::size_t i = 0; i < logs.size(); ++i) {
+    (i < logs.size() / 2 ? a : b).ingest(logs[i]);
+  }
+  SuffStats ab, ba;
+  ab.merge(a);
+  ab.merge(b);
+  ba.merge(b);
+  ba.merge(a);
+
+  for (const SuffStats* m : {&ab, &ba}) {
+    EXPECT_EQ(m->num_correct_runs(), batch.num_correct_runs());
+    EXPECT_EQ(m->num_faulty_runs(), batch.num_faulty_runs());
+    EXPECT_EQ(m->log_bytes(), batch.log_bytes());
+    EXPECT_EQ(m->records_considered(), batch.records_considered());
+    EXPECT_EQ(m->fault_fn_counts(), batch.fault_fn_counts());
+    EXPECT_EQ(m->locations(), batch.locations());
+    ASSERT_EQ(m->vars().size(), batch.vars().size());
+    for (const auto& [key, vs] : batch.vars()) {
+      const auto it = m->vars().find(key);
+      ASSERT_NE(it, m->vars().end());
+      EXPECT_EQ(it->second.correct, vs.correct);
+      EXPECT_EQ(it->second.faulty, vs.faulty);
+      EXPECT_EQ(it->second.correct_runs, vs.correct_runs);
+      EXPECT_EQ(it->second.faulty_runs, vs.faulty_runs);
+    }
+    for (bool cls : {false, true}) {
+      EXPECT_EQ(m->trans(cls).pairs, batch.trans(cls).pairs);
+      EXPECT_EQ(m->trans(cls).occ, batch.trans(cls).occ);
+      EXPECT_EQ(m->trans(cls).first_counts, batch.trans(cls).first_counts);
+      EXPECT_EQ(m->trans(cls).last_counts, batch.trans(cls).last_counts);
+      EXPECT_EQ(m->trans(cls).logs, batch.trans(cls).logs);
+    }
+  }
+}
+
 TEST(Predicate, PerfectSeparationScoresOne) {
-  VarSamples vs;
+  VarSuff vs;
   vs.loc = 1;
   vs.var = "len(s FUNCPARAM)";
-  vs.correct = {10, 20, 30};
-  vs.faulty = {100, 200, 150};
+  add_all(vs, false, {10, 20, 30});
+  add_all(vs, true, {100, 200, 150});
   vs.correct_runs = 3;
   vs.faulty_runs = 3;
   Predicate p;
@@ -67,16 +143,16 @@ TEST(Predicate, PerfectSeparationScoresOne) {
   EXPECT_GT(p.threshold, 30.0);
   EXPECT_LT(p.threshold, 100.0);
   // The fitted predicate indeed separates the samples.
-  for (double v : vs.correct) EXPECT_FALSE(p.holds(v));
-  for (double v : vs.faulty) EXPECT_TRUE(p.holds(v));
+  for (double v : {10.0, 20.0, 30.0}) EXPECT_FALSE(p.holds(v));
+  for (double v : {100.0, 200.0, 150.0}) EXPECT_TRUE(p.holds(v));
 }
 
 TEST(Predicate, LowerDirectionDetected) {
-  VarSamples vs;
+  VarSuff vs;
   vs.loc = 1;
   vs.var = "x FUNCPARAM";
-  vs.correct = {50, 60, 70};
-  vs.faulty = {1, 2, 3};
+  add_all(vs, false, {50, 60, 70});
+  add_all(vs, true, {1, 2, 3});
   Predicate p;
   ASSERT_TRUE(fit_predicate(vs, 3, 3, p));
   EXPECT_EQ(p.pk, PredKind::kLt);
@@ -85,11 +161,13 @@ TEST(Predicate, LowerDirectionDetected) {
 
 TEST(Predicate, ThresholdMinimisesQuantificationError) {
   // Overlapping distributions: optimal cut must minimise Eq. 1 exactly.
-  VarSamples vs;
+  VarSuff vs;
   vs.loc = 1;
   vs.var = "x FUNCPARAM";
-  vs.correct = {1, 2, 3, 4, 10};   // one outlier at 10
-  vs.faulty = {5, 6, 7, 8, 9};
+  const std::vector<double> correct = {1, 2, 3, 4, 10};  // one outlier at 10
+  const std::vector<double> faulty = {5, 6, 7, 8, 9};
+  for (double v : correct) vs.add(false, v);
+  for (double v : faulty) vs.add(true, v);
   Predicate p;
   ASSERT_TRUE(fit_predicate(vs, 5, 5, p));
   // Exhaustive scan over all cuts and directions to compute ground truth.
@@ -99,10 +177,10 @@ TEST(Predicate, ThresholdMinimisesQuantificationError) {
     const double cut = (all[i] + all[i + 1]) / 2;
     for (bool gt : {true, false}) {
       std::size_t err = 0;
-      for (double v : vs.correct) {
+      for (double v : correct) {
         if (gt ? v > cut : v < cut) ++err;  // |P ∩ C|
       }
-      for (double v : vs.faulty) {
+      for (double v : faulty) {
         if (!(gt ? v > cut : v < cut)) ++err;  // |Pᶜ ∩ F|
       }
       best = std::min(best, err);
@@ -112,11 +190,11 @@ TEST(Predicate, ThresholdMinimisesQuantificationError) {
 }
 
 TEST(Predicate, UnreachedVariableGetsNegInfinity) {
-  VarSamples vs;
+  VarSuff vs;
   vs.loc = 3;
   vs.var = "track GLOBAL";
   vs.kind = VarKind::kGlobal;
-  vs.correct = {0, 1, 2};
+  add_all(vs, false, {0, 1, 2});
   vs.correct_runs = 3;
   // Never observed in faulty runs: the location is post-failure.
   Predicate p;
@@ -128,11 +206,11 @@ TEST(Predicate, UnreachedVariableGetsNegInfinity) {
 }
 
 TEST(Predicate, IdenticalDistributionsRejected) {
-  VarSamples vs;
+  VarSuff vs;
   vs.loc = 1;
   vs.var = "x FUNCPARAM";
-  vs.correct = {5, 5, 5};
-  vs.faulty = {5, 5};
+  vs.add(false, 5.0, 3);
+  vs.add(true, 5.0, 2);
   Predicate p;
   EXPECT_FALSE(fit_predicate(vs, 3, 2, p));
 }
@@ -156,8 +234,8 @@ TEST(PredicateManager, RanksByScore) {
     logs.push_back(mk_log(i, faulty,
                           {{0, {mk_var("good", good), mk_var("noisy", noisy)}}}));
   }
-  SampleSet s;
-  s.build(logs);
+  SuffStats s;
+  s.ingest(logs);
   PredicateManager pm;
   pm.build(s);
   ASSERT_GE(pm.ranked().size(), 2u);
@@ -166,6 +244,48 @@ TEST(PredicateManager, RanksByScore) {
   EXPECT_LT(pm.ranked()[1].score, 1.0);
   EXPECT_DOUBLE_EQ(pm.loc_score(0), 1.0);
   EXPECT_DOUBLE_EQ(pm.loc_score(99), 0.0);
+}
+
+TEST(PredicateManager, IngestRerankMatchesBatchBuild) {
+  // Shard-wise ingest + rerank must reproduce the one-shot batch ranking
+  // byte-for-byte, at any split point.
+  std::vector<RunLog> logs;
+  Rng rng(17);
+  for (int i = 0; i < 36; ++i) {
+    const bool faulty = i % 2 == 1;
+    logs.push_back(
+        mk_log(i, faulty,
+               {{0, {mk_var("a", rng.uniform(0, 10) + (faulty ? 8 : 0))}},
+                {1, {mk_var("b", rng.uniform(0, 10))}}}));
+  }
+  SuffStats all;
+  all.ingest(logs);
+  PredicateManager batch;
+  batch.build(all);
+
+  for (std::size_t split : {1u, 7u, 35u}) {
+    PredicateManager inc;
+    SuffStats head, tail;
+    for (std::size_t i = 0; i < logs.size(); ++i) {
+      (i < split ? head : tail).ingest(logs[i]);
+    }
+    inc.ingest(head);
+    inc.rerank();  // intermediate rerank must not perturb the final one
+    inc.ingest(tail);
+    inc.rerank();
+    ASSERT_EQ(inc.ranked().size(), batch.ranked().size());
+    for (std::size_t i = 0; i < batch.ranked().size(); ++i) {
+      const Predicate& x = inc.ranked()[i];
+      const Predicate& y = batch.ranked()[i];
+      EXPECT_EQ(x.loc, y.loc);
+      EXPECT_EQ(x.var, y.var);
+      EXPECT_EQ(x.pk, y.pk);
+      EXPECT_EQ(x.threshold, y.threshold);
+      EXPECT_EQ(x.score, y.score);        // bitwise, not approximate
+      EXPECT_EQ(x.score_lcb, y.score_lcb);
+      EXPECT_EQ(x.error, y.error);
+    }
+  }
 }
 
 TEST(PredicateManager, ThresholdKindOutranksUnreachedAtEqualScore) {
@@ -180,8 +300,8 @@ TEST(PredicateManager, ThresholdKindOutranksUnreachedAtEqualScore) {
       logs.back().records.push_back({1, {mk_var("post", 1.0)}});
     }
   }
-  SampleSet s;
-  s.build(logs);
+  SuffStats s;
+  s.ingest(logs);
   PredicateManager pm;
   pm.build(s);
   ASSERT_GE(pm.ranked().size(), 2u);
@@ -197,8 +317,8 @@ TEST(PredicateManager, AllCorrectLogsYieldNoPredicates) {
   for (int i = 0; i < 20; ++i) {
     logs.push_back(mk_log(i, false, {{0, {mk_var("x", i)}}}));
   }
-  SampleSet s;
-  s.build(logs);
+  SuffStats s;
+  s.ingest(logs);
   EXPECT_EQ(s.num_faulty_runs(), 0u);
   PredicateManager pm;
   pm.build(s);
@@ -213,8 +333,8 @@ TEST(PredicateManager, AllFaultyLogsYieldNoPredicates) {
   for (int i = 0; i < 20; ++i) {
     logs.push_back(mk_log(i, true, {{0, {mk_var("x", i)}}}));
   }
-  SampleSet s;
-  s.build(logs);
+  SuffStats s;
+  s.ingest(logs);
   EXPECT_EQ(s.num_correct_runs(), 0u);
   PredicateManager pm;
   pm.build(s);
@@ -228,11 +348,11 @@ TEST(Predicate, TiedThresholdsBreakDeterministically) {
   // improvement replaces the incumbent — so the first optimum must win.
   // This ordering is part of the determinism contract (same predicate on
   // every platform and thread count); the fuzz harness relies on it.
-  VarSamples vs;
+  VarSuff vs;
   vs.loc = 0;
   vs.var = "x FUNCPARAM";
-  vs.correct = {1, 3};
-  vs.faulty = {2, 4};
+  add_all(vs, false, {1, 3});
+  add_all(vs, true, {2, 4});
   vs.correct_runs = 2;
   vs.faulty_runs = 2;
   Predicate p;
@@ -243,7 +363,7 @@ TEST(Predicate, TiedThresholdsBreakDeterministically) {
   EXPECT_DOUBLE_EQ(p.threshold, 1.5);
 }
 
-TEST(Predicate, WilsonBoundsBracketAndConverge) {
+TEST(Wilson, BoundsBracketAndConverge) {
   // z = 0 is the plug-in estimate; n = 0 is uninformative.
   EXPECT_DOUBLE_EQ(wilson_lower(0.7, 10, 0.0), 0.7);
   EXPECT_DOUBLE_EQ(wilson_upper(0.7, 10, 0.0), 0.7);
@@ -259,14 +379,70 @@ TEST(Predicate, WilsonBoundsBracketAndConverge) {
   EXPECT_LT(wilson_upper(0.0, 100, 2.0), wilson_upper(0.0, 10, 2.0));
 }
 
+TEST(Wilson, GoldenValues) {
+  // Pinned reference values for the shared Wilson helpers (stats/wilson.h).
+  // Both predicate fitting and guidance's injection gate flow through these
+  // functions; a change that shifts any of them is a scoring change and must
+  // be deliberate.
+  EXPECT_DOUBLE_EQ(wilson_lower(0.7, 10, 2.0), 0.39133118769058556);
+  EXPECT_DOUBLE_EQ(wilson_upper(0.7, 10, 2.0), 0.8943830980237001);
+  EXPECT_DOUBLE_EQ(wilson_lower(1.0, 10, 2.0), 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(wilson_lower(0.5, 20, 2.0), 0.29587585476806844);
+  EXPECT_DOUBLE_EQ(wilson_upper(0.0, 10, 2.0), 2.0 / 7.0);
+  EXPECT_DOUBLE_EQ(gap_lcb(0.0, 10, 0.7, 10, 2.0), 0.10561690197629986);
+  EXPECT_DOUBLE_EQ(gap_lcb(1.0, 10, 0.2, 5, 2.0), 0.08280998395240913);
+  // Identical rates: no provable gap.
+  EXPECT_DOUBLE_EQ(gap_lcb(0.5, 10, 0.5, 10, 2.0), 0.0);
+  // Symmetric in which side is larger.
+  EXPECT_DOUBLE_EQ(gap_lcb(0.7, 10, 0.0, 10, 2.0),
+                   gap_lcb(0.0, 10, 0.7, 10, 2.0));
+}
+
+TEST(Predicate, RecomputeScoreLcbReproducesFittedBound) {
+  // The guidance gate re-derives confidence through
+  // Predicate::recompute_score_lcb; for every fitted predicate kind this
+  // must reproduce the stored score_lcb bit-for-bit at the fitting z.
+  // Threshold kind:
+  VarSuff thr;
+  thr.loc = 0;
+  thr.var = "x FUNCPARAM";
+  add_all(thr, false, {1, 2, 3, 4});
+  add_all(thr, true, {3, 4, 5, 6});
+  Predicate pt;
+  ASSERT_TRUE(fit_predicate(thr, 4, 4, pt));
+  EXPECT_EQ(pt.recompute_score_lcb(2.0), pt.score_lcb);
+  // Unreached kind:
+  VarSuff unr;
+  unr.loc = 1;
+  unr.var = "y FUNCPARAM";
+  add_all(unr, false, {1, 2});
+  unr.correct_runs = 2;
+  Predicate pu;
+  ASSERT_TRUE(fit_predicate(unr, 3, 3, pu));
+  ASSERT_EQ(pu.pk, PredKind::kUnreached);
+  EXPECT_EQ(pu.recompute_score_lcb(2.0), pu.score_lcb);
+  // Reached-only-in-faulty kind (score is an observation *rate*, not the
+  // per-sample p_faulty — the recompute must honour that):
+  VarSuff ronly;
+  ronly.loc = 2;
+  ronly.var = "z FUNCPARAM";
+  add_all(ronly, true, {1, 2});
+  ronly.faulty_runs = 2;
+  Predicate pf;
+  ASSERT_TRUE(fit_predicate(ronly, 3, 3, pf));
+  ASSERT_EQ(pf.pk, PredKind::kGt);
+  EXPECT_EQ(pf.threshold, -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(pf.recompute_score_lcb(2.0), pf.score_lcb);
+}
+
 TEST(Predicate, ScoreLcbShrinksUnderStarvation) {
   // A perfect separator over 10+10 samples keeps a healthy lower bound...
-  VarSamples strong;
+  VarSuff strong;
   strong.loc = 0;
   strong.var = "x FUNCPARAM";
   for (int i = 0; i < 10; ++i) {
-    strong.correct.push_back(i);
-    strong.faulty.push_back(100 + i);
+    strong.add(false, i);
+    strong.add(true, 100 + i);
   }
   strong.correct_runs = strong.faulty_runs = 10;
   Predicate ps;
@@ -280,8 +456,12 @@ TEST(Predicate, ScoreLcbShrinksUnderStarvation) {
   // ...while a 7-of-10 accidental separator (the kind that suspends every
   // guided state when injected) drops below the 0.5 injection floor even
   // though its raw Eq. 2 score clears it.
-  VarSamples weak = strong;
-  for (int i = 0; i < 3; ++i) weak.faulty[static_cast<std::size_t>(i)] = i;
+  VarSuff weak;
+  weak.loc = 0;
+  weak.var = "x FUNCPARAM";
+  for (int i = 0; i < 10; ++i) weak.add(false, i);
+  for (int i = 0; i < 3; ++i) weak.add(true, i);
+  for (int i = 3; i < 10; ++i) weak.add(true, 100 + i);
   Predicate pw;
   ASSERT_TRUE(fit_predicate(weak, 10, 10, pw));
   EXPECT_DOUBLE_EQ(pw.score, 0.7);
@@ -289,13 +469,12 @@ TEST(Predicate, ScoreLcbShrinksUnderStarvation) {
 
   // With 10x the support at the same proportions the bound converges back
   // above the floor: the shrinkage penalises starvation, not imperfection.
-  VarSamples weak10 = weak;
-  for (int r = 1; r < 10; ++r) {
-    for (int i = 0; i < 10; ++i) {
-      weak10.correct.push_back(weak.correct[static_cast<std::size_t>(i)]);
-      weak10.faulty.push_back(weak.faulty[static_cast<std::size_t>(i)]);
-    }
-  }
+  VarSuff weak10;
+  weak10.loc = 0;
+  weak10.var = "x FUNCPARAM";
+  for (int i = 0; i < 10; ++i) weak10.add(false, i, 10);
+  for (int i = 0; i < 3; ++i) weak10.add(true, i, 10);
+  for (int i = 3; i < 10; ++i) weak10.add(true, 100 + i, 10);
   Predicate pw10;
   ASSERT_TRUE(fit_predicate(weak10, 10, 10, pw10));
   EXPECT_DOUBLE_EQ(pw10.score, 0.7);
@@ -320,8 +499,8 @@ TEST(PredicateManager, EqualScoresRankBySupport) {
     }
     logs.push_back(mk_log(i, faulty, std::move(recs)));
   }
-  SampleSet s;
-  s.build(logs);
+  SuffStats s;
+  s.ingest(logs);
   PredicateManager pm;
   pm.build(s);
   ASSERT_GE(pm.ranked().size(), 2u);
@@ -336,13 +515,13 @@ TEST(Predicate, ScoreAndErrorStayWithinBounds) {
   // pooled samples; fuzz randomised inputs and check the invariants hold.
   Rng rng(7);
   for (int trial = 0; trial < 50; ++trial) {
-    VarSamples vs;
+    VarSuff vs;
     vs.loc = 0;
     vs.var = "x FUNCPARAM";
     const int nc = 1 + static_cast<int>(rng.uniform(0, 8));
     const int nf = 1 + static_cast<int>(rng.uniform(0, 8));
-    for (int i = 0; i < nc; ++i) vs.correct.push_back(rng.uniform(-5, 5));
-    for (int i = 0; i < nf; ++i) vs.faulty.push_back(rng.uniform(-5, 5));
+    for (int i = 0; i < nc; ++i) vs.add(false, rng.uniform(-5, 5));
+    for (int i = 0; i < nf; ++i) vs.add(true, rng.uniform(-5, 5));
     vs.correct_runs = static_cast<std::size_t>(nc);
     vs.faulty_runs = static_cast<std::size_t>(nf);
     Predicate p;
@@ -353,7 +532,7 @@ TEST(Predicate, ScoreAndErrorStayWithinBounds) {
     EXPECT_LE(p.p_correct, 1.0);
     EXPECT_GE(p.p_faulty, 0.0);
     EXPECT_LE(p.p_faulty, 1.0);
-    EXPECT_LE(p.error, vs.correct.size() + vs.faulty.size());
+    EXPECT_LE(p.error, vs.correct_total + vs.faulty_total);
     EXPECT_GT(p.score, 0.0);  // zero-score predicates must not survive
   }
 }
@@ -380,6 +559,42 @@ TEST(TransitionGraph, CountsAndConfidence) {
   EXPECT_NEAR(succ[1].confidence, 1.0 / 3.0, 1e-9);
   EXPECT_TRUE(g.has_edge(1, 2));
   EXPECT_FALSE(g.has_edge(2, 0));
+}
+
+TEST(TransitionGraph, IngestRerankMatchesBatchBuild) {
+  std::vector<RunLog> logs;
+  Rng rng(23);
+  for (int i = 0; i < 40; ++i) {
+    std::vector<LogRecord> recs;
+    const int len = 2 + static_cast<int>(rng.uniform(0, 4));
+    for (int k = 0; k < len; ++k) {
+      recs.push_back({static_cast<monitor::LocId>(rng.uniform(0, 5)), {}});
+    }
+    logs.push_back(mk_log(i, i % 2 == 0, std::move(recs)));
+  }
+  TransitionGraphOptions opts;
+  opts.min_count = 1;
+  opts.min_confidence = 0.0;
+  TransitionGraph batch(opts);
+  batch.build(logs);
+
+  TransitionGraph inc(opts);
+  for (const auto& log : logs) inc.ingest(log);
+  inc.rerank();
+
+  ASSERT_EQ(inc.nodes(), batch.nodes());
+  for (monitor::LocId n : batch.nodes()) {
+    EXPECT_EQ(inc.occurrences(n), batch.occurrences(n));
+    const auto& a = inc.successors(n);
+    const auto& b = batch.successors(n);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].to, b[i].to);
+      EXPECT_EQ(a[i].confidence, b[i].confidence);
+      EXPECT_EQ(a[i].count, b[i].count);
+    }
+  }
+  EXPECT_EQ(inc.entry_candidates(), batch.entry_candidates());
 }
 
 TEST(TransitionGraph, ThresholdsFilterEdges) {
@@ -427,12 +642,19 @@ TEST(TransitionGraph, FailureNodeIsModalLastRecord) {
   logs.push_back(mk_log(2, true, {{0, {}}, {3, {}}}));
   logs.push_back(mk_log(3, false, {{0, {}}, {9, {}}}));  // correct ignored
   EXPECT_EQ(TransitionGraph::failure_node(logs), 7);
+  // The sufficient-statistic overload agrees with the log-based one.
+  SuffStats s;
+  s.ingest(logs);
+  EXPECT_EQ(TransitionGraph::failure_node(s), 7);
 }
 
 TEST(TransitionGraph, FailureNodeNoFaultyLogs) {
   std::vector<RunLog> logs;
   logs.push_back(mk_log(0, false, {{0, {}}}));
   EXPECT_EQ(TransitionGraph::failure_node(logs), monitor::kNoLoc);
+  SuffStats s;
+  s.ingest(logs);
+  EXPECT_EQ(TransitionGraph::failure_node(s), monitor::kNoLoc);
 }
 
 TEST(TransitionGraph, SelfLoopDoesNotHideEntry) {

@@ -1,5 +1,6 @@
 #!/usr/bin/env python3
-"""Line-coverage gate for the analysis core (src/stats + src/statsym + src/obs).
+"""Line-coverage gate for the analysis core (src/monitor + src/stats +
+src/statsym + src/obs).
 
 Aggregates gcov JSON output from a --coverage build and fails when line
 coverage of the watched directories drops below the committed floor. The
@@ -8,7 +9,8 @@ raise it when coverage improves, never lower it to make a PR pass.
 
 Usage:
   tools/coverage_check.py --build-dir build-cov \
-      [--watch src/stats --watch src/statsym --watch src/obs] \
+      [--watch src/monitor --watch src/stats --watch src/statsym \
+       --watch src/obs] \
       [--min-percent 90.0] [--summary-out coverage-summary.txt]
 
 Requires only `gcov` (matching the compiler that produced the .gcda files)
@@ -98,7 +100,8 @@ def main():
     ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
     ap.add_argument("--summary-out", default=None)
     args = ap.parse_args()
-    watch = args.watch or ["src/stats", "src/statsym", "src/obs"]
+    watch = args.watch or ["src/monitor", "src/stats", "src/statsym",
+                           "src/obs"]
 
     gcda = find_gcda(args.build_dir)
     if not gcda:
