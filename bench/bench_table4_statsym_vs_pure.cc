@@ -5,12 +5,18 @@
 // CTree/Grep/thttpd by exhausting memory.
 //
 //   bench_table4_statsym_vs_pure [--jobs N[,N...]] [--json FILE]
+//                                [--engines-json FILE]
 //
 // With a --jobs list (e.g. --jobs 1,2,4,8) the StatSym pipeline additionally
 // runs once per worker count and the per-app wall-clock speedup over the
 // first count is printed; --json writes the sweep as JSON for the bench
 // trajectory. Results are identical at every worker count — only the clock
 // moves.
+//
+// --engines-json races all three engines (guided | pure | concolic) per app
+// and writes per-lane timings (the BENCH_concolic.json baseline): which lane
+// won, each counted lane's wall-clock, paths, instructions, and for the
+// concolic lane its concrete-run count.
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -81,6 +87,63 @@ void write_json(const std::vector<AppSweep>& sweeps, const std::string& path) {
   std::printf("wrote sweep JSON to %s\n", path.c_str());
 }
 
+// --- engine race: per-lane timings (BENCH_concolic.json) ------------------
+
+core::EngineResult run_engine_race(const apps::AppSpec& app) {
+  core::EngineOptions o = bench::engine_options(0.3);
+  o.engines = {core::EngineKind::kGuided, core::EngineKind::kPure,
+               core::EngineKind::kConcolic};
+  core::StatSymEngine engine(app.module, app.sym_spec, o);
+  engine.collect_logs(app.workload);
+  return engine.run();
+}
+
+void write_engines_json(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  TextTable t({"Benchmark", "winner", "lane", "outcome", "time(s)", "#paths",
+               "instrs", "concolic runs"});
+  os << "{\n  \"bench\": \"table4_engine_race\",\n  \"apps\": [\n";
+  const auto names = apps::app_names();
+  for (std::size_t a = 0; a < names.size(); ++a) {
+    const apps::AppSpec app = apps::make_app(names[a]);
+    const core::EngineResult res = run_engine_race(app);
+    const char* winner =
+        res.found ? core::engine_kind_name(res.winning_engine) : "none";
+    os << "    {\"app\": \"" << names[a] << "\", \"found\": "
+       << (res.found ? "true" : "false") << ", \"winner\": \"" << winner
+       << "\", \"lanes\": [\n";
+    for (std::size_t l = 0; l < res.lanes.size(); ++l) {
+      const core::EngineLaneResult& lane = res.lanes[l];
+      os << "      {\"engine\": \"" << core::engine_kind_name(lane.kind)
+         << "\", \"priority\": " << lane.priority
+         << ", \"found\": " << (lane.found ? "true" : "false")
+         << ", \"termination\": \""
+         << symexec::termination_name(lane.termination)
+         << "\", \"seconds\": " << fmt_double(lane.seconds, 4)
+         << ", \"paths_explored\": " << lane.paths_explored
+         << ", \"instructions\": " << lane.instructions
+         << ", \"concolic_runs\": " << lane.concolic_runs
+         << ", \"solver_queries\": " << lane.solver_stats.queries << "}"
+         << (l + 1 < res.lanes.size() ? "," : "") << "\n";
+      t.add_row({names[a], winner, core::engine_kind_name(lane.kind),
+                 symexec::termination_name(lane.termination),
+                 bench::seconds(lane.seconds),
+                 std::to_string(lane.paths_explored),
+                 std::to_string(lane.instructions),
+                 std::to_string(lane.concolic_runs)});
+    }
+    os << "    ]}" << (a + 1 < names.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("Engine race: per-lane timings (cancelled lanes report zero)\n");
+  std::printf("%s\n", t.render().c_str());
+  std::printf("wrote engine-race JSON to %s\n", path.c_str());
+}
+
 std::vector<std::size_t> parse_jobs_list(const char* s) {
   std::vector<std::size_t> jobs;
   for (const std::string& part : split(s, ',')) {
@@ -94,14 +157,19 @@ std::vector<std::size_t> parse_jobs_list(const char* s) {
 int main(int argc, char** argv) {
   std::vector<std::size_t> jobs_sweep;
   std::string json_path;
+  std::string engines_json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs_sweep = parse_jobs_list(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--engines-json") == 0 && i + 1 < argc) {
+      engines_json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--jobs N[,N...]] [--json FILE]\n", argv[0]);
+                   "usage: %s [--jobs N[,N...]] [--json FILE] "
+                   "[--engines-json FILE]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -141,6 +209,8 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(g.result.solver_stats.slices));
   }
   std::printf("%s\n", t.render().c_str());
+
+  if (!engines_json_path.empty()) write_engines_json(engines_json_path);
 
   if (jobs_sweep.empty()) return 0;
 

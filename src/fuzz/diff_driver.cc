@@ -1,10 +1,12 @@
 #include "fuzz/diff_driver.h"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <functional>
 #include <sstream>
 
+#include "concolic/concolic.h"
 #include "interp/interpreter.h"
 #include "ir/printer.h"
 #include "ir/rewrite.h"
@@ -22,6 +24,7 @@ const char* oracle_name(Oracle o) {
     case Oracle::kDifferential: return "differential";
     case Oracle::kPipeline: return "pipeline";
     case Oracle::kGuidedSoundness: return "guided-soundness";
+    case Oracle::kCrossEngine: return "cross-engine";
   }
   return "?";
 }
@@ -148,6 +151,9 @@ core::EngineOptions engine_options(const GeneratedProgram& prog,
   eo.num_threads = 1;
   eo.candidate_portfolio_width = 1;
   eo.seed = derive_seed(prog.seed, 0x10adu);
+  // The engine list drives the Phase-3 lane race; with the default single
+  // guided entry the classic portfolio path runs unchanged.
+  eo.engines = opts.engines;
   return eo;
 }
 
@@ -223,6 +229,194 @@ std::string check_soundness(const GeneratedProgram& prog,
     return "guided mode verified " + res.vuln->function +
            " but pure execution terminated " +
            std::string(symexec::termination_name(pr.termination));
+  }
+  return {};
+}
+
+// --- oracle (d): cross-engine equivalence ---------------------------------
+
+struct EngineFinding {
+  core::EngineKind kind{core::EngineKind::kGuided};
+  bool found{false};
+  std::string function;
+  interp::FaultKind fault_kind{interp::FaultKind::kNone};
+  interp::RuntimeInput witness;
+  std::uint64_t concolic_runs{0};
+};
+
+std::vector<core::EngineKind> unique_engines(const DiffOptions& opts) {
+  std::vector<core::EngineKind> out;
+  for (core::EngineKind k : opts.engines) {
+    if (std::find(out.begin(), out.end(), k) == out.end()) out.push_back(k);
+  }
+  return out;
+}
+
+EngineFinding run_pure_engine(const GeneratedProgram& prog,
+                              const ir::Module& module,
+                              const DiffOptions& opts) {
+  EngineFinding f;
+  f.kind = core::EngineKind::kPure;
+  const std::string target =
+      prog.fault_planted ? prog.app.vuln_function : std::string();
+  const auto pr = core::run_pure_symbolic(module, prog.app.sym_spec,
+                                          pure_options(opts, target));
+  if (pr.termination == symexec::Termination::kFoundFault &&
+      pr.vuln.has_value()) {
+    f.found = true;
+    f.function = pr.vuln->function;
+    f.fault_kind = pr.vuln->kind;
+    f.witness = pr.vuln->input;
+  }
+  return f;
+}
+
+EngineFinding run_concolic_engine(const GeneratedProgram& prog,
+                                  const ir::Module& module,
+                                  const DiffOptions& opts) {
+  EngineFinding f;
+  f.kind = core::EngineKind::kConcolic;
+  concolic::ConcolicOptions co;
+  co.exec.max_instructions = opts.engine_max_instructions;
+  co.exec.max_seconds = opts.engine_max_seconds;
+  co.exec.max_live_states = 50'000;
+  co.exec.max_memory_bytes = 128ull << 20;
+  if (prog.fault_planted) co.exec.target_function = prog.app.vuln_function;
+  co.seed = derive_seed(prog.seed, 0xc0c0u);
+  concolic::ConcolicExecutor ex(module, prog.app.sym_spec, co);
+  const concolic::ConcolicResult cr = ex.run();
+  f.concolic_runs = cr.stats.runs;
+  if (cr.vuln.has_value()) {
+    f.found = true;
+    f.function = cr.vuln->function;
+    f.fault_kind = cr.vuln->kind;
+    f.witness = cr.vuln->input;
+  }
+  return f;
+}
+
+// Test-only: sabotage the named engine's witness so the equivalence replay
+// below must catch the disagreement (the empty payload never reaches the
+// planted threshold, so every replay comes back clean).
+void maybe_corrupt_witness(EngineFinding& f, const DiffOptions& opts) {
+  if (!f.found || opts.inject_witness_corruption.empty()) return;
+  if (opts.inject_witness_corruption != core::engine_kind_name(f.kind)) return;
+  f.witness = payload_input(0);
+}
+
+// Replays one engine's witness through the other execution engines: the
+// concrete interpreter, the fully-concretised symbolic executor, and the
+// follow-mode (concolic) executor over the original symbolic spec. All three
+// must fault in the same function with the same kind the engine claimed.
+std::string confirm_witness(const ir::Module& module,
+                            const symexec::SymInputSpec& spec,
+                            const EngineFinding& f) {
+  const std::string who = core::engine_kind_name(f.kind);
+  auto claim = [&] {
+    return std::string(interp::fault_kind_name(f.fault_kind)) + " in " +
+           f.function;
+  };
+
+  interp::Interpreter it(module, f.witness);
+  const interp::RunResult rr = it.run();
+  if (rr.outcome != interp::RunOutcome::kFault) {
+    return who + " witness for " + claim() +
+           " does not fault in the interpreter";
+  }
+  if (rr.fault.function != f.function || rr.fault.kind != f.fault_kind) {
+    return who + " witness claims " + claim() + " but the interpreter sees " +
+           interp::fault_kind_name(rr.fault.kind) + " in " + rr.fault.function;
+  }
+
+  symexec::SymExecutor ce(module, concretize(f.witness),
+                          concretized_exec_options());
+  const symexec::ExecResult cres = ce.run();
+  if (cres.termination != symexec::Termination::kFoundFault ||
+      !cres.vuln.has_value() || cres.vuln->function != f.function ||
+      cres.vuln->kind != f.fault_kind) {
+    return who + " witness for " + claim() +
+           " not confirmed by the concretised symbolic executor (" +
+           symexec::termination_name(cres.termination) + ")";
+  }
+
+  symexec::SymExecutor fe(module, spec, concretized_exec_options());
+  fe.set_follow_input(f.witness);
+  const symexec::ExecResult fres = fe.run();
+  if (fres.termination != symexec::Termination::kFoundFault ||
+      !fres.vuln.has_value() || fres.vuln->function != f.function ||
+      fres.vuln->kind != f.fault_kind) {
+    return who + " witness for " + claim() +
+           " not confirmed by follow-mode execution (" +
+           symexec::termination_name(fres.termination) + ")";
+  }
+  return {};
+}
+
+// Oracle (d). Non-empty description on the first engine disagreement. `diag`
+// (when non-null) receives per-engine diagnostics even when the oracle
+// passes; the shrink predicate passes null.
+std::string check_cross_engine(const GeneratedProgram& prog,
+                               const ir::Module& module,
+                               const core::EngineResult& pipeline_result,
+                               const DiffOptions& opts,
+                               ProgramVerdict* diag) {
+  const std::vector<core::EngineKind> kinds = unique_engines(opts);
+  if (kinds.size() == 1 && kinds[0] == core::EngineKind::kGuided) return {};
+
+  std::vector<EngineFinding> findings;
+  for (core::EngineKind k : kinds) {
+    EngineFinding f;
+    switch (k) {
+      case core::EngineKind::kGuided:
+        f.kind = k;
+        if (pipeline_result.found && pipeline_result.vuln.has_value()) {
+          f.found = true;
+          f.function = pipeline_result.vuln->function;
+          f.fault_kind = pipeline_result.vuln->kind;
+          f.witness = pipeline_result.vuln->input;
+        }
+        break;
+      case core::EngineKind::kPure:
+        f = run_pure_engine(prog, module, opts);
+        break;
+      case core::EngineKind::kConcolic:
+        f = run_concolic_engine(prog, module, opts);
+        break;
+    }
+    if (diag != nullptr) {
+      if (k == core::EngineKind::kPure) diag->pure_found = f.found;
+      if (k == core::EngineKind::kConcolic) {
+        diag->concolic_found = f.found;
+        diag->concolic_runs = f.concolic_runs;
+      }
+    }
+    maybe_corrupt_witness(f, opts);
+    findings.push_back(std::move(f));
+  }
+
+  // Detection agreement: on planted programs every engine must find the
+  // planted fault; on benign ones none may find anything.
+  for (const EngineFinding& f : findings) {
+    const std::string who = core::engine_kind_name(f.kind);
+    if (prog.fault_planted && !f.found) {
+      return who + " engine missed the planted fault in " +
+             prog.app.vuln_function;
+    }
+    if (!prog.fault_planted && f.found) {
+      return who + " engine reported a fault in a benign program (" +
+             f.function + ")";
+    }
+    if (f.found && f.function != prog.app.vuln_function) {
+      return who + " engine found " + f.function + " instead of planted " +
+             prog.app.vuln_function;
+    }
+  }
+
+  // Witness equivalence: every witness must replay identically everywhere.
+  for (const EngineFinding& f : findings) {
+    if (!f.found) continue;
+    const std::string err = confirm_witness(module, prog.app.sym_spec, f);
+    if (!err.empty()) return err;
   }
   return {};
 }
@@ -394,6 +588,26 @@ ProgramVerdict run_program_seed(std::size_t index, std::uint64_t program_seed,
     }
     v.pure_paths = 0;  // pure run only executes on suspected unsoundness
   }
+
+  // --- oracle (d): every engine must agree, every witness must replay -----
+  if (opts.check_cross_engine) {
+    const std::string err =
+        check_cross_engine(prog, prog.app.module, pipe.result, opts, &v);
+    if (!err.empty()) {
+      auto still_fails = [&prog, &opts](const ir::Module& m) {
+        if (prog.fault_planted) {
+          // Keep only shrinks that preserve the planted fault itself.
+          interp::Interpreter it(m, payload_input(prog.threshold));
+          if (it.run().outcome != interp::RunOutcome::kFault) return false;
+        }
+        const PipelineOutcome p = run_pipeline(prog, m, opts);
+        if (!p.failure.empty()) return false;
+        return !check_cross_engine(prog, m, p.result, opts, nullptr).empty();
+      };
+      fail_program(v, prog, Oracle::kCrossEngine, err, still_fails, opts);
+      return v;
+    }
+  }
   return v;
 }
 
@@ -421,12 +635,14 @@ CampaignResult run_campaign(const DiffOptions& opts) {
       if (v.pipeline_found && v.failed != Oracle::kPipeline) {
         ++cr.pipeline_verified;
       }
+      if (v.concolic_found) ++cr.concolic_verified;
     }
     switch (v.failed) {
       case Oracle::kNone: break;
       case Oracle::kDifferential: ++cr.divergences; break;
       case Oracle::kPipeline: ++cr.pipeline_misses; break;
       case Oracle::kGuidedSoundness: ++cr.soundness_failures; break;
+      case Oracle::kCrossEngine: ++cr.cross_engine_failures; break;
     }
   }
   return cr;
@@ -441,6 +657,7 @@ std::string format_verdict(const ProgramVerdict& v) {
     if (v.fault_planted) {
       os << " candidates=" << v.num_candidates
          << " winner=" << v.winning_candidate << " paths=" << v.guided_paths;
+      if (v.concolic_runs != 0) os << " concolic_runs=" << v.concolic_runs;
     }
   } else {
     os << " FAIL[" << oracle_name(v.failed) << "] " << v.detail;

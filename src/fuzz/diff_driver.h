@@ -23,6 +23,16 @@
 //       same program: guidance may only prune the search, never invent
 //       findings.
 //
+//   (d) Cross-engine equivalence (DESIGN.md §11) — active when more than one
+//       engine is selected: the guided pipeline, the pure baseline, and the
+//       concolic generational search each hunt the program independently. On
+//       planted programs every selected engine must find the fault; on
+//       benign ones none may. Every witness input an engine produces is
+//       replayed through the other execution engines (concrete interpreter,
+//       concretised symbolic executor, follow-mode concolic executor) and
+//       all must agree on the fault function and kind. Disagreements are
+//       shrunk and dumped as reproducers like any other oracle failure.
+//
 // Campaigns fan programs out over a worker pool; every program derives its
 // RNG streams from (campaign seed, program index) via derive_seed, so
 // per-program verdicts are bit-identical for any --jobs value. A failing
@@ -35,6 +45,7 @@
 #include <vector>
 
 #include "fuzz/program_gen.h"
+#include "statsym/engine.h"
 
 namespace statsym::fuzz {
 
@@ -43,6 +54,7 @@ enum class Oracle : std::uint8_t {
   kDifferential,     // (a) cross-engine divergence / unplanted fault
   kPipeline,         // (b) pipeline missed the planted fault (or hallucinated)
   kGuidedSoundness,  // (c) guided found a vuln pure execution cannot reach
+  kCrossEngine,      // (d) engine disagreement / unconfirmed witness
 };
 
 const char* oracle_name(Oracle o);
@@ -71,6 +83,17 @@ struct DiffOptions {
   bool check_pipeline{true};
   bool check_soundness{true};
 
+  // Oracle (d): the engines under comparison (`--engines` in the CLI). The
+  // list also becomes the Phase-3 lane race inside the pipeline run. With
+  // the default single guided engine the oracle is skipped — duplicates of
+  // the classic three-oracle campaign stay byte-identical.
+  std::vector<core::EngineKind> engines{core::EngineKind::kGuided};
+  bool check_cross_engine{true};
+  // Test-only failure injection: corrupt the named engine's witness
+  // ("guided" | "pure" | "concolic") before the equivalence replay, so
+  // tests can prove the oracle detects, shrinks, and reports disagreements.
+  std::string inject_witness_corruption;
+
   // Campaign pass bar: fraction of fault-planted programs the pipeline must
   // verify. Divergences and soundness failures always fail the campaign.
   double min_pipeline_rate{0.9};
@@ -93,6 +116,9 @@ struct ProgramVerdict {
   bool pipeline_found{false};
   std::uint64_t guided_paths{0};
   std::uint64_t pure_paths{0};
+  bool pure_found{false};        // oracle (d) standalone pure run
+  bool concolic_found{false};    // oracle (d) standalone concolic run
+  std::uint64_t concolic_runs{0};
   std::string repro_file;  // written on failure when repro_dir is set
 
   bool ok() const { return failed == Oracle::kNone; }
@@ -103,8 +129,10 @@ struct CampaignResult {
   std::size_t divergences{0};
   std::size_t pipeline_misses{0};
   std::size_t soundness_failures{0};
+  std::size_t cross_engine_failures{0};
   std::size_t planted{0};
   std::size_t pipeline_verified{0};
+  std::size_t concolic_verified{0};  // planted faults the concolic lane found
 
   double pipeline_rate() const {
     return planted == 0
@@ -112,8 +140,15 @@ struct CampaignResult {
                : static_cast<double>(pipeline_verified) /
                      static_cast<double>(planted);
   }
+  double concolic_rate() const {
+    return planted == 0
+               ? 1.0
+               : static_cast<double>(concolic_verified) /
+                     static_cast<double>(planted);
+  }
   bool passed(const DiffOptions& opts) const {
     return divergences == 0 && soundness_failures == 0 &&
+           cross_engine_failures == 0 &&
            pipeline_rate() >= opts.min_pipeline_rate;
   }
 };

@@ -71,10 +71,23 @@ bool deserialize_shard(const std::string& text, LogShard& out,
                            std::to_string(LogShard::kFormatVersion) + ")");
   }
 
-  const std::size_t trailer = text.rfind("endshard");
-  if (trailer == std::string::npos || trailer < eol + 1 ||
-      trim(std::string_view(text).substr(trailer)) != "endshard") {
+  // The trailer is the FIRST line that reads "endshard" (rfind would let a
+  // second concatenated shard smuggle its trailer in); after it, only
+  // whitespace may follow — line-buffered writers append newlines, anything
+  // else is a framing bug upstream.
+  std::size_t trailer = std::string::npos;
+  for (std::size_t at = text.find("endshard", eol + 1);
+       at != std::string::npos; at = text.find("endshard", at + 1)) {
+    if (text[at - 1] == '\n') {
+      trailer = at;
+      break;
+    }
+  }
+  if (trailer == std::string::npos) {
     return fail(error, "shard: missing 'endshard' trailer");
+  }
+  if (trim(std::string_view(text).substr(trailer)) != "endshard") {
+    return fail(error, "shard: trailing garbage after 'endshard'");
   }
 
   LogShard shard;

@@ -24,6 +24,10 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kExecEnd: return "exec-end";
     case EventKind::kShardIngest: return "ingest-shard";
     case EventKind::kRerank: return "rerank";
+    case EventKind::kEngineLaneBegin: return "engine-lane-begin";
+    case EventKind::kEngineLaneEnd: return "engine-lane-end";
+    case EventKind::kConcolicRun: return "concolic-run";
+    case EventKind::kConcolicNegation: return "concolic-negation";
     case EventKind::kNote: return "note";
   }
   return "?";
@@ -139,6 +143,12 @@ FieldNames fields_of(EventKind k) {
     case EventKind::kExecEnd: return {"termination", "live", "suspended", false};
     case EventKind::kShardIngest: return {"shard", "logs", "bytes", false};
     case EventKind::kRerank: return {"predicates", "nodes", "shards", false};
+    case EventKind::kEngineLaneBegin: return {"priority", "kind", "", true};
+    case EventKind::kEngineLaneEnd:
+      return {"priority", "found", "termination", true};
+    case EventKind::kConcolicRun: return {"run", "decisions", "faulted", false};
+    case EventKind::kConcolicNegation:
+      return {"run", "decision", "verdict", false};
     case EventKind::kNote: return {"a", "b", "c", true};
   }
   return {"a", "b", "c", true};
@@ -202,6 +212,14 @@ void Tracer::write_chrome(std::ostream& os) const {
       case EventKind::kExecEnd:
         ph = "E";
         name = "candidate";
+        break;
+      case EventKind::kEngineLaneBegin:
+        ph = "B";
+        name = "lane-" + ev.name;
+        break;
+      case EventKind::kEngineLaneEnd:
+        ph = "E";
+        name = "lane-" + ev.name;
         break;
       default:
         break;

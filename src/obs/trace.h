@@ -46,6 +46,12 @@ enum class EventKind : std::uint8_t {
   kExecEnd,          // a = termination code, b = live left, c = suspended left
   kShardIngest,      // a = shard id, b = logs in shard, c = shard bytes
   kRerank,           // a = ranked predicates, b = graph nodes, c = shards seen
+  kEngineLaneBegin,  // a = priority, b = kind code; name = engine name
+  kEngineLaneEnd,    // a = priority, b = found, c = termination code;
+                     // name = engine name
+  kConcolicRun,      // a = run index, b = decisions recorded, c = faulted
+  kConcolicNegation, // a = run index, b = decision index,
+                     // c = verdict (0 sat, 1 unsat, 2 unknown)
   kNote,             // free-form marker: name + a/b/c
 };
 

@@ -6,11 +6,43 @@
 #include <future>
 #include <mutex>
 
+#include "concolic/concolic.h"
 #include "statsym/guided_searcher.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
 namespace statsym::core {
+
+const char* engine_kind_name(EngineKind k) {
+  switch (k) {
+    case EngineKind::kGuided: return "guided";
+    case EngineKind::kPure: return "pure";
+    case EngineKind::kConcolic: return "concolic";
+  }
+  return "?";
+}
+
+std::optional<EngineKind> parse_engine_kind(std::string_view s) {
+  if (s == "guided") return EngineKind::kGuided;
+  if (s == "pure") return EngineKind::kPure;
+  if (s == "concolic") return EngineKind::kConcolic;
+  return std::nullopt;
+}
+
+std::optional<std::vector<EngineKind>> parse_engines(std::string_view csv) {
+  std::vector<EngineKind> out;
+  while (!csv.empty()) {
+    const std::size_t comma = csv.find(',');
+    const std::string_view tok = csv.substr(0, comma);
+    const auto kind = parse_engine_kind(tok);
+    if (!kind.has_value()) return std::nullopt;
+    out.push_back(*kind);
+    if (comma == std::string_view::npos) break;
+    csv.remove_prefix(comma + 1);
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
 
 // Renders the result's accounting into the named metrics registry. Counters
 // and histograms here are schedule-invariant: the shared-cache-hit vs
@@ -47,6 +79,23 @@ void StatSymEngine::fill_metrics(EngineResult& res,
   m.add("symexec.candidates_cancelled", res.candidates_cancelled);
   m.add("symexec.paths_explored", res.paths_explored);
   m.add("symexec.instructions", res.instructions);
+
+  // Engine-race counters appear only when Phase 3 actually raced lanes, so
+  // classic single-engine metric renderings are byte-identical to before.
+  if (!res.lanes.empty()) {
+    m.add("engine.lanes", res.lanes.size());
+    std::size_t cancelled = 0;
+    std::size_t winner = 0;  // 1-based priority; 0 = no lane won
+    std::uint64_t concolic_runs = 0;
+    for (const auto& l : res.lanes) {
+      if (l.termination == symexec::Termination::kCancelled) ++cancelled;
+      if (l.found && winner == 0) winner = l.priority + 1;
+      concolic_runs += l.concolic_runs;
+    }
+    m.add("engine.lanes_cancelled", cancelled);
+    m.add("engine.winner_priority", winner);
+    m.add("engine.concolic_runs", concolic_runs);
+  }
 
   const solver::SolverStats& ss = res.solver_stats;
   m.add("solver.queries", ss.queries);
@@ -280,7 +329,18 @@ EngineResult StatSymEngine::run_on(const stats::SuffStats& suff) {
   Stopwatch exec_sw;
   const std::size_t n_try =
       std::min(res.construction.candidates.size(), opts_.max_candidates_tried);
-  run_portfolio(res, failure, n_try);
+  std::vector<EngineKind> lanes = opts_.engines;
+  if (opts_.enable_concolic &&
+      std::find(lanes.begin(), lanes.end(), EngineKind::kConcolic) ==
+          lanes.end()) {
+    lanes.push_back(EngineKind::kConcolic);
+  }
+  if (lanes.empty()) lanes.push_back(EngineKind::kGuided);
+  if (lanes.size() == 1 && lanes[0] == EngineKind::kGuided) {
+    run_portfolio(res, failure, n_try);  // the classic Phase 3, untouched
+  } else {
+    run_engines(res, failure, n_try, lanes);
+  }
   res.symexec_seconds = exec_sw.elapsed_seconds();
   if (trace != nullptr) {
     trace->emit(obs::EventKind::kPhaseEnd, 0, 0, 0, "symexec");
@@ -291,6 +351,12 @@ EngineResult StatSymEngine::run_on(const stats::SuffStats& suff) {
 
 void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
                                   std::size_t n_try) {
+  run_portfolio(res, failure, n_try, PortfolioEnv{});
+}
+
+void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
+                                  std::size_t n_try,
+                                  const PortfolioEnv& env) {
   if (n_try == 0) return;
   const std::size_t nthreads = effective_threads(opts_.num_threads);
   const std::size_t width = std::max<std::size_t>(
@@ -314,18 +380,23 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
   // semantics): memory and live states describe the machine, so concurrent
   // candidates share one pool; the instruction budget is the sequential
   // total (each of the n_try candidates brought its own cap).
-  symexec::SharedBudget budget;
-  budget.max_memory_bytes = opts_.exec.max_memory_bytes;
-  budget.max_live_states = opts_.exec.max_live_states;
-  budget.max_instructions =
+  symexec::SharedBudget own_budget;
+  own_budget.max_memory_bytes = opts_.exec.max_memory_bytes;
+  own_budget.max_live_states = opts_.exec.max_live_states;
+  own_budget.max_instructions =
       opts_.exec.max_instructions > ~0ull / n_try
           ? ~0ull
           : opts_.exec.max_instructions * n_try;
+  symexec::SharedBudget& budget =
+      env.budget != nullptr ? *env.budget : own_budget;
 
   // One query cache across the whole portfolio: a candidate's canonical
   // solver results warm its siblings' lookups. Safe for determinism because
-  // only pure-function results are published (DESIGN.md §"Solver").
-  solver::SharedQueryCache shared_queries;
+  // only pure-function results are published (DESIGN.md §"Solver"). In the
+  // engine race the cache comes from outside and additionally spans lanes.
+  solver::SharedQueryCache own_queries;
+  solver::SharedQueryCache& shared_queries =
+      env.shared_queries != nullptr ? *env.shared_queries : own_queries;
 
   // Per-candidate trace buffers (lane = 1-based rank). Each is written only
   // by the worker running that candidate; after the join, the buffers of the
@@ -343,6 +414,9 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
 
   auto attempt = [&](std::size_t ci) {
     if (cancel[ci].load(std::memory_order_relaxed)) return;
+    if (env.stop != nullptr && env.stop->load(std::memory_order_relaxed)) {
+      return;
+    }
     CandidateGuidance guidance(m_, res.construction.candidates[ci],
                                res.predicates, opts_.guidance);
     symexec::ExecOptions exec_opts = opts_.exec;
@@ -364,6 +438,7 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     ex.set_guidance(&guidance);
     ex.set_searcher(std::make_unique<GuidedSearcher>());
     ex.set_stop_flag(&cancel[ci]);
+    if (env.stop != nullptr) ex.set_extra_stop_flag(env.stop);
     ex.set_shared_budget(&budget);
     if (opts_.share_solver_cache) ex.set_shared_solver_cache(&shared_queries);
     if (tracer_ != nullptr) {
@@ -414,10 +489,242 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     res.paths_explored += slots[ci].result.stats.paths_explored;
     res.instructions += slots[ci].result.stats.instructions;
     res.solver_stats += slots[ci].result.solver_stats;
-    if (tracer_ != nullptr) tracer_->absorb(std::move(slot_traces[ci]));
+    if (tracer_ != nullptr) {
+      if (env.sink != nullptr) {
+        env.sink->append(std::move(slot_traces[ci]));
+      } else {
+        tracer_->absorb(std::move(slot_traces[ci]));
+      }
+    }
   }
   res.candidates_cancelled = n_try - counted;
   res.last_exec_stats = slots[counted - 1].result.stats;
+}
+
+void StatSymEngine::run_engines(EngineResult& res, monitor::LocId failure,
+                                std::size_t n_try,
+                                const std::vector<EngineKind>& lanes) {
+  const std::size_t nlanes = lanes.size();
+  const std::string target =
+      m_.function(monitor::loc_function(failure)).name;
+
+  // Per-lane race state, mirroring the candidate portfolio: a lane is
+  // cancelled only when a *better-priority* lane has already verified the
+  // vuln, so every lane at or before the eventual winner runs to its
+  // natural termination and the winner is schedule-independent.
+  std::deque<std::atomic<bool>> lane_cancel(nlanes);
+  std::atomic<std::size_t> best{nlanes};
+  std::mutex best_mu;
+
+  // Machine-global budget across the race. The guided lane brings one
+  // instruction-budget unit per candidate it may try; every other lane
+  // brings one.
+  std::size_t units = nlanes;
+  for (const EngineKind k : lanes) {
+    if (k == EngineKind::kGuided) units += n_try > 0 ? n_try - 1 : 0;
+  }
+  units = std::max<std::size_t>(units, 1);
+  symexec::SharedBudget budget;
+  budget.max_memory_bytes = opts_.exec.max_memory_bytes;
+  budget.max_live_states = opts_.exec.max_live_states;
+  budget.max_instructions = opts_.exec.max_instructions > ~0ull / units
+                                ? ~0ull
+                                : opts_.exec.max_instructions * units;
+
+  // One query cache for everything: a concolic negation solve warms a
+  // symbolic lane's fork probe and vice versa (fingerprints are
+  // pool-independent, results pure functions of the slice).
+  solver::SharedQueryCache shared_queries;
+
+  struct Lane {
+    bool found{false};
+    symexec::Termination termination{symexec::Termination::kExhausted};
+    std::optional<symexec::VulnPath> vuln;
+    std::uint64_t paths{0};
+    std::uint64_t instructions{0};
+    std::uint64_t concolic_runs{0};
+    solver::SolverStats solver_stats;
+    double seconds{0.0};
+    // Guided-lane bookkeeping, applied to `res` only if the lane counts.
+    std::size_t candidates_tried{0};
+    std::size_t candidates_cancelled{0};
+    std::size_t winning_candidate{0};
+    symexec::ExecStats last_exec_stats;
+  };
+  std::vector<Lane> lane_out(nlanes);
+
+  // Lane trace buffers live at ids 100 + priority, distinct from the
+  // candidate buffers (1-based rank) the guided lane nests inside its own.
+  std::vector<obs::TraceBuffer> lane_traces;
+  if (tracer_ != nullptr) {
+    lane_traces.reserve(nlanes);
+    for (std::size_t p = 0; p < nlanes; ++p) {
+      lane_traces.push_back(
+          tracer_->make_worker_buffer(static_cast<std::uint32_t>(100 + p)));
+    }
+  }
+
+  auto run_lane = [&](std::size_t p) {
+    Lane& L = lane_out[p];
+    if (lane_cancel[p].load(std::memory_order_relaxed)) {
+      L.termination = symexec::Termination::kCancelled;
+      return;
+    }
+    obs::TraceBuffer* lt = tracer_ != nullptr ? &lane_traces[p] : nullptr;
+    const EngineKind kind = lanes[p];
+    if (lt != nullptr) {
+      lt->emit(obs::EventKind::kEngineLaneBegin,
+               static_cast<std::int64_t>(p), static_cast<std::int64_t>(kind),
+               0, engine_kind_name(kind));
+    }
+    Stopwatch sw;
+    switch (kind) {
+      case EngineKind::kGuided: {
+        EngineResult gres;
+        gres.construction = res.construction;
+        gres.predicates = res.predicates;
+        PortfolioEnv env;
+        env.stop = &lane_cancel[p];
+        env.budget = &budget;
+        if (opts_.share_solver_cache) env.shared_queries = &shared_queries;
+        env.sink = lt;
+        run_portfolio(gres, failure, n_try, env);
+        L.found = gres.found;
+        L.vuln = std::move(gres.vuln);
+        L.paths = gres.paths_explored;
+        L.instructions = gres.instructions;
+        L.solver_stats = gres.solver_stats;
+        L.candidates_tried = gres.candidates_tried;
+        L.candidates_cancelled = gres.candidates_cancelled;
+        L.winning_candidate = gres.winning_candidate;
+        L.last_exec_stats = gres.last_exec_stats;
+        L.termination =
+            L.found ? symexec::Termination::kFoundFault
+            : lane_cancel[p].load(std::memory_order_relaxed)
+                ? symexec::Termination::kCancelled
+                : symexec::Termination::kExhausted;
+        break;
+      }
+      case EngineKind::kPure: {
+        symexec::ExecOptions eo = opts_.exec;
+        eo.max_seconds = opts_.candidate_timeout_seconds;
+        // Independent deterministic stream per lane: keyed by priority,
+        // offset so it never collides with a candidate's derive_seed(ci).
+        eo.seed = derive_seed(opts_.exec.seed, 1000 + p);
+        if (eo.target_function.empty()) eo.target_function = target;
+        symexec::SymExecutor ex(m_, spec_, eo);
+        ex.set_stop_flag(&lane_cancel[p]);
+        ex.set_shared_budget(&budget);
+        if (opts_.share_solver_cache) {
+          ex.set_shared_solver_cache(&shared_queries);
+        }
+        if (lt != nullptr) {
+          lt->emit(obs::EventKind::kExecBegin, 0);
+          ex.set_trace(lt);
+        }
+        symexec::ExecResult er = ex.run();
+        L.found = er.termination == symexec::Termination::kFoundFault &&
+                  er.vuln.has_value();
+        L.termination = er.termination;
+        L.vuln = std::move(er.vuln);
+        L.paths = er.stats.paths_explored;
+        L.instructions = er.stats.instructions;
+        L.solver_stats = er.solver_stats;
+        break;
+      }
+      case EngineKind::kConcolic: {
+        concolic::ConcolicOptions co;
+        co.exec = opts_.exec;
+        co.exec.max_seconds = opts_.candidate_timeout_seconds;
+        if (co.exec.target_function.empty()) co.exec.target_function = target;
+        co.max_runs = opts_.concolic_max_runs;
+        co.seed = derive_seed(opts_.exec.seed, 2000 + p);
+        concolic::ConcolicExecutor ce(m_, spec_, co);
+        ce.set_stop_flag(&lane_cancel[p]);
+        ce.set_shared_budget(&budget);
+        if (opts_.share_solver_cache) {
+          ce.set_shared_solver_cache(&shared_queries);
+        }
+        if (lt != nullptr) ce.set_trace(lt);
+        concolic::ConcolicResult cr = ce.run();
+        L.found = cr.termination == symexec::Termination::kFoundFault &&
+                  cr.vuln.has_value();
+        L.termination = cr.termination;
+        L.vuln = std::move(cr.vuln);
+        L.paths = cr.stats.runs;  // one followed path per concrete run
+        L.instructions = cr.stats.instructions;
+        L.concolic_runs = cr.stats.runs;
+        L.solver_stats = cr.solver_stats;
+        break;
+      }
+    }
+    L.seconds = sw.elapsed_seconds();
+    if (lt != nullptr) {
+      lt->emit(obs::EventKind::kEngineLaneEnd, static_cast<std::int64_t>(p),
+               L.found ? 1 : 0, static_cast<std::int64_t>(L.termination),
+               engine_kind_name(kind));
+    }
+    if (L.found) {
+      std::lock_guard<std::mutex> lock(best_mu);
+      if (p < best.load(std::memory_order_relaxed)) {
+        best.store(p, std::memory_order_relaxed);
+        for (std::size_t j = p + 1; j < nlanes; ++j) {
+          lane_cancel[j].store(true, std::memory_order_relaxed);
+        }
+      }
+    }
+  };
+
+  {
+    const std::size_t nthreads = effective_threads(opts_.num_threads);
+    ThreadPool pool(std::max<std::size_t>(1, std::min(nlanes, nthreads)));
+    std::vector<std::future<void>> futs;
+    futs.reserve(nlanes);
+    for (std::size_t p = 0; p < nlanes; ++p) {
+      futs.push_back(pool.submit([&run_lane, p] { run_lane(p); }));
+    }
+    for (auto& f : futs) f.get();
+  }
+
+  const std::size_t winner = best.load(std::memory_order_relaxed);
+  const std::size_t counted = winner < nlanes ? winner + 1 : nlanes;
+
+  // Counted-prefix accounting plus normalization: lanes ranked after the
+  // winner report kCancelled with zero stats however far they ran, and
+  // their trace buffers are dropped — identical output at any schedule.
+  res.lanes.resize(nlanes);
+  for (std::size_t p = 0; p < nlanes; ++p) {
+    EngineLaneResult& out = res.lanes[p];
+    out.kind = lanes[p];
+    out.priority = p;
+    if (p >= counted) {
+      out.termination = symexec::Termination::kCancelled;
+      continue;
+    }
+    Lane& L = lane_out[p];
+    out.found = L.found;
+    out.termination = L.termination;
+    out.paths_explored = L.paths;
+    out.instructions = L.instructions;
+    out.concolic_runs = L.concolic_runs;
+    out.solver_stats = L.solver_stats;
+    out.seconds = L.seconds;
+    res.paths_explored += L.paths;
+    res.instructions += L.instructions;
+    res.solver_stats += L.solver_stats;
+    if (lanes[p] == EngineKind::kGuided) {
+      res.candidates_tried = L.candidates_tried;
+      res.candidates_cancelled = L.candidates_cancelled;
+      res.winning_candidate = L.winning_candidate;
+      res.last_exec_stats = L.last_exec_stats;
+    }
+    if (tracer_ != nullptr) tracer_->absorb(std::move(lane_traces[p]));
+  }
+  if (winner < nlanes) {
+    res.found = true;
+    res.vuln = std::move(lane_out[winner].vuln);
+    res.winning_engine = lanes[winner];
+  }
 }
 
 std::vector<EngineResult> StatSymEngine::run_all(std::size_t max_vulns) {

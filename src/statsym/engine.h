@@ -26,6 +26,7 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "monitor/monitor.h"
@@ -40,6 +41,18 @@
 #include "symexec/executor.h"
 
 namespace statsym::core {
+
+// The engines that can race in Phase 3 (DESIGN.md §11). Guided is the
+// classic statistics-guided portfolio over ranked candidate paths; pure is
+// the unguided KLEE-style baseline; concolic is the generational-search DSE
+// backend (src/concolic/).
+enum class EngineKind : std::uint8_t { kGuided, kPure, kConcolic };
+
+const char* engine_kind_name(EngineKind k);
+std::optional<EngineKind> parse_engine_kind(std::string_view s);
+// Parses a comma-separated lane list ("guided,pure,concolic", order =
+// priority). Empty input or any unknown name yields nullopt.
+std::optional<std::vector<EngineKind>> parse_engines(std::string_view csv);
 
 struct EngineOptions {
   monitor::MonitorOptions monitor{};     // sampling rate etc.
@@ -81,12 +94,43 @@ struct EngineOptions {
   // and reports stay byte-identical at any --jobs with this on or off.
   bool share_solver_cache{true};
 
+  // --- engine race --------------------------------------------------------
+  // Phase-3 lanes in priority order (`--engines` in the CLI). The default —
+  // a single guided lane — runs the classic candidate portfolio unchanged.
+  // With more than one lane the engines race under first-win cancellation:
+  // the best-priority lane that verifies the vuln wins and only *worse*
+  // lanes are cancelled, so every lane at or before the winner runs to its
+  // natural termination and the reported winner, witness, stats, and traces
+  // are byte-identical at any --jobs.
+  std::vector<EngineKind> engines{EngineKind::kGuided};
+  // Convenience switch (`--concolic`): appends a concolic lane after the
+  // configured engines if one is not already present.
+  bool enable_concolic{false};
+  // Concrete executions the concolic lane may perform.
+  std::size_t concolic_max_runs{512};
+
   std::uint64_t seed{42};
 };
 
 // Produces one random program input per call (the "testing inputs" of
 // Fig. 3). Implementations live in src/apps/workload.*.
 using WorkloadGen = std::function<interp::RuntimeInput(Rng&)>;
+
+// Per-lane accounting for the engine race. Lanes ranked after the winner
+// are *normalized* (termination kCancelled, zero stats) no matter how far
+// they actually got, mirroring the counted-prefix rule the candidate
+// portfolio uses — that is what keeps the whole vector deterministic.
+struct EngineLaneResult {
+  EngineKind kind{EngineKind::kGuided};
+  std::size_t priority{0};  // position in EngineOptions::engines
+  bool found{false};
+  symexec::Termination termination{symexec::Termination::kCancelled};
+  std::uint64_t paths_explored{0};  // concolic: concrete runs
+  std::uint64_t instructions{0};
+  std::uint64_t concolic_runs{0};   // 0 for non-concolic lanes
+  solver::SolverStats solver_stats;
+  double seconds{0.0};  // wall clock; the one nondeterministic field
+};
 
 struct EngineResult {
   bool found{false};
@@ -121,6 +165,11 @@ struct EngineResult {
   // have started) and cut short once the winner was known.
   std::size_t candidates_cancelled{0};
   symexec::ExecStats last_exec_stats;
+
+  // Engine-race accounting; empty when Phase 3 ran the default single
+  // guided lane. `winning_engine` is meaningful only when `found`.
+  std::vector<EngineLaneResult> lanes;
+  EngineKind winning_engine{EngineKind::kGuided};
 
   // Named pipeline metrics (obs/metrics.h). Every counter and histogram in
   // here is schedule-invariant — values that depend on which worker got
@@ -197,11 +246,30 @@ class StatSymEngine {
   // share.
   EngineResult run_on(const stats::SuffStats& suff);
 
+  // External resources a run_portfolio call inherits when it executes as a
+  // lane of the engine race; all-null means the portfolio owns its own (the
+  // classic single-engine Phase 3).
+  struct PortfolioEnv {
+    const std::atomic<bool>* stop{nullptr};    // lane-race cancel flag
+    symexec::SharedBudget* budget{nullptr};    // race-wide budget
+    solver::SharedQueryCache* shared_queries{nullptr};
+    obs::TraceBuffer* sink{nullptr};  // absorb candidate traces here
+                                      // instead of the tracer root
+  };
+
   // Phase 3: runs the top n_try candidates as a portfolio on the worker
   // pool, cancelling candidates ranked after the best success. Fills the
   // symbolic-execution fields of `res`.
   void run_portfolio(EngineResult& res, monitor::LocId failure,
                      std::size_t n_try);
+  void run_portfolio(EngineResult& res, monitor::LocId failure,
+                     std::size_t n_try, const PortfolioEnv& env);
+
+  // Phase 3 with multiple lanes racing (lanes.size() >= 2 or a single
+  // non-guided lane): first win by priority, worse lanes cancelled,
+  // counted-prefix accounting over lanes at or before the winner.
+  void run_engines(EngineResult& res, monitor::LocId failure,
+                   std::size_t n_try, const std::vector<EngineKind>& lanes);
 
   // Renders the result + ingestion accounting into res.metrics.
   void fill_metrics(EngineResult& res, const stats::SuffStats& suff) const;

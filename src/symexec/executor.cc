@@ -32,7 +32,8 @@ SymExecutor::SymExecutor(const ir::Module& m, SymInputSpec spec,
 }
 
 ObjId SymExecutor::make_input_object(State& st, const SymStr& s,
-                                     const std::string& label) {
+                                     const std::string& label,
+                                     const std::string* follow_value) {
   if (!s.symbolic) {
     const auto size = static_cast<std::int64_t>(s.concrete.size()) + 1;
     const ObjId id = st.mem.alloc(size, label);
@@ -50,6 +51,17 @@ ObjId SymExecutor::make_input_object(State& st, const SymStr& s,
     const solver::VarId v =
         pool_.new_var(s.name + "[" + std::to_string(i) + "]", 0, 255);
     reg.vars.push_back(v);
+    if (follow_) {
+      // Bytes past the driving string read 0, matching the concrete
+      // interpreter's NUL-terminated allocation.
+      const std::int64_t b =
+          (follow_value != nullptr &&
+           i < static_cast<std::int64_t>(follow_value->size()))
+              ? static_cast<std::uint8_t>(
+                    (*follow_value)[static_cast<std::size_t>(i)])
+              : 0;
+      follow_vals_[v] = b;
+    }
     st.mem.write(id, i, SymByte::symbolic(pool_.var_expr(v)));
   }
   // Pin the final byte to NUL so every path sees a terminated string within
@@ -72,11 +84,19 @@ void SymExecutor::build_initial_state() {
     }
   }
   for (std::size_t i = 0; i < spec_.argv.size(); ++i) {
+    const std::string* fv =
+        follow_ && i < follow_input_.argv.size() ? &follow_input_.argv[i]
+                                                 : nullptr;
     argv_objs_.push_back(
-        make_input_object(*st, spec_.argv[i], "argv" + std::to_string(i)));
+        make_input_object(*st, spec_.argv[i], "argv" + std::to_string(i), fv));
   }
   for (const auto& [name, s] : spec_.env) {
-    env_objs_[name] = make_input_object(*st, s, "env:" + name);
+    const std::string* fv = nullptr;
+    if (follow_) {
+      auto it = follow_input_.env.find(name);
+      if (it != follow_input_.env.end()) fv = &it->second;
+    }
+    env_objs_[name] = make_input_object(*st, s, "env:" + name, fv);
   }
 
   const ir::FuncId entry = m_.entry();
@@ -123,8 +143,28 @@ bool SymExecutor::add_constraint(State& st, solver::ExprId e) {
   return st.pc.add(pool_, e) != PathConstraints::Quick::kUnsat;
 }
 
+std::int64_t SymExecutor::follow_eval(solver::ExprId e) const {
+  return pool_.eval(e, follow_vals_);
+}
+
+void SymExecutor::follow_decide(State& st, solver::ExprId taken,
+                                solver::ExprId negated) {
+  decisions_.push_back(Decision{taken, negated, st.pc.list().size()});
+  // `taken` holds under the concrete valuation, which also satisfies every
+  // earlier constraint on this path, so the add can never prove unsat
+  // (interval propagation is sound).
+  add_constraint(st, taken);
+}
+
 std::int64_t SymExecutor::concretize(State& st, solver::ExprId e) {
   if (pool_.is_const(e)) return pool_.const_val(e);
+  if (follow_) {
+    // Pin to the value the driving input induces — the concrete execution's
+    // choice, not a solver model's.
+    const std::int64_t v = follow_eval(e);
+    add_constraint(st, pool_.eq(e, pool_.constant(v)));
+    return v;
+  }
   const auto res = solver_.check(st.pc.list());
   std::int64_t v;
   if (res.sat == solver::Sat::kSat) {
@@ -147,19 +187,28 @@ SymExecutor::StepResult SymExecutor::apply_hook(State& st, monitor::LocId loc) {
 SymExecutor::StepResult SymExecutor::fault_state(State& st,
                                                  interp::FaultKind kind,
                                                  std::string detail) {
-  // Validate the path end-to-end with the full solver; an unsatisfiable
-  // constraint set means the optimistic quick checks walked an infeasible
-  // path — discard rather than report a false positive. Uses the dedicated
-  // high-budget validation solver (sharing the query cache).
-  solver::Solver validator(pool_, opts_.fault_solver_opts);
-  validator.set_cache(&cache_);
-  if (shared_cache_ != nullptr) validator.set_shared_cache(shared_cache_);
-  if (trace_ != nullptr) validator.set_trace(trace_);
-  const auto res = validator.check(st.pc.list());
-  validator_stats_ += validator.stats();
-  if (res.sat == solver::Sat::kUnsat) return StepResult::kInfeasible;
-
   VulnPath v;
+  if (follow_) {
+    // Follow mode reached this fault by concretely executing the driving
+    // input, so that input IS the witness: no validation query is needed and
+    // the concrete valuation is the model.
+    v.model = follow_vals_;
+    v.model_valid = true;
+  } else {
+    // Validate the path end-to-end with the full solver; an unsatisfiable
+    // constraint set means the optimistic quick checks walked an infeasible
+    // path — discard rather than report a false positive. Uses the dedicated
+    // high-budget validation solver (sharing the query cache).
+    solver::Solver validator(pool_, opts_.fault_solver_opts);
+    validator.set_cache(&cache_);
+    if (shared_cache_ != nullptr) validator.set_shared_cache(shared_cache_);
+    if (trace_ != nullptr) validator.set_trace(trace_);
+    const auto res = validator.check(st.pc.list());
+    validator_stats_ += validator.stats();
+    if (res.sat == solver::Sat::kUnsat) return StepResult::kInfeasible;
+    v.model_valid = (res.sat == solver::Sat::kSat);
+    if (v.model_valid) v.model = res.model;
+  }
   v.kind = kind;
   v.function = m_.function(st.top().func).name;
   // Attribute faults inside library-internal frames to the first user-level
@@ -176,8 +225,6 @@ SymExecutor::StepResult SymExecutor::fault_state(State& st,
   v.detail = std::move(detail);
   v.trace = st.trace;
   v.constraints = st.pc.list();
-  v.model_valid = (res.sat == solver::Sat::kSat);
-  if (v.model_valid) v.model = res.model;
   v.input = reconstruct_input(v.model);
   pending_vuln_ = std::move(v);
   return StepResult::kFault;
@@ -230,6 +277,16 @@ SymExecutor::StepResult SymExecutor::exec_branch(State& st,
   }
   const solver::ExprId te = pool_.truthy(cond.expr);
   const solver::ExprId fe = pool_.lnot(te);
+  if (follow_) {
+    // Concolic follow: take the direction the concrete valuation dictates,
+    // record the decision, never fork.
+    const bool taken_true = follow_eval(te) != 0;
+    follow_decide(st, taken_true ? te : fe, taken_true ? fe : te);
+    f.block = taken_true ? in.t0 : in.t1;
+    f.idx = 0;
+    st.depth++;
+    return StepResult::kContinue;
+  }
   const bool ok_t = feasible(st, te);
   const bool ok_f = feasible(st, fe);
   if (ok_t && ok_f) {
@@ -330,17 +387,28 @@ SymExecutor::StepResult SymExecutor::exec_bin(State& st, const ir::Instr& in) {
   const solver::ExprId be = b.to_expr(pool_);
 
   if (in.bin == ir::BinOp::kDiv || in.bin == ir::BinOp::kRem) {
-    // Fork off the division-by-zero fault when it is reachable, then
-    // continue under the b != 0 constraint.
     const solver::ExprId dz = pool_.eq(be, pool_.constant(0));
-    if (feasible(st, dz)) {
-      if (add_constraint(st, dz)) {
+    const solver::ExprId nz = pool_.ne(be, pool_.constant(0));
+    if (follow_) {
+      // The divisor's concrete value decides: fault or proceed, either way a
+      // recorded decision point.
+      if (follow_eval(be) == 0) {
+        follow_decide(st, dz, nz);
         return fault_state(st, interp::FaultKind::kDivByZero, "");
       }
-      return StepResult::kInfeasible;
-    }
-    if (!add_constraint(st, pool_.ne(be, pool_.constant(0)))) {
-      return StepResult::kInfeasible;
+      follow_decide(st, nz, dz);
+    } else {
+      // Fork off the division-by-zero fault when it is reachable, then
+      // continue under the b != 0 constraint.
+      if (feasible(st, dz)) {
+        if (add_constraint(st, dz)) {
+          return fault_state(st, interp::FaultKind::kDivByZero, "");
+        }
+        return StepResult::kInfeasible;
+      }
+      if (!add_constraint(st, nz)) {
+        return StepResult::kInfeasible;
+      }
     }
   }
 
@@ -406,6 +474,22 @@ bool SymExecutor::resolve_address(State& st, const ir::Instr& in,
       pool_.add(idxv.expr, pool_.constant(refv.conc.off));
   const solver::ExprId oob = pool_.lor(pool_.lt(addr_e, pool_.constant(0)),
                                        pool_.ge(addr_e, pool_.constant(size)));
+  if (follow_) {
+    const std::int64_t addr = follow_eval(addr_e);
+    const solver::ExprId inb = pool_.lnot(oob);
+    if (addr < 0 || addr >= size) {
+      follow_decide(st, oob, inb);
+      mem_step_result_ =
+          fault_state(st, oob_kind, st.mem.label(obj) + "[symbolic]");
+      return false;
+    }
+    follow_decide(st, inb, oob);
+    // Pin the exact address so subsequent byte accesses read/write the cells
+    // the concrete execution touches.
+    add_constraint(st, pool_.eq(addr_e, pool_.constant(addr)));
+    addr_out = addr;
+    return true;
+  }
   if (feasible(st, oob)) {
     if (add_constraint(st, oob)) {
       mem_step_result_ =
@@ -636,6 +720,14 @@ SymExecutor::StepResult SymExecutor::step(State& st) {
     case ir::Opcode::kMakeSymInt: {
       const solver::VarId v = pool_.new_var(in.str, in.imm, in.imm2);
       if (!sym_ints_.contains(in.str)) sym_ints_.emplace(in.str, v);
+      if (follow_) {
+        std::int64_t cv = in.imm;  // default: domain minimum, as the interp
+        if (auto it = follow_input_.sym_ints.find(in.str);
+            it != follow_input_.sym_ints.end()) {
+          cv = std::clamp(it->second, in.imm, in.imm2);
+        }
+        follow_vals_[v] = cv;
+      }
       set(in.dst, SymValue::symbolic(pool_.var_expr(v)));
       ++f.idx;
       return StepResult::kContinue;
@@ -654,6 +746,17 @@ SymExecutor::StepResult SymExecutor::step(State& st) {
         const solver::VarId v =
             pool_.new_var(in.str + "[" + std::to_string(i) + "]", 0, 255);
         breg.vars.push_back(v);
+        if (follow_) {
+          const std::int64_t rel = i - r.conc.off;
+          std::int64_t bv = 0;
+          if (auto it = follow_input_.sym_bufs.find(in.str);
+              it != follow_input_.sym_bufs.end() &&
+              rel < static_cast<std::int64_t>(it->second.size())) {
+            bv = static_cast<std::uint8_t>(
+                it->second[static_cast<std::size_t>(rel)]);
+          }
+          follow_vals_[v] = bv;
+        }
         st.mem.write(obj, i, SymByte::symbolic(pool_.var_expr(v)));
       }
       if (size > r.conc.off) st.mem.write(obj, size - 1, SymByte::concrete(0));
@@ -672,6 +775,15 @@ SymExecutor::StepResult SymExecutor::step(State& st) {
       }
       const solver::ExprId ok = pool_.truthy(c.expr);
       const solver::ExprId bad = pool_.lnot(ok);
+      if (follow_) {
+        if (follow_eval(ok) != 0) {
+          follow_decide(st, ok, bad);
+          ++f.idx;
+          return StepResult::kContinue;
+        }
+        follow_decide(st, bad, ok);
+        return fault_state(st, interp::FaultKind::kAssertFail, "");
+      }
       if (feasible(st, bad)) {
         if (add_constraint(st, bad)) {
           return fault_state(st, interp::FaultKind::kAssertFail, "");
@@ -732,12 +844,20 @@ ExecResult SymExecutor::run() {
   std::uint64_t iter = 0;
   Termination term = Termination::kExhausted;
 
-  auto destroy = [&](State* st) { owned_.erase(st->id); };
+  auto destroy = [&](State* st) {
+    // Follow mode runs exactly one state; keep its final constraint list so
+    // the concolic driver can slice decision prefixes out of it.
+    if (follow_) followed_pc_ = st->pc.list();
+    owned_.erase(st->id);
+  };
 
   bool done = false;
   while (!done) {
     ++iter;
-    if (stop_flag_ != nullptr && stop_flag_->load(std::memory_order_relaxed)) {
+    if ((stop_flag_ != nullptr &&
+         stop_flag_->load(std::memory_order_relaxed)) ||
+        (stop_flag2_ != nullptr &&
+         stop_flag2_->load(std::memory_order_relaxed))) {
       term = Termination::kCancelled;
       break;
     }
@@ -895,6 +1015,11 @@ ExecResult SymExecutor::run() {
   // still reports success.
   if (result.vuln.has_value() && term == Termination::kExhausted) {
     term = Termination::kFoundFault;
+  }
+  // Budget/cancellation stops leave the followed state alive: capture its
+  // partial path so already-recorded decisions stay sliceable.
+  if (follow_ && followed_pc_.empty() && !owned_.empty()) {
+    followed_pc_ = owned_.begin()->second->pc.list();
   }
 
   release_shared();

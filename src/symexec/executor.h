@@ -131,6 +131,18 @@ struct ExecResult {
   solver::SolverStats solver_stats;
 };
 
+// One decision point shadow-recorded in follow (concolic) mode: the branch
+// condition the concrete execution satisfied, its negation, and the length
+// of the path-constraint prefix in force *before* the decision. The PC list
+// is append-only, so `followed_path()[0..pc_prefix)` is exactly the prefix a
+// concolic driver must conjoin with `negated` to steer a new input down the
+// other side (generational search, SAGE-style).
+struct Decision {
+  solver::ExprId taken{solver::kNoExpr};
+  solver::ExprId negated{solver::kNoExpr};
+  std::size_t pc_prefix{0};
+};
+
 struct ExecOptions {
   SearcherKind searcher{SearcherKind::kDFS};
   std::uint64_t max_instructions{100'000'000};
@@ -203,6 +215,24 @@ class SymExecutor {
   // and terminates with kCancelled once it reads true. The flag must outlive
   // the run. Lower-latency than a hard stop and keeps per-state invariants.
   void set_stop_flag(const std::atomic<bool>* flag) { stop_flag_ = flag; }
+  // Second cancellation source, polled alongside the first. Used when this
+  // executor runs inside a portfolio candidate that itself races inside an
+  // engine lane: either level's cancellation stops the run.
+  void set_extra_stop_flag(const std::atomic<bool>* flag) {
+    stop_flag2_ = flag;
+  }
+  // Concolic follow mode: execution is driven by `input` instead of forking.
+  // Every symbolic input variable is bound to the concrete value `input`
+  // induces (missing entries default exactly as the concrete interpreter
+  // defaults them), every decision point — branch, assert, division by zero,
+  // symbolic address bounds — is resolved by evaluating its condition under
+  // that valuation, and the taken/negated condition pair is recorded in
+  // decisions(). Exactly one path executes; guidance must not be set.
+  void set_follow_input(interp::RuntimeInput input) {
+    follow_ = true;
+    follow_input_ = std::move(input);
+  }
+  bool follow_mode() const { return follow_; }
   // Opt this executor into a cross-worker budget (must outlive the run).
   void set_shared_budget(SharedBudget* budget) { budget_ = budget; }
   // Opt this executor's solvers (fork-time and fault validation) into a
@@ -240,6 +270,23 @@ class SymExecutor {
   // and pins it (adds e == value). Used for symbolic addresses/bitwise ops.
   std::int64_t concretize(State& st, solver::ExprId e);
 
+  // --- follow-mode results (valid after run()) ----------------------------
+  // The decision points of the followed path, in execution order.
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  // The followed path's full constraint list (prefix slices per Decision).
+  const std::vector<solver::ExprId>& followed_path() const {
+    return followed_pc_;
+  }
+  // The concrete valuation the driving input induced on the input variables.
+  const solver::Model& follow_valuation() const { return follow_vals_; }
+  // Rebuilds a concrete RuntimeInput from a model over this run's input
+  // variables (unconstrained bytes default to their domain minimum). This is
+  // how a concolic driver turns a negation-query model into the next
+  // concrete input, and it is total: every spec entry appears in the result.
+  interp::RuntimeInput input_from_model(const solver::Model& model) const {
+    return reconstruct_input(model);
+  }
+
  private:
   enum class StepResult : std::uint8_t {
     kContinue,
@@ -251,7 +298,15 @@ class SymExecutor {
   };
 
   void build_initial_state();
-  ObjId make_input_object(State& st, const SymStr& s, const std::string& label);
+  // `follow_value`: the concrete string driving this input in follow mode
+  // (null otherwise) — per-byte values land in follow_vals_.
+  ObjId make_input_object(State& st, const SymStr& s, const std::string& label,
+                          const std::string* follow_value = nullptr);
+
+  // Follow-mode helpers: evaluate an expression under the concrete
+  // valuation, and record a decision point before constraining to `taken`.
+  std::int64_t follow_eval(solver::ExprId e) const;
+  void follow_decide(State& st, solver::ExprId taken, solver::ExprId negated);
 
   StepResult step(State& st);
   StepResult exec_call(State& st, const ir::Instr& in);
@@ -300,6 +355,7 @@ class SymExecutor {
   std::vector<State*> suspended_;
   GuidanceHook* hook_{nullptr};
   const std::atomic<bool>* stop_flag_{nullptr};
+  const std::atomic<bool>* stop_flag2_{nullptr};
   obs::TraceBuffer* trace_{nullptr};
   SharedBudget* budget_{nullptr};
   // Last values published into budget_ (deltas keep the gauges exact).
@@ -325,6 +381,13 @@ class SymExecutor {
   };
   std::vector<SymBufReg> sym_bufs_;
   std::map<std::string, solver::VarId> sym_ints_;
+
+  // --- follow (concolic) mode ---------------------------------------------
+  bool follow_{false};
+  interp::RuntimeInput follow_input_;
+  solver::Model follow_vals_;          // input var -> concrete value
+  std::vector<Decision> decisions_;
+  std::vector<solver::ExprId> followed_pc_;
 };
 
 }  // namespace statsym::symexec

@@ -39,6 +39,7 @@ int usage() {
                "[--all]\n"
                "             [--jobs/-j N] [--portfolio K] [--stream] "
                "[--log-shard-size N]\n"
+               "             [--engines LIST] [--concolic]\n"
                "  statsym pure <app> [--searcher dfs|bfs|random|coverage] "
                "[--mem MB] [--time S]\n"
                "  statsym collect <app> <out-file> [--sampling R] [--seed N] "
@@ -57,6 +58,11 @@ int usage() {
                "                  retained log memory)\n"
                "  --log-shard-size N  logs per shard in --stream mode "
                "(default 64)\n"
+               "  --engines LIST  Phase-3 lanes racing in priority order,\n"
+               "                  comma-separated from guided|pure|concolic\n"
+               "                  (default guided); first win cancels worse\n"
+               "                  lanes, results identical at any --jobs\n"
+               "  --concolic      shorthand: append a concolic lane\n"
                "  --trace-out F   write the deterministic JSONL event trace\n"
                "                  (byte-identical at any --jobs)\n"
                "  --trace-chrome F  write a chrome://tracing JSON timeline\n"
@@ -76,6 +82,9 @@ struct Flags {
   std::size_t portfolio{4};  // concurrent candidates in Phase 3
   bool stream{false};        // shard-streamed statistics ingestion
   std::size_t log_shard_size{64};
+  bool log_shard_size_set{false};  // explicit --log-shard-size (for checks)
+  std::vector<core::EngineKind> engines{core::EngineKind::kGuided};
+  bool concolic{false};      // append a concolic lane
   std::string trace_out;     // deterministic JSONL event stream
   std::string trace_chrome;  // Chrome about://tracing JSON (wall-clocked)
   std::string metrics_out;   // metrics registry as JSON
@@ -127,6 +136,26 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       double v;
       if (!next(v)) return false;
       f.log_shard_size = static_cast<std::size_t>(v);
+      f.log_shard_size_set = true;
+    } else if (a == "--engines" || a.rfind("--engines=", 0) == 0) {
+      std::string list;
+      if (a == "--engines") {
+        if (i + 1 >= argc) return false;
+        list = argv[++i];
+      } else {
+        list = a.substr(std::strlen("--engines="));
+      }
+      const auto parsed = core::parse_engines(list);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--engines: bad lane list '%s' (comma-separated from "
+                     "guided|pure|concolic)\n",
+                     list.c_str());
+        return false;
+      }
+      f.engines = *parsed;
+    } else if (a == "--concolic") {
+      f.concolic = true;
     } else if (a == "--trace-out") {
       if (i + 1 >= argc) return false;
       f.trace_out = argv[++i];
@@ -194,7 +223,29 @@ core::EngineOptions engine_options(const Flags& f) {
   o.candidate_portfolio_width = f.portfolio;
   o.stream = f.stream;
   o.log_shard_size = f.log_shard_size;
+  o.engines = f.engines;
+  o.enable_concolic = f.concolic;
   return o;
+}
+
+// Satellite of DESIGN.md §10: flag combinations that would silently do
+// nothing. `collect` exists to write retained logs, which --stream folds
+// away, so the pair is a hard error; a --log-shard-size without --stream is
+// inert and gets a warning.
+bool check_stream_flags(const std::string& cmd, const Flags& f) {
+  if (cmd == "collect" && f.stream) {
+    std::fprintf(stderr,
+                 "error: 'collect' writes the retained logs, but --stream "
+                 "folds logs into statistics and drops them (nothing would "
+                 "be written). Drop --stream, or use 'run --stream'.\n");
+    return false;
+  }
+  if (f.log_shard_size_set && !f.stream) {
+    std::fprintf(stderr,
+                 "warning: --log-shard-size has no effect without --stream "
+                 "(batch mode retains every log)\n");
+  }
+  return true;
 }
 
 void print_result(const apps::AppSpec& app, const core::EngineResult& res) {
@@ -202,6 +253,14 @@ void print_result(const apps::AppSpec& app, const core::EngineResult& res) {
               core::format_predicates(app.module, res.predicates, 10).c_str());
   std::printf("%s\n",
               core::format_candidates(app.module, res.construction).c_str());
+  for (const auto& l : res.lanes) {
+    std::printf("lane %zu %-8s %-11s %llu paths, %llu instrs%s\n", l.priority,
+                core::engine_kind_name(l.kind),
+                symexec::termination_name(l.termination),
+                static_cast<unsigned long long>(l.paths_explored),
+                static_cast<unsigned long long>(l.instructions),
+                l.found ? "  << winner" : "");
+  }
   if (!res.found) {
     std::printf("vulnerable path NOT found (stat %.2fs, exec %.2fs, %llu "
                 "paths)\n",
@@ -375,12 +434,14 @@ int main(int argc, char** argv) {
   Flags f;
   if (cmd == "list") return cmd_list();
   if (cmd == "run" && argc >= 3 && parse_flags(argc, argv, 3, f)) {
+    if (!check_stream_flags(cmd, f)) return 2;
     return cmd_run(argv[2], f);
   }
   if (cmd == "pure" && argc >= 3 && parse_flags(argc, argv, 3, f)) {
     return cmd_pure(argv[2], f);
   }
   if (cmd == "collect" && argc >= 4 && parse_flags(argc, argv, 4, f)) {
+    if (!check_stream_flags(cmd, f)) return 2;
     return cmd_collect(argv[2], argv[3], f);
   }
   if (cmd == "dump" && argc >= 3) return cmd_dump(argv[2]);

@@ -39,9 +39,12 @@ int usage() {
       "    --sampling R         pipeline sampling rate (default 0.3)\n"
       "    --diff-inputs N      concrete inputs per program (default 8)\n"
       "    --min-pipeline-rate F  pass bar for oracle (b) (default 0.9)\n"
+      "    --engines LIST       comma list of guided,pure,concolic; more than\n"
+      "                         one engine arms the cross-engine oracle (d)\n"
       "    --no-shrink          keep failing programs unminimised\n"
-      "    --no-pipeline        skip oracle (b) (and (c))\n"
+      "    --no-pipeline        skip oracle (b) (and (c), (d))\n"
       "    --no-soundness       skip oracle (c)\n"
+      "    --no-cross-engine    skip oracle (d)\n"
       "    --repro-dir DIR      write reproducers here (default "
       "fuzz-repros)\n"
       "    --print-programs     one verdict line per program\n"
@@ -98,6 +101,21 @@ bool parse_flags(int argc, char** argv, int start, CliFlags& f) {
       f.opts.check_pipeline = false;
     } else if (a == "--no-soundness") {
       f.opts.check_soundness = false;
+    } else if (a == "--no-cross-engine") {
+      f.opts.check_cross_engine = false;
+    } else if ((a == "--engines" && i + 1 < argc) ||
+               a.rfind("--engines=", 0) == 0) {
+      const std::string list =
+          a[9] == '=' ? a.substr(10) : std::string(argv[++i]);
+      const auto parsed = core::parse_engines(list);
+      if (!parsed) {
+        std::fprintf(stderr,
+                     "--engines wants a comma list of guided,pure,concolic "
+                     "(got '%s')\n",
+                     list.c_str());
+        return false;
+      }
+      f.opts.engines = *parsed;
     } else if (a == "--repro-dir" && i + 1 < argc) {
       f.opts.repro_dir = argv[++i];
     } else if (a == "--print-programs") {
@@ -131,6 +149,14 @@ int cmd_campaign(const CliFlags& f) {
       static_cast<unsigned long long>(f.opts.seed), cr.programs.size(),
       cr.planted, cr.divergences, cr.pipeline_misses, cr.soundness_failures,
       cr.pipeline_rate() * 100.0, f.opts.min_pipeline_rate * 100.0);
+  const bool multi_engine =
+      f.opts.engines.size() > 1 ||
+      (f.opts.engines.size() == 1 &&
+       f.opts.engines[0] != core::EngineKind::kGuided);
+  if (multi_engine && f.opts.check_pipeline && f.opts.check_cross_engine) {
+    std::printf("cross-engine: %zu disagreements, concolic rate %.0f%%\n",
+                cr.cross_engine_failures, cr.concolic_rate() * 100.0);
+  }
   const bool ok = cr.passed(f.opts);
   std::printf("verdict: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;

@@ -1,0 +1,354 @@
+// Tests for the concolic backend: symexec follow mode (concrete-driven
+// single-path execution with shadow-recorded decisions), the generational
+// search driver, witness replayability, and lane-level resource controls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "apps/stdlib.h"
+#include "concolic/concolic.h"
+#include "interp/interpreter.h"
+#include "ir/builder.h"
+#include "obs/trace.h"
+#include "symexec/executor.h"
+
+namespace statsym::concolic {
+namespace {
+
+using ir::BinOp;
+using ir::ModuleBuilder;
+using ir::Reg;
+
+// x symbolic in [0, 15]; faults iff x == 7.
+ir::Module needle() {
+  ModuleBuilder mb("needle");
+  auto f = mb.func("main", {});
+  const Reg x = f.reg();
+  f.make_sym_int(x, "x", 0, 15);
+  const auto bad = f.block();
+  const auto ok = f.block();
+  f.br(f.eqi(x, 7), bad, ok);
+  f.at(bad);
+  f.assert_true(f.ci(0));
+  f.ret();
+  f.at(ok);
+  f.ret(f.ci(0));
+  return mb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Follow mode in SymExecutor.
+
+TEST(FollowMode, RunsExactlyOnePathAndRecordsDecisions) {
+  const ir::Module m = needle();
+  symexec::SymExecutor ex(m, {}, {});
+  ex.set_follow_input({});  // x defaults to domain minimum 0: the benign side
+  const auto r = ex.run();
+  EXPECT_EQ(r.termination, symexec::Termination::kExhausted);
+  EXPECT_EQ(r.stats.paths_explored, 1u);
+  EXPECT_EQ(r.stats.forks, 0u);  // follow mode never forks
+  ASSERT_EQ(ex.decisions().size(), 1u);
+  // The taken side of the decision is on the followed path constraint list.
+  EXPECT_EQ(ex.decisions()[0].pc_prefix, 0u);
+  ASSERT_EQ(ex.followed_path().size(), 1u);
+}
+
+TEST(FollowMode, FaultingInputFaultsWithoutSolver) {
+  const ir::Module m = needle();
+  interp::RuntimeInput in;
+  in.sym_ints["x"] = 7;
+  symexec::SymExecutor ex(m, {}, {});
+  ex.set_follow_input(in);
+  const auto r = ex.run();
+  ASSERT_EQ(r.termination, symexec::Termination::kFoundFault);
+  ASSERT_TRUE(r.vuln.has_value());
+  EXPECT_EQ(r.vuln->kind, interp::FaultKind::kAssertFail);
+  ASSERT_TRUE(r.vuln->model_valid);
+  // The witness is the concrete valuation itself: no validator query ran.
+  EXPECT_EQ(r.vuln->input.sym_ints.at("x"), 7);
+  EXPECT_EQ(r.solver_stats.queries, 0u);
+}
+
+TEST(FollowMode, AgreesWithInterpreterOnSymbolicBuffers) {
+  // strcpy of argv[1] into an 8-byte buffer; follow a 10-char input.
+  ModuleBuilder mb("bufovf");
+  apps::emit_stdlib(mb);
+  auto f = mb.func("main", {});
+  const Reg dst = f.alloca_buf(8);
+  f.call_void("__strcpy", {dst, f.arg(f.ci(1))});
+  f.ret(f.ci(0));
+  const ir::Module m = mb.build();
+  symexec::SymInputSpec spec;
+  spec.argv = {symexec::SymStr::fixed("p"), symexec::SymStr::sym("s", 32)};
+
+  interp::RuntimeInput in;
+  in.argv = {"p", "aaaaaaaaaa"};
+  symexec::SymExecutor ex(m, spec, {});
+  ex.set_follow_input(in);
+  const auto r = ex.run();
+  ASSERT_EQ(r.termination, symexec::Termination::kFoundFault);
+  EXPECT_EQ(r.vuln->kind, interp::FaultKind::kOobStore);
+
+  interp::Interpreter replay(m, r.vuln->input);
+  const auto out = replay.run();
+  ASSERT_EQ(out.outcome, interp::RunOutcome::kFault);
+  EXPECT_EQ(out.fault.kind, interp::FaultKind::kOobStore);
+}
+
+TEST(FollowMode, DivByZeroFollowsConcreteDenominator) {
+  ModuleBuilder mb("dz");
+  auto f = mb.func("main", {});
+  const Reg d = f.reg();
+  f.make_sym_int(d, "d", 0, 5);
+  f.ret(f.bin(BinOp::kDiv, f.ci(10), d));
+  const ir::Module m = mb.build();
+
+  symexec::SymExecutor benign(m, {}, {});
+  interp::RuntimeInput ok_in;
+  ok_in.sym_ints["d"] = 3;
+  benign.set_follow_input(ok_in);
+  EXPECT_EQ(benign.run().termination, symexec::Termination::kExhausted);
+
+  symexec::SymExecutor faulty(m, {}, {});
+  faulty.set_follow_input({});  // d defaults to 0
+  const auto r = faulty.run();
+  ASSERT_EQ(r.termination, symexec::Termination::kFoundFault);
+  EXPECT_EQ(r.vuln->kind, interp::FaultKind::kDivByZero);
+}
+
+TEST(FollowMode, InterpreterAgreementOnRandomInputs) {
+  // The follow path must match the interpreter verdict exactly for any
+  // input — this is the property the cross-engine oracle relies on.
+  const ir::Module m = needle();
+  for (std::int64_t x = 0; x <= 15; ++x) {
+    interp::RuntimeInput in;
+    in.sym_ints["x"] = x;
+    symexec::SymExecutor ex(m, {}, {});
+    ex.set_follow_input(in);
+    const bool sym_fault =
+        ex.run().termination == symexec::Termination::kFoundFault;
+    interp::Interpreter it(m, in);
+    const bool conc_fault = it.run().outcome == interp::RunOutcome::kFault;
+    EXPECT_EQ(sym_fault, conc_fault) << "x = " << x;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generational-search driver.
+
+TEST(Concolic, FindsTheNeedleByNegation) {
+  const ir::Module m = needle();
+  ConcolicExecutor ce(m, {}, {});
+  const auto r = ce.run();
+  ASSERT_EQ(r.termination, symexec::Termination::kFoundFault);
+  ASSERT_TRUE(r.vuln.has_value());
+  EXPECT_EQ(r.vuln->kind, interp::FaultKind::kAssertFail);
+  EXPECT_EQ(r.vuln->input.sym_ints.at("x"), 7);
+  // Generation 0 misses; exactly one negation reaches the fault.
+  EXPECT_EQ(r.stats.runs, 2u);
+  EXPECT_GE(r.stats.negations_sat, 1u);
+}
+
+TEST(Concolic, WitnessReplaysConcretely) {
+  ModuleBuilder mb("bufovf");
+  apps::emit_stdlib(mb);
+  auto f = mb.func("main", {});
+  const Reg dst = f.alloca_buf(8);
+  f.call_void("__strcpy", {dst, f.arg(f.ci(1))});
+  f.ret(f.ci(0));
+  const ir::Module m = mb.build();
+  symexec::SymInputSpec spec;
+  spec.argv = {symexec::SymStr::fixed("p"), symexec::SymStr::sym("s", 32)};
+
+  ConcolicExecutor ce(m, spec, {});
+  const auto r = ce.run();
+  ASSERT_EQ(r.termination, symexec::Termination::kFoundFault);
+  EXPECT_EQ(r.vuln->kind, interp::FaultKind::kOobStore);
+  ASSERT_EQ(r.vuln->input.argv.size(), 2u);
+  EXPECT_GE(r.vuln->input.argv[1].size(), 8u);
+  interp::Interpreter replay(m, r.vuln->input);
+  EXPECT_EQ(replay.run().outcome, interp::RunOutcome::kFault);
+}
+
+TEST(Concolic, ExhaustsCleanPrograms) {
+  ModuleBuilder mb("clean");
+  auto f = mb.func("main", {});
+  const Reg x = f.reg();
+  f.make_sym_int(x, "x", 0, 3);
+  const auto a = f.block();
+  const auto b = f.block();
+  f.br(f.lti(x, 2), a, b);
+  f.at(a);
+  f.ret(f.ci(1));
+  f.at(b);
+  f.ret(f.ci(2));
+  const ir::Module m = mb.build();
+  ConcolicExecutor ce(m, {}, {});
+  const auto r = ce.run();
+  EXPECT_EQ(r.termination, symexec::Termination::kExhausted);
+  EXPECT_FALSE(r.vuln.has_value());
+  EXPECT_EQ(r.stats.runs, 2u);  // seed + the one negated branch
+}
+
+TEST(Concolic, DeterministicAcrossRepeatedRuns) {
+  const ir::Module m = needle();
+  ConcolicOptions opts;
+  ConcolicExecutor a(m, {}, opts);
+  ConcolicExecutor b(m, {}, opts);
+  const auto ra = a.run();
+  const auto rb = b.run();
+  EXPECT_EQ(ra.termination, rb.termination);
+  ASSERT_TRUE(ra.vuln.has_value());
+  ASSERT_TRUE(rb.vuln.has_value());
+  EXPECT_EQ(input_key(ra.vuln->input), input_key(rb.vuln->input));
+  EXPECT_EQ(ra.stats.runs, rb.stats.runs);
+  EXPECT_EQ(ra.stats.negations_tried, rb.stats.negations_tried);
+  EXPECT_EQ(ra.stats.negations_sat, rb.stats.negations_sat);
+}
+
+TEST(Concolic, PreSetStopFlagCancels) {
+  const ir::Module m = needle();
+  ConcolicExecutor ce(m, {}, {});
+  std::atomic<bool> stop{true};
+  ce.set_stop_flag(&stop);
+  const auto r = ce.run();
+  EXPECT_EQ(r.termination, symexec::Termination::kCancelled);
+  EXPECT_EQ(r.stats.runs, 0u);
+}
+
+TEST(Concolic, MaxRunsCapsTheSearch) {
+  // A loop over a symbolic bound keeps producing fresh inputs; a tiny
+  // max_runs must stop the lane with a budget verdict.
+  ModuleBuilder mb("loop");
+  auto f = mb.func("main", {});
+  const Reg n = f.reg();
+  f.make_sym_int(n, "n", 0, 100);
+  const Reg i = f.reg();
+  const auto loop = f.block();
+  const auto body = f.block();
+  const auto done = f.block();
+  f.assign(i, f.ci(0));
+  f.jmp(loop);
+  f.at(loop);
+  f.br(f.ge(i, n), done, body);
+  f.at(body);
+  f.assign(i, f.addi(i, 1));
+  f.jmp(loop);
+  f.at(done);
+  f.ret(i);
+  const ir::Module m = mb.build();
+  ConcolicOptions opts;
+  opts.max_runs = 3;
+  ConcolicExecutor ce(m, {}, opts);
+  const auto r = ce.run();
+  EXPECT_EQ(r.termination, symexec::Termination::kInstrLimit);
+  EXPECT_EQ(r.stats.runs, 3u);
+}
+
+TEST(Concolic, SharedBudgetStopsTheLane) {
+  const ir::Module m = needle();
+  symexec::SharedBudget budget;
+  budget.max_instructions = 1;
+  budget.instructions.store(10);  // already exhausted by another lane
+  ConcolicExecutor ce(m, {}, {});
+  ce.set_shared_budget(&budget);
+  const auto r = ce.run();
+  EXPECT_EQ(r.termination, symexec::Termination::kInstrLimit);
+}
+
+TEST(Concolic, EmitsRunAndNegationTraceEvents) {
+  const ir::Module m = needle();
+  obs::TraceBuffer buf;
+  ConcolicExecutor ce(m, {}, {});
+  ce.set_trace(&buf);
+  const auto r = ce.run();
+  ASSERT_EQ(r.termination, symexec::Termination::kFoundFault);
+  std::size_t runs = 0, negs = 0, faulted = 0;
+  for (const auto& ev : buf.snapshot()) {
+    if (ev.kind == obs::EventKind::kConcolicRun) {
+      ++runs;
+      if (ev.c != 0) ++faulted;
+    }
+    if (ev.kind == obs::EventKind::kConcolicNegation) ++negs;
+  }
+  EXPECT_EQ(runs, r.stats.runs);
+  EXPECT_EQ(negs, r.stats.negations_tried);
+  EXPECT_EQ(faulted, 1u);  // exactly the winning run
+}
+
+TEST(Concolic, TargetFunctionFiltersFaults) {
+  // Two bugs; only the targeted one counts as a finding.
+  ModuleBuilder mb("two_bugs");
+  {
+    auto f = mb.func("early_bug", {"x"});
+    const auto bad = f.block();
+    const auto ok = f.block();
+    f.br(f.eqi(f.param(0), 1), bad, ok);
+    f.at(bad);
+    f.assert_true(f.ci(0));
+    f.ret();
+    f.at(ok);
+    f.ret();
+  }
+  {
+    auto f = mb.func("late_bug", {"x"});
+    const auto bad = f.block();
+    const auto ok = f.block();
+    f.br(f.eqi(f.param(0), 2), bad, ok);
+    f.at(bad);
+    f.assert_true(f.ci(0));
+    f.ret();
+    f.at(ok);
+    f.ret();
+  }
+  {
+    auto f = mb.func("main", {});
+    const Reg x = f.reg();
+    f.make_sym_int(x, "x", 0, 3);
+    f.call_void("early_bug", {x});
+    f.call_void("late_bug", {x});
+    f.ret(f.ci(0));
+  }
+  const ir::Module m = mb.build();
+  ConcolicOptions opts;
+  opts.exec.target_function = "late_bug";
+  ConcolicExecutor ce(m, {}, opts);
+  const auto r = ce.run();
+  ASSERT_EQ(r.termination, symexec::Termination::kFoundFault);
+  EXPECT_EQ(r.vuln->function, "late_bug");
+  EXPECT_EQ(r.vuln->input.sym_ints.at("x"), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers.
+
+TEST(ConcolicHelpers, InputKeyDistinguishesInputs) {
+  interp::RuntimeInput a;
+  a.argv = {"p", "x"};
+  interp::RuntimeInput b;
+  b.argv = {"p", "y"};
+  interp::RuntimeInput c;
+  c.argv = {"p"};
+  c.env["x"] = "";  // must not collide with argv entries
+  EXPECT_NE(input_key(a), input_key(b));
+  EXPECT_NE(input_key(a), input_key(c));
+  EXPECT_EQ(input_key(a), input_key(a));
+}
+
+TEST(ConcolicHelpers, SeedInputMatchesSpecShape) {
+  symexec::SymInputSpec spec;
+  spec.argv = {symexec::SymStr::fixed("prog"), symexec::SymStr::sym("s", 16)};
+  spec.env = {{"MODE", symexec::SymStr::fixed("fast")},
+              {"KEY", symexec::SymStr::sym("k", 8)}};
+  const interp::RuntimeInput in = seed_input(spec);
+  ASSERT_EQ(in.argv.size(), 2u);
+  EXPECT_EQ(in.argv[0], "prog");
+  EXPECT_EQ(in.argv[1], "");
+  EXPECT_EQ(in.env.at("MODE"), "fast");
+  EXPECT_EQ(in.env.at("KEY"), "");
+  EXPECT_TRUE(in.sym_ints.empty());
+  EXPECT_TRUE(in.sym_bufs.empty());
+}
+
+}  // namespace
+}  // namespace statsym::concolic

@@ -142,6 +142,97 @@ TEST(ShardFormat, RejectsMalformedInput) {
   EXPECT_EQ(error, "shard: malformed run-log body");
 }
 
+TEST(ShardFormat, TruncatedBodyMidRunLogIsRejected) {
+  // A transfer cut off mid-way through a run log and then "closed" with a
+  // well-formed trailer (a proxy that saw the stream end and appended its
+  // own endshard) must not yield a silently-short shard.
+  LogShard shard;
+  shard.logs.push_back(mk_log(0, false));
+  shard.logs.push_back(mk_log(1, true));
+  const std::string text = serialize_shard(shard);
+  const std::size_t trailer = text.rfind("endshard");
+  ASSERT_NE(trailer, std::string::npos);
+
+  // Cut inside the final "var ..." line: the body no longer parses.
+  LogShard out;
+  std::string error;
+  EXPECT_FALSE(deserialize_shard(
+      text.substr(0, trailer - 10) + "\nendshard\n", out, &error));
+  EXPECT_EQ(error, "shard: malformed run-log body");
+
+  // Cut exactly at the second log's "run" line: the body parses but holds
+  // one log, and the declared count must catch the loss.
+  const std::size_t second = text.find("run 1");
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_FALSE(deserialize_shard(text.substr(0, second) + "endshard\n", out,
+                                 &error));
+  EXPECT_EQ(error, "shard: header declares 2 logs but body holds 1");
+}
+
+TEST(ShardFormat, TrailingGarbageAfterEndshardIsRejected) {
+  LogShard shard;
+  shard.logs.push_back(mk_log(0, true));
+  const std::string text = serialize_shard(shard);
+  LogShard out;
+  std::string error;
+
+  // Garbage lines after the trailer: two concatenated transfers, or a
+  // framing bug upstream — refuse rather than drop bytes on the floor.
+  EXPECT_FALSE(deserialize_shard(text + "extra junk\n", out, &error));
+  EXPECT_EQ(error, "shard: trailing garbage after 'endshard'");
+
+  // Garbage on the trailer line itself.
+  std::string dirty = text;
+  dirty.replace(dirty.rfind("endshard\n"), 9, "endshard junk\n");
+  EXPECT_FALSE(deserialize_shard(dirty, out, &error));
+  EXPECT_EQ(error, "shard: trailing garbage after 'endshard'");
+
+  // A second whole shard after the trailer (concatenated stream): the FIRST
+  // trailer ends this shard, everything behind it is garbage — rfind-style
+  // parsing would have swallowed both shards' bytes as one body.
+  EXPECT_FALSE(deserialize_shard(text + text, out, &error));
+  EXPECT_EQ(error, "shard: trailing garbage after 'endshard'");
+
+  // Pure trailing whitespace is NOT garbage: line-buffered writers append
+  // newlines, and the trim-based trailer check deliberately accepts them.
+  EXPECT_TRUE(deserialize_shard(text + "\n\n", out, &error)) << error;
+  EXPECT_EQ(out.logs.size(), 1u);
+
+  // Garbage between the body and the trailer fails as a body error.
+  std::string wedged = text;
+  wedged.insert(wedged.rfind("endshard"), "wedged garbage\n");
+  EXPECT_FALSE(deserialize_shard(wedged, out, &error));
+  EXPECT_EQ(error, "shard: malformed run-log body");
+}
+
+TEST(ShardFormat, DeclaredCountMismatchBothDirections) {
+  LogShard shard;
+  shard.logs.push_back(mk_log(0, false));
+  shard.logs.push_back(mk_log(1, false));
+  const std::string text = serialize_shard(shard);
+  const std::size_t eol = text.find('\n');
+  const std::string body = text.substr(eol + 1);
+  LogShard out;
+  std::string error;
+
+  // Declares fewer logs than the body holds.
+  EXPECT_FALSE(deserialize_shard("shard|1|0|1\n" + body, out, &error));
+  EXPECT_EQ(error, "shard: header declares 1 logs but body holds 2");
+
+  // Declares more (the classic truncated-tail symptom).
+  EXPECT_FALSE(deserialize_shard("shard|1|0|3\n" + body, out, &error));
+  EXPECT_EQ(error, "shard: header declares 3 logs but body holds 2");
+
+  // Declares logs but carries an empty body.
+  EXPECT_FALSE(deserialize_shard("shard|1|0|5\nendshard\n", out, &error));
+  EXPECT_EQ(error, "shard: header declares 5 logs but body holds 0");
+
+  // A failed parse must leave `out` untouched.
+  out.shard_id = 77;
+  EXPECT_FALSE(deserialize_shard("shard|1|0|1\nendshard\n", out, &error));
+  EXPECT_EQ(out.shard_id, 77u);
+}
+
 TEST(ShardFormat, SerializedSizeMatchesSerialize) {
   // The streaming ingest accounts log bytes via serialized_size without
   // building the text; it must agree with the real serialisation for every

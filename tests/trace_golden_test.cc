@@ -99,6 +99,49 @@ TEST(TraceGolden, Ctree) { run_case("ctree", apps::make_ctree(), 0.3); }
 
 TEST(TraceGolden, Grep) { run_case("grep", apps::make_grep(), 0.3); }
 
+// --- engine-race cases (ISSUE 7) -----------------------------------------
+// The multi-lane race adds engine-lane-begin/-end brackets and, when the
+// concolic lane is counted, concolic-run/concolic-negation events. Uncounted
+// lanes drop their buffers, so these traces are --jobs independent too.
+
+std::string race_trace_for(const apps::AppSpec& app, std::size_t jobs,
+                           double sampling,
+                           const std::vector<EngineKind>& engines) {
+  obs::Tracer tracer;
+  EngineOptions o = golden_opts(jobs, sampling);
+  o.engines = engines;
+  StatSymEngine engine(app.module, app.sym_spec, o);
+  engine.set_tracer(&tracer);
+  engine.collect_logs(app.workload);
+  engine.run();
+  EXPECT_EQ(tracer.buffer().dropped(), 0u)
+      << "golden configs must fit the default ring";
+  return tracer.to_jsonl();
+}
+
+void run_race_case(const std::string& name, const apps::AppSpec& app,
+                   double sampling, const std::vector<EngineKind>& engines) {
+  const std::string one = race_trace_for(app, 1, sampling, engines);
+  const std::string eight = race_trace_for(app, 8, sampling, engines);
+  ASSERT_FALSE(one.empty());
+  EXPECT_EQ(one, eight) << name << ": trace differs between --jobs 1 and 8";
+  EXPECT_NE(one.find("engine-lane-begin"), std::string::npos);
+  check_against_golden(name, one);
+}
+
+TEST(TraceGolden, Fig2EngineRace) {
+  run_race_case(
+      "fig2-engines", apps::make_fig2(), 0.5,
+      {EngineKind::kGuided, EngineKind::kPure, EngineKind::kConcolic});
+}
+
+TEST(TraceGolden, Fig2ConcolicLaneFirst) {
+  // Concolic at priority 0 is always counted, so the negation schedule
+  // itself is pinned by the golden, not just the lane brackets.
+  run_race_case("fig2-concolic-first", apps::make_fig2(), 0.5,
+                {EngineKind::kConcolic, EngineKind::kGuided});
+}
+
 // --- three generator-corpus seeds ---------------------------------------
 
 fuzz::CorpusEntry load_corpus(const std::string& file) {
