@@ -1,0 +1,261 @@
+// Static-analysis ablation bench (ISSUE 8 satellite): measures what the
+// whole-program facts (src/analysis/) buy the symbolic executor, and gates
+// the claim in CI.
+//
+// Two suites, each run with the analysis on and off and required to agree
+// verdict-for-verdict (pruning is work-skipping, never answer-changing):
+//
+//   * fork-heavy micro suite — a needle search behind layers of redundant,
+//     statically-decidable bound checks on an independent config value.
+//     Every decided branch the executor crosses without facts drags the
+//     (implied) guard constraints into each canonical witness solve; with
+//     facts they are pruned (SolverStats::static_prunes) and the solves
+//     shrink. Gates: static_prunes > 0 and strictly fewer canonical slices
+//     than the analysis-off baseline.
+//
+//   * fuzz set — pure symbolic execution over generated programs
+//     (fuzz/program_gen.h). Generated programs rarely contain
+//     statically-decidable symbolic branches, so no reduction is gated
+//     here; the suite exists to pin verdict equivalence and to report the
+//     end-to-end cost of running analyze() itself.
+//
+//   bench_analysis --quick              # smaller repetition counts
+//   bench_analysis --json out.json      # default BENCH_analysis.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/facts.h"
+#include "fuzz/program_gen.h"
+#include "ir/builder.h"
+#include "support/stopwatch.h"
+#include "symexec/executor.h"
+
+using namespace statsym;
+
+namespace {
+
+// Needle search on x behind `layers` redundant bound checks of a config
+// value g in [0, 15] against 100 — each statically always-false. g is
+// independent of x, so without pruning its guard negations form a separate
+// slice in the canonical witness solve of every run.
+ir::Module guarded_needle(int layers, int needle) {
+  ir::ModuleBuilder mb("guarded-needle");
+  auto f = mb.func("main", {});
+  const ir::Reg g = f.reg();
+  const ir::Reg x = f.reg();
+  f.make_sym_int(g, "g", 0, 15);
+  f.make_sym_int(x, "x", 0, 255);
+  ir::BlockId cur = f.current_block();
+  for (int layer = 0; layer < layers; ++layer) {
+    const auto oob = f.block();
+    const auto next = f.block();
+    f.at(cur);
+    f.br(f.gei(g, 100), oob, next);
+    f.at(oob);
+    f.ret(f.ci(1));
+    cur = next;
+  }
+  f.at(cur);
+  const auto bad = f.block();
+  const auto ok = f.block();
+  f.br(f.eqi(x, needle), bad, ok);
+  f.at(bad);
+  f.assert_true(f.ci(0));
+  f.ret();
+  f.at(ok);
+  f.ret(f.ci(0));
+  return mb.build();
+}
+
+struct SuiteRun {
+  double seconds{0.0};
+  double analyze_seconds{0.0};
+  std::uint64_t paths{0};
+  std::uint64_t faults{0};
+  solver::SolverStats stats;
+};
+
+// Runs the micro suite `reps` times (fresh executor each run, distinct
+// needle constants so witness models differ run to run) and sums the stats.
+// The verdict fingerprint (fault function + witness x per run) must match
+// between configurations; divergence aborts the bench.
+int run_micro(bool with_facts, std::size_t reps, SuiteRun& out,
+              std::vector<std::int64_t>& witness_xs) {
+  constexpr int kLayers = 12;
+  witness_xs.clear();
+  Stopwatch total;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const int needle = static_cast<int>(r % 251);
+    const ir::Module m = guarded_needle(kLayers, needle);
+    analysis::ProgramFacts facts;
+    if (with_facts) {
+      Stopwatch asw;
+      facts = analysis::analyze(m);
+      out.analyze_seconds += asw.elapsed_seconds();
+    }
+    symexec::SymExecutor ex(m, {}, {});
+    if (with_facts) ex.set_facts(&facts);
+    const auto res = ex.run();
+    if (res.termination != symexec::Termination::kFoundFault ||
+        !res.vuln.has_value() || !res.vuln->model_valid) {
+      std::fprintf(stderr, "FAIL: micro suite rep %zu did not fault\n", r);
+      return 2;
+    }
+    witness_xs.push_back(res.vuln->input.sym_ints.at("x"));
+    out.paths += res.stats.paths_explored;
+    out.faults += 1;
+    out.stats += res.solver_stats;
+  }
+  out.seconds = total.elapsed_seconds();
+  return 0;
+}
+
+// Pure symbolic execution over generated fuzz programs, facts on vs. off.
+int run_fuzz_set(bool with_facts, std::size_t programs, SuiteRun& out,
+                 std::vector<std::string>& verdicts) {
+  verdicts.clear();
+  Stopwatch total;
+  for (std::size_t i = 0; i < programs; ++i) {
+    const fuzz::GeneratedProgram prog =
+        fuzz::generate_program(1000 + i, fuzz::GenOptions{});
+    analysis::ProgramFacts facts;
+    if (with_facts) {
+      Stopwatch asw;
+      facts = analysis::analyze(prog.app.module);
+      out.analyze_seconds += asw.elapsed_seconds();
+    }
+    symexec::ExecOptions eo;
+    eo.searcher = symexec::SearcherKind::kRandomPath;
+    eo.max_instructions = 5'000'000;
+    eo.max_seconds = 10.0;
+    eo.seed = 42;
+    symexec::SymExecutor ex(prog.app.module, prog.app.sym_spec, eo);
+    if (with_facts) ex.set_facts(&facts);
+    const auto res = ex.run();
+    std::string v = std::to_string(static_cast<int>(res.termination)) + ":" +
+                    std::to_string(res.stats.paths_explored);
+    if (res.vuln.has_value()) {
+      v += ":" + res.vuln->function + ":" +
+           interp::fault_kind_name(res.vuln->kind);
+      out.faults += 1;
+    }
+    verdicts.push_back(std::move(v));
+    out.paths += res.stats.paths_explored;
+    out.stats += res.solver_stats;
+  }
+  out.seconds = total.elapsed_seconds();
+  return 0;
+}
+
+void write_config(std::ostream& os, const char* name, const SuiteRun& r) {
+  os << "      \"" << name << "\": {\n"
+     << "        \"seconds\": " << r.seconds << ",\n"
+     << "        \"analyze_seconds\": " << r.analyze_seconds << ",\n"
+     << "        \"paths\": " << r.paths << ",\n"
+     << "        \"faults\": " << r.faults << ",\n"
+     << "        \"static_prunes\": " << r.stats.static_prunes << ",\n"
+     << "        \"queries\": " << r.stats.queries << ",\n"
+     << "        \"slices\": " << r.stats.slices << ",\n"
+     << "        \"solves\": " << r.stats.solves << "\n"
+     << "      }";
+}
+
+void write_json(const std::string& path, const SuiteRun& micro_on,
+                const SuiteRun& micro_off, const SuiteRun& fuzz_on,
+                const SuiteRun& fuzz_off) {
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"static_analysis_ablation\",\n";
+  os << "  \"suites\": {\n    \"fork_heavy_micro\": {\n";
+  write_config(os, "analysis_on", micro_on);
+  os << ",\n";
+  write_config(os, "analysis_off", micro_off);
+  os << "\n    },\n    \"fuzz_set\": {\n";
+  write_config(os, "analysis_on", fuzz_on);
+  os << ",\n";
+  write_config(os, "analysis_off", fuzz_off);
+  os << "\n    }\n  }\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path = "BENCH_analysis.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_analysis [--quick] [--json FILE]\n");
+      return 2;
+    }
+  }
+  fuzz::register_fuzz_apps();
+
+  const std::size_t reps = quick ? 50 : 200;
+  const std::size_t programs = quick ? 16 : 48;
+
+  // Baseline first so the slower configuration cannot benefit from warmup.
+  SuiteRun micro_off, micro_on, fuzz_off, fuzz_on;
+  std::vector<std::int64_t> xs_off, xs_on;
+  if (int rc = run_micro(false, reps, micro_off, xs_off); rc != 0) return rc;
+  if (int rc = run_micro(true, reps, micro_on, xs_on); rc != 0) return rc;
+  if (xs_on != xs_off) {
+    std::fprintf(stderr, "FAIL: micro-suite witnesses diverge with facts\n");
+    return 2;
+  }
+
+  std::vector<std::string> fv_off, fv_on;
+  if (int rc = run_fuzz_set(false, programs, fuzz_off, fv_off); rc != 0)
+    return rc;
+  if (int rc = run_fuzz_set(true, programs, fuzz_on, fv_on); rc != 0)
+    return rc;
+  if (fv_on != fv_off) {
+    std::fprintf(stderr, "FAIL: fuzz-set verdicts diverge with facts\n");
+    return 2;
+  }
+
+  std::printf("fork-heavy micro suite (%zu runs):\n", reps);
+  std::printf("  analysis off: %.3fs, %llu slices, %llu solves\n",
+              micro_off.seconds,
+              static_cast<unsigned long long>(micro_off.stats.slices),
+              static_cast<unsigned long long>(micro_off.stats.solves));
+  std::printf(
+      "  analysis on : %.3fs (+%.3fs analyze), %llu slices, %llu solves, "
+      "%llu static prunes\n",
+      micro_on.seconds, micro_on.analyze_seconds,
+      static_cast<unsigned long long>(micro_on.stats.slices),
+      static_cast<unsigned long long>(micro_on.stats.solves),
+      static_cast<unsigned long long>(micro_on.stats.static_prunes));
+  std::printf("fuzz set (%zu programs):\n", programs);
+  std::printf("  analysis off: %.3fs, %llu paths\n", fuzz_off.seconds,
+              static_cast<unsigned long long>(fuzz_off.paths));
+  std::printf("  analysis on : %.3fs (+%.3fs analyze), %llu paths, %llu "
+              "static prunes\n",
+              fuzz_on.seconds, fuzz_on.analyze_seconds,
+              static_cast<unsigned long long>(fuzz_on.paths),
+              static_cast<unsigned long long>(fuzz_on.stats.static_prunes));
+
+  write_json(json_path, micro_on, micro_off, fuzz_on, fuzz_off);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  // CI gates: the analysis must fire on the micro suite and make every
+  // canonical witness solve strictly smaller than the baseline's.
+  if (micro_on.stats.static_prunes == 0) {
+    std::fprintf(stderr, "FAIL: static_prunes == 0 on the micro suite\n");
+    return 1;
+  }
+  if (micro_on.stats.slices >= micro_off.stats.slices) {
+    std::fprintf(stderr,
+                 "FAIL: canonical slices not reduced (%llu on vs %llu off)\n",
+                 static_cast<unsigned long long>(micro_on.stats.slices),
+                 static_cast<unsigned long long>(micro_off.stats.slices));
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,181 @@
+#include "analysis/cfg.h"
+
+#include <algorithm>
+
+namespace statsym::analysis {
+
+ir::Reg def_of(const ir::Instr& in) {
+  switch (in.op) {
+    case ir::Opcode::kConst:
+    case ir::Opcode::kMove:
+    case ir::Opcode::kBin:
+    case ir::Opcode::kNot:
+    case ir::Opcode::kNeg:
+    case ir::Opcode::kAlloca:
+    case ir::Opcode::kStrConst:
+    case ir::Opcode::kLoad:
+    case ir::Opcode::kBufSize:
+    case ir::Opcode::kLoadG:
+    case ir::Opcode::kArgc:
+    case ir::Opcode::kArg:
+    case ir::Opcode::kEnv:
+    case ir::Opcode::kMakeSymInt:
+      return in.dst;
+    case ir::Opcode::kCall:
+    case ir::Opcode::kCallExt:
+      return in.dst;  // kNoReg for value-discarding calls
+    default:
+      return ir::kNoReg;
+  }
+}
+
+void uses_of(const ir::Instr& in, std::vector<ir::Reg>& out) {
+  switch (in.op) {
+    case ir::Opcode::kMove:
+    case ir::Opcode::kNot:
+    case ir::Opcode::kNeg:
+    case ir::Opcode::kBufSize:
+    case ir::Opcode::kArg:
+    case ir::Opcode::kStoreG:
+    case ir::Opcode::kAssert:
+    case ir::Opcode::kMakeSymBuf:
+    case ir::Opcode::kBr:
+      out.push_back(in.a);
+      break;
+    case ir::Opcode::kBin:
+    case ir::Opcode::kLoad:
+      out.push_back(in.a);
+      out.push_back(in.b);
+      break;
+    case ir::Opcode::kStore:
+      out.push_back(in.a);
+      out.push_back(in.b);
+      out.push_back(in.c);
+      break;
+    case ir::Opcode::kRet:
+      if (in.a != ir::kNoReg) out.push_back(in.a);
+      break;
+    case ir::Opcode::kCall:
+    case ir::Opcode::kCallExt:
+      out.insert(out.end(), in.args.begin(), in.args.end());
+      break;
+    default:
+      break;
+  }
+}
+
+bool Cfg::dominates(ir::BlockId a, ir::BlockId b) const {
+  if (!reachable[static_cast<std::size_t>(a)] ||
+      !reachable[static_cast<std::size_t>(b)]) {
+    return false;
+  }
+  while (b != a && b != 0) b = idom[static_cast<std::size_t>(b)];
+  return b == a;
+}
+
+Cfg build_cfg(const ir::Function& fn) {
+  Cfg g;
+  const std::size_t n = fn.blocks.size();
+  g.succs.resize(n);
+  g.preds.resize(n);
+  g.reachable.assign(n, false);
+  g.rpo_index.assign(n, -1);
+  g.idom.assign(n, ir::kNoBlock);
+
+  for (std::size_t b = 0; b < n; ++b) {
+    const ir::Instr& t = fn.blocks[b].instrs.back();
+    if (t.op == ir::Opcode::kJmp) {
+      g.succs[b] = {t.t0};
+    } else if (t.op == ir::Opcode::kBr) {
+      g.succs[b] = {t.t0, t.t1};
+    }
+    for (ir::BlockId s : g.succs[b]) {
+      g.preds[static_cast<std::size_t>(s)].push_back(
+          static_cast<ir::BlockId>(b));
+    }
+  }
+
+  // Iterative DFS from the entry for reachability and postorder.
+  std::vector<ir::BlockId> postorder;
+  std::vector<std::size_t> next_child(n, 0);
+  std::vector<ir::BlockId> stack{0};
+  g.reachable[0] = true;
+  while (!stack.empty()) {
+    const ir::BlockId b = stack.back();
+    auto& nc = next_child[static_cast<std::size_t>(b)];
+    if (nc < g.succs[static_cast<std::size_t>(b)].size()) {
+      const ir::BlockId s = g.succs[static_cast<std::size_t>(b)][nc++];
+      if (!g.reachable[static_cast<std::size_t>(s)]) {
+        g.reachable[static_cast<std::size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    } else {
+      postorder.push_back(b);
+      stack.pop_back();
+    }
+  }
+  g.rpo.assign(postorder.rbegin(), postorder.rend());
+  for (std::size_t i = 0; i < g.rpo.size(); ++i) {
+    g.rpo_index[static_cast<std::size_t>(g.rpo[i])] =
+        static_cast<std::int32_t>(i);
+  }
+
+  // Immediate dominators, Cooper–Harvey–Kennedy iteration in RPO order.
+  g.idom[0] = 0;
+  auto intersect = [&](ir::BlockId a, ir::BlockId b) {
+    while (a != b) {
+      while (g.rpo_index[static_cast<std::size_t>(a)] >
+             g.rpo_index[static_cast<std::size_t>(b)]) {
+        a = g.idom[static_cast<std::size_t>(a)];
+      }
+      while (g.rpo_index[static_cast<std::size_t>(b)] >
+             g.rpo_index[static_cast<std::size_t>(a)]) {
+        b = g.idom[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (ir::BlockId b : g.rpo) {
+      if (b == 0) continue;
+      ir::BlockId new_idom = ir::kNoBlock;
+      for (ir::BlockId p : g.preds[static_cast<std::size_t>(b)]) {
+        if (g.idom[static_cast<std::size_t>(p)] == ir::kNoBlock) continue;
+        new_idom = new_idom == ir::kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != ir::kNoBlock &&
+          g.idom[static_cast<std::size_t>(b)] != new_idom) {
+        g.idom[static_cast<std::size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return g;
+}
+
+DefUse build_def_use(const ir::Function& fn) {
+  DefUse du;
+  du.defs.resize(static_cast<std::size_t>(fn.num_regs));
+  du.uses.resize(static_cast<std::size_t>(fn.num_regs));
+  std::vector<ir::Reg> used;
+  for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+    for (std::size_t i = 0; i < fn.blocks[b].instrs.size(); ++i) {
+      const ir::Instr& in = fn.blocks[b].instrs[i];
+      const InstrRef ref{static_cast<ir::BlockId>(b),
+                         static_cast<std::int32_t>(i)};
+      if (const ir::Reg d = def_of(in); d != ir::kNoReg) {
+        du.defs[static_cast<std::size_t>(d)].push_back(ref);
+      }
+      used.clear();
+      uses_of(in, used);
+      for (ir::Reg r : used) {
+        du.uses[static_cast<std::size_t>(r)].push_back(ref);
+      }
+    }
+  }
+  return du;
+}
+
+}  // namespace statsym::analysis

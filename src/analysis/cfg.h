@@ -1,0 +1,65 @@
+// Control-flow graphs, dominators and def-use chains over the mini-IR.
+//
+// The static-analysis layer (ISSUE 8) sits directly above ir/: it never
+// executes anything, it only looks at block structure and instruction
+// operands. Everything here is per-function; whole-program facts (abstract
+// interpretation, reachability across calls) build on these in facts.h.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace statsym::analysis {
+
+// The register an instruction writes, or ir::kNoReg. kCall/kCallExt return
+// their dst only when one was requested (dst != kNoReg).
+ir::Reg def_of(const ir::Instr& in);
+
+// Appends every register the instruction reads to `out` (duplicates kept).
+void uses_of(const ir::Instr& in, std::vector<ir::Reg>& out);
+
+// Per-function control-flow graph. Block 0 is the entry; successors come
+// from the block terminator (kJmp one, kBr two, kRet none). Unreachable
+// blocks keep their edge lists but get rpo_index -1 and idom ir::kNoBlock.
+struct Cfg {
+  std::vector<std::vector<ir::BlockId>> succs;
+  std::vector<std::vector<ir::BlockId>> preds;
+  std::vector<bool> reachable;           // from block 0
+  std::vector<ir::BlockId> rpo;          // reachable blocks, reverse postorder
+  std::vector<std::int32_t> rpo_index;   // block -> position in rpo, -1 dead
+  std::vector<ir::BlockId> idom;         // immediate dominator; entry -> 0
+
+  std::size_t num_blocks() const { return succs.size(); }
+  // a dominates b (both must be reachable; entry dominates everything).
+  bool dominates(ir::BlockId a, ir::BlockId b) const;
+  // Retreating edge in RPO order — the widening points of the abstract
+  // interpreter. For reducible graphs (all the builder emits) this is
+  // exactly the back-edge/loop-head test.
+  bool is_loop_edge(ir::BlockId from, ir::BlockId to) const {
+    return rpo_index[static_cast<std::size_t>(to)] <=
+           rpo_index[static_cast<std::size_t>(from)];
+  }
+};
+
+Cfg build_cfg(const ir::Function& fn);
+
+// A (block, instruction-index) site inside one function.
+struct InstrRef {
+  ir::BlockId block{ir::kNoBlock};
+  std::int32_t index{0};
+  bool operator==(const InstrRef&) const = default;
+};
+
+// Def-use chains: for each register, every site that writes it and every
+// site that reads it, in (block, index) program order. Parameters occupy
+// registers [0, num_params) and are implicitly defined at function entry.
+struct DefUse {
+  std::vector<std::vector<InstrRef>> defs;  // indexed by register
+  std::vector<std::vector<InstrRef>> uses;
+};
+
+DefUse build_def_use(const ir::Function& fn);
+
+}  // namespace statsym::analysis

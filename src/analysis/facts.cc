@@ -1,0 +1,810 @@
+#include "analysis/facts.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <sstream>
+
+namespace statsym::analysis {
+namespace {
+
+using solver::Interval;
+
+constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+
+// Joins at a loop head beyond this count get widened; parameter contexts and
+// return summaries beyond it jump straight to the widened join.
+constexpr int kWidenDelay = 2;
+
+// --- the abstract value lattice -------------------------------------------
+
+struct AbsVal {
+  enum class Kind : std::uint8_t { kBottom, kInt, kRef, kTop };
+  Kind kind{Kind::kBottom};
+  Interval iv{};                 // kInt only
+  std::int64_t ref_size{-1};     // kRef only; -1 = unknown size
+  bool maybe_defined{false};     // some path wrote the register
+  bool must_defined{false};      // every path wrote the register
+
+  bool operator==(const AbsVal&) const = default;
+
+  // The sound value interval (full unless the value is a known int).
+  Interval interval() const {
+    return kind == Kind::kInt ? iv : Interval::full();
+  }
+};
+
+AbsVal int_val(Interval iv, bool defined = true) {
+  AbsVal v;
+  v.kind = AbsVal::Kind::kInt;
+  v.iv = iv;
+  v.maybe_defined = v.must_defined = defined;
+  return v;
+}
+
+// An unwritten register: the runtime zero-initializes every frame register,
+// so the value is exactly 0 — only the defined bits record the read-before-
+// write diagnostic.
+AbsVal undef_val() { return int_val(Interval::point(0), /*defined=*/false); }
+
+AbsVal ref_val(std::int64_t size) {
+  AbsVal v;
+  v.kind = AbsVal::Kind::kRef;
+  v.ref_size = size;
+  v.maybe_defined = v.must_defined = true;
+  return v;
+}
+
+AbsVal top_val() {
+  AbsVal v;
+  v.kind = AbsVal::Kind::kTop;
+  v.maybe_defined = v.must_defined = true;
+  return v;
+}
+
+AbsVal join(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == AbsVal::Kind::kBottom) return b;
+  if (b.kind == AbsVal::Kind::kBottom) return a;
+  AbsVal out;
+  out.maybe_defined = a.maybe_defined || b.maybe_defined;
+  out.must_defined = a.must_defined && b.must_defined;
+  if (a.kind == AbsVal::Kind::kInt && b.kind == AbsVal::Kind::kInt) {
+    out.kind = AbsVal::Kind::kInt;
+    out.iv = solver::hull(a.iv, b.iv);
+  } else if (a.kind == AbsVal::Kind::kRef && b.kind == AbsVal::Kind::kRef) {
+    out.kind = AbsVal::Kind::kRef;
+    out.ref_size = a.ref_size == b.ref_size ? a.ref_size : -1;
+  } else {
+    out.kind = AbsVal::Kind::kTop;
+  }
+  return out;
+}
+
+// Classic interval widening: a bound that moved since `old` jumps to ±inf.
+AbsVal widen(const AbsVal& old, const AbsVal& next) {
+  if (old.kind != AbsVal::Kind::kInt || next.kind != AbsVal::Kind::kInt) {
+    return join(old, next);
+  }
+  AbsVal out = next;
+  if (next.iv.lo < old.iv.lo) out.iv.lo = kMin;
+  if (next.iv.hi > old.iv.hi) out.iv.hi = kMax;
+  return out;
+}
+
+using AbsState = std::vector<AbsVal>;
+
+bool join_states(AbsState& into, const AbsState& from, bool widen_point,
+                 int joins) {
+  bool changed = false;
+  for (std::size_t i = 0; i < into.size(); ++i) {
+    AbsVal j = join(into[i], from[i]);
+    if (widen_point && joins > kWidenDelay) j = widen(into[i], j);
+    if (!(j == into[i])) {
+      into[i] = j;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// --- transfer functions ----------------------------------------------------
+
+AbsVal eval_bin(ir::BinOp op, const AbsVal& a, const AbsVal& b) {
+  if (a.kind != AbsVal::Kind::kInt || b.kind != AbsVal::Kind::kInt) {
+    // Reference comparisons and mixed-kind arithmetic: an int of unknown
+    // value.
+    return int_val(Interval::full());
+  }
+  const Interval x = a.iv;
+  const Interval y = b.iv;
+  auto cmp = [](int verdict) {
+    if (verdict > 0) return Interval::point(1);
+    if (verdict == 0) return Interval::point(0);
+    return Interval::boolean();
+  };
+  switch (op) {
+    case ir::BinOp::kAdd: return int_val(solver::iv_add(x, y));
+    case ir::BinOp::kSub: return int_val(solver::iv_sub(x, y));
+    case ir::BinOp::kMul: return int_val(solver::iv_mul(x, y));
+    case ir::BinOp::kDiv: return int_val(solver::iv_div(x, y));
+    case ir::BinOp::kRem: return int_val(solver::iv_rem(x, y));
+    case ir::BinOp::kEq: return int_val(cmp(solver::iv_cmp_eq(x, y)));
+    case ir::BinOp::kNe: return int_val(cmp(solver::iv_cmp_ne(x, y)));
+    case ir::BinOp::kLt: return int_val(cmp(solver::iv_cmp_lt(x, y)));
+    case ir::BinOp::kLe: return int_val(cmp(solver::iv_cmp_le(x, y)));
+    case ir::BinOp::kGt: return int_val(cmp(solver::iv_cmp_lt(y, x)));
+    case ir::BinOp::kGe: return int_val(cmp(solver::iv_cmp_le(y, x)));
+    case ir::BinOp::kLAnd: {
+      if (!x.contains(0) && !y.contains(0)) return int_val(Interval::point(1));
+      if (x == Interval::point(0) || y == Interval::point(0)) {
+        return int_val(Interval::point(0));
+      }
+      return int_val(Interval::boolean());
+    }
+    case ir::BinOp::kLOr: {
+      if (!x.contains(0) || !y.contains(0)) return int_val(Interval::point(1));
+      if (x == Interval::point(0) && y == Interval::point(0)) {
+        return int_val(Interval::point(0));
+      }
+      return int_val(Interval::boolean());
+    }
+    case ir::BinOp::kAnd:
+    case ir::BinOp::kOr:
+    case ir::BinOp::kXor:
+    case ir::BinOp::kShl:
+    case ir::BinOp::kShr:
+      if (x.is_point() && y.is_point() &&
+          !((op == ir::BinOp::kShl || op == ir::BinOp::kShr) &&
+            (y.lo < 0 || y.lo > 63))) {
+        return int_val(Interval::point(ir::eval_binop(op, x.lo, y.lo)));
+      }
+      return int_val(Interval::full());
+  }
+  return int_val(Interval::full());
+}
+
+// Refines both operand intervals of `op(a, b) == expect` in place. Only
+// narrows (intersections / boundary trims), so it is sound to apply on the
+// corresponding CFG edge.
+void refine_cmp(ir::BinOp op, bool expect, AbsVal& a, AbsVal& b) {
+  if (a.kind != AbsVal::Kind::kInt || b.kind != AbsVal::Kind::kInt) return;
+  // Normalize to {kEq, kNe, kLt, kLe} over (a, b).
+  bool swap = false;
+  switch (op) {
+    case ir::BinOp::kGt: op = ir::BinOp::kLt; swap = true; break;
+    case ir::BinOp::kGe: op = ir::BinOp::kLe; swap = true; break;
+    default: break;
+  }
+  if (!expect) {
+    switch (op) {
+      case ir::BinOp::kEq: op = ir::BinOp::kNe; break;
+      case ir::BinOp::kNe: op = ir::BinOp::kEq; break;
+      case ir::BinOp::kLt: op = ir::BinOp::kLe; swap = !swap; break;  // !(a<b) == b<=a
+      case ir::BinOp::kLe: op = ir::BinOp::kLt; swap = !swap; break;  // !(a<=b) == b<a
+      default: return;
+    }
+  }
+  Interval& x = swap ? b.iv : a.iv;
+  Interval& y = swap ? a.iv : b.iv;
+  switch (op) {
+    case ir::BinOp::kEq:
+      x = y = solver::intersect(x, y);
+      break;
+    case ir::BinOp::kNe:
+      // Can only trim a boundary against a point.
+      if (y.is_point()) {
+        if (x.lo == y.lo) x.lo = x.lo == kMax ? x.lo : x.lo + 1;
+        else if (x.hi == y.lo) x.hi = x.hi == kMin ? x.hi : x.hi - 1;
+      }
+      if (x.is_point()) {
+        if (y.lo == x.lo) y.lo = y.lo == kMax ? y.lo : y.lo + 1;
+        else if (y.hi == x.lo) y.hi = y.hi == kMin ? y.hi : y.hi - 1;
+      }
+      break;
+    case ir::BinOp::kLt:
+      if (y.hi == kMin) {
+        x = Interval::empty();  // nothing is below INT64_MIN
+        break;
+      }
+      x.hi = std::min(x.hi, y.hi == kMax ? kMax - 1 : y.hi - 1);
+      if (x.lo == kMax) {
+        y = Interval::empty();  // nothing is above INT64_MAX
+        break;
+      }
+      y.lo = std::max(y.lo, x.lo == kMin ? kMin + 1 : x.lo + 1);
+      break;
+    case ir::BinOp::kLe:
+      x.hi = std::min(x.hi, y.hi);
+      y.lo = std::max(y.lo, x.lo);
+      break;
+    default:
+      break;
+  }
+}
+
+// One observed call site: callee plus the joined argument values.
+struct CallObs {
+  ir::FuncId callee{ir::kNoFunc};
+  std::vector<AbsVal> args;
+};
+
+// Result of one intra-procedural fixpoint over a function.
+struct FnAnalysis {
+  std::vector<AbsState> in;  // per block; empty = never abstractly reached
+  std::vector<BranchFact> branch;
+  AbsVal ret;  // bottom until a reachable return is seen
+  std::vector<CallObs> calls;
+  // Scratch: (successor, out-state) pairs of the block being executed.
+  std::vector<std::pair<ir::BlockId, AbsState>> out;
+};
+
+}  // namespace
+
+// --- the interprocedural driver -------------------------------------------
+
+class Analyzer {
+ public:
+  explicit Analyzer(const ir::Module& m) : m_(m) {
+    const std::size_t n = m.functions().size();
+    cfgs_.reserve(n);
+    for (const auto& fn : m.functions()) cfgs_.push_back(build_cfg(fn));
+    param_ctx_.resize(n);
+    param_joins_.assign(n, 0);
+    ret_summary_.resize(n);
+    ret_joins_.assign(n, 0);
+    callers_.resize(n);
+    reached_.assign(n, false);
+    build_global_summary();
+  }
+
+  ProgramFacts run() {
+    const ir::FuncId entry = m_.entry();
+    reached_[static_cast<std::size_t>(entry)] = true;
+    param_ctx_[static_cast<std::size_t>(entry)] = {};
+    std::deque<ir::FuncId> wl{entry};
+    std::vector<bool> queued(m_.functions().size(), false);
+    queued[static_cast<std::size_t>(entry)] = true;
+    // Generous cap: every pop is driven by a monotone context/summary
+    // change, which widening bounds; the cap only guards against bugs.
+    std::size_t budget = 64 * m_.functions().size() + 64;
+    while (!wl.empty() && budget-- > 0) {
+      const ir::FuncId f = wl.front();
+      wl.pop_front();
+      queued[static_cast<std::size_t>(f)] = false;
+      FnAnalysis res = analyze_function(f, /*record=*/nullptr);
+      for (const CallObs& c : res.calls) {
+        const auto ci = static_cast<std::size_t>(c.callee);
+        if (std::find(callers_[ci].begin(), callers_[ci].end(), f) ==
+            callers_[ci].end()) {
+          callers_[ci].push_back(f);
+        }
+        bool changed = !reached_[ci];
+        if (!reached_[ci]) {
+          reached_[ci] = true;
+          param_ctx_[ci] = c.args;
+        } else if (join_ctx(param_ctx_[ci], c.args, ++param_joins_[ci])) {
+          changed = true;
+        }
+        if (changed && !queued[ci]) {
+          wl.push_back(c.callee);
+          queued[ci] = true;
+        }
+      }
+      const auto fi = static_cast<std::size_t>(f);
+      AbsVal joined = join(ret_summary_[fi], res.ret);
+      if (++ret_joins_[fi] > kWidenDelay) {
+        joined = widen(ret_summary_[fi], joined);
+      }
+      if (!(joined == ret_summary_[fi])) {
+        ret_summary_[fi] = joined;
+        for (ir::FuncId caller : callers_[fi]) {
+          if (!queued[static_cast<std::size_t>(caller)]) {
+            wl.push_back(caller);
+            queued[static_cast<std::size_t>(caller)] = true;
+          }
+        }
+      }
+    }
+
+    // Final recording pass, function-id order: facts + findings come from
+    // the fixpoint states only.
+    ProgramFacts facts;
+    facts.funcs_.resize(m_.functions().size());
+    for (std::size_t f = 0; f < m_.functions().size(); ++f) {
+      const auto& fn = m_.function(static_cast<ir::FuncId>(f));
+      auto& ff = facts.funcs_[f];
+      ff.reachable = reached_[f];
+      ff.block_reachable.assign(fn.blocks.size(), false);
+      ff.branch.assign(fn.blocks.size(), BranchFact::kUndecided);
+      ff.block_in.resize(fn.blocks.size());
+      if (!reached_[f]) continue;
+      FnAnalysis res =
+          analyze_function(static_cast<ir::FuncId>(f), &facts.findings_);
+      for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        if (res.in[b].empty()) continue;
+        ff.block_reachable[b] = true;
+        ff.branch[b] = res.branch[b];
+        ff.block_in[b].reserve(res.in[b].size());
+        for (const AbsVal& v : res.in[b]) ff.block_in[b].push_back(v.interval());
+      }
+    }
+    std::sort(facts.findings_.begin(), facts.findings_.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.func, a.site.block, a.site.index, a.kind) <
+                       std::tie(b.func, b.site.block, b.site.index, b.kind);
+              });
+    return facts;
+  }
+
+ private:
+  void build_global_summary() {
+    // Flow-insensitive: a global some instruction stores to is unknown; an
+    // int global never stored keeps its initializer, a buf global its size.
+    std::vector<bool> stored(m_.globals().size(), false);
+    for (const auto& fn : m_.functions()) {
+      for (const auto& blk : fn.blocks) {
+        for (const auto& in : blk.instrs) {
+          if (in.op == ir::Opcode::kStoreG) {
+            const std::int32_t g = m_.find_global(in.str);
+            if (g >= 0) stored[static_cast<std::size_t>(g)] = true;
+          }
+        }
+      }
+    }
+    global_val_.reserve(m_.globals().size());
+    for (std::size_t g = 0; g < m_.globals().size(); ++g) {
+      const ir::Global& gl = m_.global(static_cast<std::int32_t>(g));
+      if (stored[g]) {
+        global_val_.push_back(top_val());
+      } else if (gl.kind == ir::Global::Kind::kBuf) {
+        global_val_.push_back(ref_val(gl.buf_size));
+      } else {
+        global_val_.push_back(int_val(Interval::point(gl.init_int)));
+      }
+    }
+  }
+
+  bool join_ctx(std::vector<AbsVal>& into, const std::vector<AbsVal>& from,
+                int joins) {
+    bool changed = false;
+    for (std::size_t i = 0; i < into.size() && i < from.size(); ++i) {
+      AbsVal j = join(into[i], from[i]);
+      if (joins > kWidenDelay) j = widen(into[i], j);
+      if (!(j == into[i])) {
+        into[i] = j;
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  // Abstractly executes one block from `st`. Appends (successor, out-state)
+  // pairs for live edges, joins returned values into res.ret, records calls,
+  // and (in record mode) emits findings and the branch fact.
+  void exec_block(ir::FuncId fid, ir::BlockId b, AbsState st, FnAnalysis& res,
+                  std::vector<Finding>* record) {
+    const ir::Function& fn = m_.function(fid);
+    const auto& instrs = fn.blocks[static_cast<std::size_t>(b)].instrs;
+    auto note = [&](FindingKind kind, std::size_t idx, std::string detail) {
+      if (record != nullptr) {
+        record->push_back(Finding{kind, fid,
+                                  InstrRef{b, static_cast<std::int32_t>(idx)},
+                                  std::move(detail)});
+      }
+    };
+    std::vector<ir::Reg> used;
+    for (std::size_t i = 0; i < instrs.size(); ++i) {
+      const ir::Instr& in = instrs[i];
+      // Read-before-any-write diagnostic (params are implicitly defined).
+      if (record != nullptr) {
+        used.clear();
+        uses_of(in, used);
+        for (ir::Reg r : used) {
+          const auto& v = st[static_cast<std::size_t>(r)];
+          if (!v.maybe_defined && r >= fn.num_params) {
+            note(FindingKind::kUseBeforeDef, i,
+                 "register r" + std::to_string(r) +
+                     " read before any definition (value is the zero init)");
+          }
+        }
+      }
+      auto reg = [&](ir::Reg r) -> AbsVal& {
+        return st[static_cast<std::size_t>(r)];
+      };
+      auto set = [&](AbsVal v) {
+        if (in.dst != ir::kNoReg) st[static_cast<std::size_t>(in.dst)] = v;
+      };
+      switch (in.op) {
+        case ir::Opcode::kConst:
+          set(int_val(Interval::point(in.imm)));
+          break;
+        case ir::Opcode::kMove: {
+          AbsVal v = reg(in.a);
+          v.maybe_defined = v.must_defined = true;
+          set(v);
+          break;
+        }
+        case ir::Opcode::kBin: {
+          const AbsVal& a = reg(in.a);
+          const AbsVal& bb = reg(in.b);
+          if ((in.bin == ir::BinOp::kDiv || in.bin == ir::BinOp::kRem) &&
+              bb.kind == AbsVal::Kind::kInt &&
+              bb.iv == Interval::point(0)) {
+            note(FindingKind::kDivByZero, i, "divisor is always 0");
+            return;  // the path faults here on every execution
+          }
+          set(eval_bin(in.bin, a, bb));
+          break;
+        }
+        case ir::Opcode::kNot: {
+          const AbsVal& a = reg(in.a);
+          const Interval x = a.interval();
+          if (a.kind == AbsVal::Kind::kRef) {
+            set(int_val(Interval::boolean()));  // null refs are falsy
+          } else if (!x.contains(0)) {
+            set(int_val(Interval::point(0)));
+          } else if (x == Interval::point(0)) {
+            set(int_val(Interval::point(1)));
+          } else {
+            set(int_val(Interval::boolean()));
+          }
+          break;
+        }
+        case ir::Opcode::kNeg: {
+          const AbsVal& a = reg(in.a);
+          set(int_val(a.kind == AbsVal::Kind::kInt ? solver::iv_neg(a.iv)
+                                                   : Interval::full()));
+          break;
+        }
+        case ir::Opcode::kAlloca:
+          set(ref_val(in.imm));
+          break;
+        case ir::Opcode::kStrConst:
+          set(ref_val(static_cast<std::int64_t>(in.str.size()) + 1));
+          break;
+        case ir::Opcode::kLoad:
+        case ir::Opcode::kStore: {
+          const bool is_store = in.op == ir::Opcode::kStore;
+          const AbsVal& ref = reg(in.a);
+          AbsVal& idx = reg(in.b);
+          if (ref.kind == AbsVal::Kind::kRef && ref.ref_size >= 0 &&
+              idx.kind == AbsVal::Kind::kInt) {
+            const Interval inb =
+                solver::intersect(idx.iv, Interval{0, ref.ref_size - 1});
+            if (inb.is_empty()) {
+              note(is_store ? FindingKind::kOobStore : FindingKind::kOobLoad,
+                   i,
+                   "index " + idx.iv.to_string() +
+                       " outside buffer of size " +
+                       std::to_string(ref.ref_size));
+              return;  // faults on every execution reaching it
+            }
+            // Code after a successful access only runs with an in-bounds
+            // index.
+            idx.iv = inb;
+          }
+          if (!is_store) set(int_val(Interval{0, 255}));
+          break;
+        }
+        case ir::Opcode::kBufSize: {
+          const AbsVal& ref = reg(in.a);
+          set(int_val(ref.kind == AbsVal::Kind::kRef && ref.ref_size >= 0
+                          ? Interval::point(ref.ref_size)
+                          : Interval{0, kMax}));
+          break;
+        }
+        case ir::Opcode::kLoadG:
+          set(global_val_[static_cast<std::size_t>(m_.find_global(in.str))]);
+          break;
+        case ir::Opcode::kStoreG:
+          break;  // covered by the flow-insensitive global summary
+        case ir::Opcode::kCall: {
+          const auto callee = static_cast<ir::FuncId>(in.imm);
+          CallObs obs;
+          obs.callee = callee;
+          obs.args.reserve(in.args.size());
+          for (ir::Reg r : in.args) obs.args.push_back(reg(r));
+          for (AbsVal& a : obs.args) a.maybe_defined = a.must_defined = true;
+          res.calls.push_back(std::move(obs));
+          const AbsVal& sum = ret_summary_[static_cast<std::size_t>(callee)];
+          if (sum.kind == AbsVal::Kind::kBottom) {
+            // No return observed from the callee yet: the continuation is
+            // unreachable this round; the driver revisits us when the
+            // summary rises.
+            return;
+          }
+          set(sum);
+          break;
+        }
+        case ir::Opcode::kCallExt:
+          // External effects are modelled by the harness and can return
+          // anything.
+          set(top_val());
+          break;
+        case ir::Opcode::kArgc:
+          set(int_val(Interval{0, kMax}));
+          break;
+        case ir::Opcode::kArg:
+        case ir::Opcode::kEnv:
+          set(ref_val(-1));
+          break;
+        case ir::Opcode::kMakeSymInt:
+          // Both interpreters clamp the runtime value into [imm, imm2].
+          set(int_val(Interval{in.imm, in.imm2}));
+          break;
+        case ir::Opcode::kMakeSymBuf:
+        case ir::Opcode::kPrint:
+          break;
+        case ir::Opcode::kAssert: {
+          const AbsVal& a = reg(in.a);
+          if (a.kind == AbsVal::Kind::kInt && a.iv == Interval::point(0)) {
+            note(FindingKind::kAssertFail, i, "assert condition is always 0");
+            return;  // faults on every execution reaching it
+          }
+          break;
+        }
+        case ir::Opcode::kJmp:
+          res.out.emplace_back(in.t0, std::move(st));
+          return;
+        case ir::Opcode::kBr: {
+          const AbsVal& cond = reg(in.a);
+          const Interval cv = cond.interval();
+          BranchFact fact = BranchFact::kUndecided;
+          if (cond.kind == AbsVal::Kind::kInt) {
+            if (!cv.contains(0)) fact = BranchFact::kAlwaysTrue;
+            else if (cv == Interval::point(0)) fact = BranchFact::kAlwaysFalse;
+          }
+          if (record != nullptr) res.branch[static_cast<std::size_t>(b)] = fact;
+          // Edge refinement: locate the in-block comparison that produced
+          // the condition (operands not redefined since) and apply it.
+          ir::Reg cmp_a = ir::kNoReg;
+          ir::Reg cmp_b = ir::kNoReg;
+          ir::BinOp cmp_op{};
+          for (std::size_t j = i; j-- > 0;) {
+            const ir::Instr& d = instrs[j];
+            const ir::Reg dr = def_of(d);
+            if (dr == in.a) {
+              if (d.op == ir::Opcode::kBin && ir::is_comparison(d.bin)) {
+                cmp_a = d.a;
+                cmp_b = d.b;
+                cmp_op = d.bin;
+                // The operands must still hold their compared values.
+                for (std::size_t k = j + 1; k < i; ++k) {
+                  const ir::Reg mid = def_of(instrs[k]);
+                  if (mid == cmp_a || mid == cmp_b) cmp_a = ir::kNoReg;
+                }
+              }
+              break;
+            }
+          }
+          auto edge_state = [&](bool taken) -> AbsState {
+            AbsState out = st;
+            AbsVal& c = out[static_cast<std::size_t>(in.a)];
+            if (c.kind == AbsVal::Kind::kInt) {
+              if (taken) {
+                if (c.iv.lo == 0) c.iv.lo = 1;
+                if (c.iv.hi == 0 && c.iv.lo != 0) c.iv.hi = -1;
+              } else {
+                c.iv = solver::intersect(c.iv, Interval::point(0));
+              }
+            }
+            if (cmp_a != ir::kNoReg && cmp_a != in.a && cmp_b != in.a) {
+              refine_cmp(cmp_op, taken, out[static_cast<std::size_t>(cmp_a)],
+                         out[static_cast<std::size_t>(cmp_b)]);
+            }
+            return out;
+          };
+          auto live = [](const AbsState& s) {
+            for (const AbsVal& v : s) {
+              if (v.kind == AbsVal::Kind::kInt && v.iv.is_empty()) return false;
+            }
+            return true;
+          };
+          if (fact != BranchFact::kAlwaysFalse) {
+            AbsState t = edge_state(true);
+            if (live(t)) res.out.emplace_back(in.t0, std::move(t));
+          }
+          if (fact != BranchFact::kAlwaysTrue) {
+            AbsState e = edge_state(false);
+            if (live(e)) res.out.emplace_back(in.t1, std::move(e));
+          }
+          return;
+        }
+        case ir::Opcode::kRet: {
+          AbsVal r = in.a != ir::kNoReg ? reg(in.a) : int_val(Interval::point(0));
+          r.maybe_defined = r.must_defined = true;
+          res.ret = join(res.ret, r);
+          return;
+        }
+      }
+    }
+  }
+
+  FnAnalysis analyze_function(ir::FuncId fid, std::vector<Finding>* record) {
+    const ir::Function& fn = m_.function(fid);
+    const Cfg& cfg = cfgs_[static_cast<std::size_t>(fid)];
+    FnAnalysis res;
+    res.in.resize(fn.blocks.size());
+    res.branch.assign(fn.blocks.size(), BranchFact::kUndecided);
+
+    AbsState entry(static_cast<std::size_t>(fn.num_regs), undef_val());
+    const auto& ctx = param_ctx_[static_cast<std::size_t>(fid)];
+    for (std::size_t p = 0;
+         p < static_cast<std::size_t>(fn.num_params) && p < ctx.size(); ++p) {
+      entry[p] = ctx[p];
+      entry[p].maybe_defined = entry[p].must_defined = true;
+    }
+    res.in[0] = entry;
+
+    std::deque<ir::BlockId> wl{0};
+    std::vector<bool> queued(fn.blocks.size(), false);
+    std::vector<int> joins(fn.blocks.size(), 0);
+    queued[0] = true;
+    // Widening bounds the number of in-state changes; the cap is a backstop.
+    std::size_t budget = 256 * fn.blocks.size() + 256;
+    while (!wl.empty() && budget-- > 0) {
+      const ir::BlockId b = wl.front();
+      wl.pop_front();
+      queued[static_cast<std::size_t>(b)] = false;
+      res.out.clear();
+      exec_block(fid, b, res.in[static_cast<std::size_t>(b)], res, nullptr);
+      for (auto& [succ, out_st] : res.out) {
+        const auto si = static_cast<std::size_t>(succ);
+        bool changed;
+        if (res.in[si].empty()) {
+          res.in[si] = std::move(out_st);
+          changed = true;
+        } else {
+          const bool wp = cfg.is_loop_edge(b, succ);
+          if (wp) ++joins[si];
+          changed = join_states(res.in[si], out_st, wp, joins[si]);
+        }
+        if (changed && !queued[si]) {
+          wl.push_back(succ);
+          queued[si] = true;
+        }
+      }
+    }
+
+    if (record != nullptr) {
+      // Recording pass over the fixpoint: findings, branch facts and calls
+      // in deterministic RPO order.
+      res.calls.clear();
+      for (ir::BlockId b : cfg.rpo) {
+        if (res.in[static_cast<std::size_t>(b)].empty()) continue;
+        res.out.clear();
+        exec_block(fid, b, res.in[static_cast<std::size_t>(b)], res, record);
+      }
+    }
+    return res;
+  }
+
+  const ir::Module& m_;
+  std::vector<Cfg> cfgs_;
+  std::vector<AbsVal> global_val_;
+  std::vector<std::vector<AbsVal>> param_ctx_;
+  std::vector<int> param_joins_;
+  std::vector<AbsVal> ret_summary_;
+  std::vector<int> ret_joins_;
+  std::vector<std::vector<ir::FuncId>> callers_;
+  std::vector<bool> reached_;
+};
+
+// --- ProgramFacts ----------------------------------------------------------
+
+const char* branch_fact_name(BranchFact f) {
+  switch (f) {
+    case BranchFact::kUndecided: return "undecided";
+    case BranchFact::kAlwaysTrue: return "always-true";
+    case BranchFact::kAlwaysFalse: return "always-false";
+  }
+  return "?";
+}
+
+const char* finding_kind_name(FindingKind k) {
+  switch (k) {
+    case FindingKind::kOobLoad: return "oob-load";
+    case FindingKind::kOobStore: return "oob-store";
+    case FindingKind::kDivByZero: return "div-by-zero";
+    case FindingKind::kAssertFail: return "assert-fail";
+    case FindingKind::kUseBeforeDef: return "use-before-def";
+  }
+  return "?";
+}
+
+std::string format_finding(const ir::Module& m, const Finding& f) {
+  std::ostringstream os;
+  os << finding_kind_name(f.kind) << " " << m.function(f.func).name
+     << " block " << f.site.block << " instr " << f.site.index << ": "
+     << f.detail;
+  return os.str();
+}
+
+bool ProgramFacts::function_reachable(ir::FuncId f) const {
+  return funcs_[static_cast<std::size_t>(f)].reachable;
+}
+
+bool ProgramFacts::block_reachable(ir::FuncId f, ir::BlockId b) const {
+  const auto& ff = funcs_[static_cast<std::size_t>(f)];
+  return ff.block_reachable[static_cast<std::size_t>(b)];
+}
+
+BranchFact ProgramFacts::branch(ir::FuncId f, ir::BlockId b) const {
+  const auto& ff = funcs_[static_cast<std::size_t>(f)];
+  return ff.branch[static_cast<std::size_t>(b)];
+}
+
+solver::Interval ProgramFacts::reg_interval(ir::FuncId f, ir::BlockId b,
+                                            ir::Reg r) const {
+  const auto& in = funcs_[static_cast<std::size_t>(f)]
+                       .block_in[static_cast<std::size_t>(b)];
+  if (static_cast<std::size_t>(r) >= in.size()) return Interval::full();
+  return in[static_cast<std::size_t>(r)];
+}
+
+std::size_t ProgramFacts::num_unreachable_blocks() const {
+  std::size_t n = 0;
+  for (const auto& ff : funcs_) {
+    for (bool r : ff.block_reachable) n += r ? 0 : 1;
+  }
+  return n;
+}
+
+std::size_t ProgramFacts::num_decided_branches() const {
+  std::size_t n = 0;
+  for (const auto& ff : funcs_) {
+    for (BranchFact f : ff.branch) n += f == BranchFact::kUndecided ? 0 : 1;
+  }
+  return n;
+}
+
+namespace {
+
+std::string bound_str(std::int64_t v) {
+  if (v == kMin) return "min";
+  if (v == kMax) return "max";
+  return std::to_string(v);
+}
+
+}  // namespace
+
+std::string ProgramFacts::to_string(const ir::Module& m) const {
+  std::ostringstream os;
+  for (std::size_t f = 0; f < funcs_.size(); ++f) {
+    const auto& ff = funcs_[f];
+    os << "function " << m.function(static_cast<ir::FuncId>(f)).name << ": "
+       << (ff.reachable ? "reachable" : "UNREACHABLE") << "\n";
+    if (!ff.reachable) continue;
+    for (std::size_t b = 0; b < ff.block_reachable.size(); ++b) {
+      os << "  block " << b << ": ";
+      if (!ff.block_reachable[b]) {
+        os << "UNREACHABLE\n";
+        continue;
+      }
+      os << "reachable";
+      if (ff.branch[b] != BranchFact::kUndecided) {
+        os << " branch=" << branch_fact_name(ff.branch[b]);
+      }
+      // Entry intervals that carry information (non-full).
+      std::string regs;
+      for (std::size_t r = 0; r < ff.block_in[b].size(); ++r) {
+        const Interval& iv = ff.block_in[b][r];
+        if (iv == Interval::full()) continue;
+        regs += " r" + std::to_string(r) + "=[" + bound_str(iv.lo) + "," +
+                bound_str(iv.hi) + "]";
+      }
+      if (!regs.empty()) os << regs;
+      os << "\n";
+    }
+  }
+  os << "findings: " << findings_.size() << "\n";
+  for (const Finding& f : findings_) {
+    os << "  " << format_finding(m, f) << "\n";
+  }
+  return os.str();
+}
+
+ProgramFacts analyze(const ir::Module& m) { return Analyzer(m).run(); }
+
+}  // namespace statsym::analysis

@@ -1,0 +1,99 @@
+// Whole-program static analysis over the mini-IR (ISSUE 8 tentpole).
+//
+// A flow-sensitive abstract interpretation — value intervals plus a
+// definitely/maybe-initialized bit per register — runs over every function
+// reachable from main, with widening at loop heads and a context-insensitive
+// treatment of calls (per-callee joined parameter contexts, joined return
+// summaries, iterated to a fixpoint). The result is a ProgramFacts table:
+//
+//   * per-block reachability (CFG-reachable AND abstractly visited),
+//   * per-branch decisions (always-true / always-false when the condition's
+//     interval excludes or pins zero),
+//   * per-(block, register) sound entry intervals,
+//   * definite-bug findings: accesses, divisions, asserts and register reads
+//     that fault or read uninitialized state on EVERY execution reaching
+//     them.
+//
+// Soundness contract (enforced by the fuzz campaign's static-facts oracle):
+// for any concrete input, the interpreter never enters a block reported
+// unreachable, never takes the refuted side of a decided branch, and every
+// non-kUseBeforeDef finding faults when its site is reached. Key modelling
+// choices that make this hold: registers are zero-initialized at frame
+// creation (so an unwritten register is exactly [0,0]), kMakeSymInt values
+// are clamped into [imm, imm2] by both interpreters, buffer loads yield
+// [0,255], and external calls (which a harness may model arbitrarily) are
+// top.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "ir/module.h"
+#include "solver/interval.h"
+
+namespace statsym::analysis {
+
+enum class BranchFact : std::uint8_t { kUndecided, kAlwaysTrue, kAlwaysFalse };
+
+const char* branch_fact_name(BranchFact f);
+
+enum class FindingKind : std::uint8_t {
+  kOobLoad,       // load index provably outside the buffer
+  kOobStore,      // store index provably outside the buffer
+  kDivByZero,     // divisor provably zero (kDiv or kRem)
+  kAssertFail,    // assert condition provably zero
+  kUseBeforeDef,  // register read no path has written (reads the zero init;
+                  // a diagnostic, not a runtime fault)
+};
+
+const char* finding_kind_name(FindingKind k);
+
+// A definite-bug site. Everything except kUseBeforeDef faults on every
+// execution that reaches the site.
+struct Finding {
+  FindingKind kind{FindingKind::kAssertFail};
+  ir::FuncId func{ir::kNoFunc};
+  InstrRef site;
+  std::string detail;
+};
+
+// "oob-store fn block 2 instr 1: index [8,8] outside buffer of size 8"
+std::string format_finding(const ir::Module& m, const Finding& f);
+
+class ProgramFacts {
+ public:
+  bool function_reachable(ir::FuncId f) const;
+  bool block_reachable(ir::FuncId f, ir::BlockId b) const;
+  // Decision for the block's terminator; kUndecided unless it is a kBr in a
+  // reachable block whose condition the analysis pinned.
+  BranchFact branch(ir::FuncId f, ir::BlockId b) const;
+  // Sound interval for register r at the entry of block b (full range when
+  // nothing is known or the register holds a reference).
+  solver::Interval reg_interval(ir::FuncId f, ir::BlockId b, ir::Reg r) const;
+
+  const std::vector<Finding>& findings() const { return findings_; }
+
+  std::size_t num_unreachable_blocks() const;
+  std::size_t num_decided_branches() const;
+
+  // Deterministic dump (golden tests, `statsym lint --dump-facts`).
+  std::string to_string(const ir::Module& m) const;
+
+ private:
+  friend class Analyzer;
+  struct FuncFacts {
+    bool reachable{false};
+    std::vector<bool> block_reachable;
+    std::vector<BranchFact> branch;
+    std::vector<std::vector<solver::Interval>> block_in;  // [block][reg]
+  };
+  std::vector<FuncFacts> funcs_;
+  std::vector<Finding> findings_;
+};
+
+// Runs the whole-program analysis. Pure: depends only on the module.
+ProgramFacts analyze(const ir::Module& m);
+
+}  // namespace statsym::analysis

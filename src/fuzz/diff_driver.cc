@@ -6,6 +6,7 @@
 #include <functional>
 #include <sstream>
 
+#include "analysis/facts.h"
 #include "concolic/concolic.h"
 #include "interp/interpreter.h"
 #include "ir/printer.h"
@@ -25,6 +26,7 @@ const char* oracle_name(Oracle o) {
     case Oracle::kPipeline: return "pipeline";
     case Oracle::kGuidedSoundness: return "guided-soundness";
     case Oracle::kCrossEngine: return "cross-engine";
+    case Oracle::kStaticFacts: return "static-facts";
   }
   return "?";
 }
@@ -421,6 +423,187 @@ std::string check_cross_engine(const GeneratedProgram& prog,
   return {};
 }
 
+// --- oracle (e): static-facts soundness -----------------------------------
+
+// The concrete fault a definite-bug finding predicts (kUseBeforeDef is a
+// data-flow diagnostic, not a fault prediction, and is never mapped).
+interp::FaultKind finding_fault(analysis::FindingKind k) {
+  switch (k) {
+    case analysis::FindingKind::kOobLoad: return interp::FaultKind::kOobLoad;
+    case analysis::FindingKind::kOobStore: return interp::FaultKind::kOobStore;
+    case analysis::FindingKind::kDivByZero:
+      return interp::FaultKind::kDivByZero;
+    case analysis::FindingKind::kAssertFail:
+      return interp::FaultKind::kAssertFail;
+    case analysis::FindingKind::kUseBeforeDef: break;
+  }
+  return interp::FaultKind::kNone;
+}
+
+// Listener that checks every concrete control-flow event against the static
+// facts: entering a provably-unreachable block or taking a branch against a
+// statically-decided direction falsifies the analysis. Records the first
+// violation only.
+class FactsObserver : public interp::InterpListener {
+ public:
+  FactsObserver(const ir::Module& m, const analysis::ProgramFacts& facts)
+      : facts_(facts) {
+    for (ir::FuncId f = 0;
+         f < static_cast<ir::FuncId>(m.functions().size()); ++f) {
+      ids_[m.function(f).name] = f;
+    }
+  }
+
+  void on_enter(const interp::Interpreter&, const ir::Function&,
+                std::span<const interp::Value>) override {}
+  void on_leave(const interp::Interpreter&, const ir::Function&,
+                std::span<const interp::Value>,
+                const std::optional<interp::Value>&) override {}
+
+  void on_block(const interp::Interpreter&, const ir::Function& fn,
+                ir::BlockId block) override {
+    if (!violation_.empty()) return;
+    const ir::FuncId f = ids_.at(fn.name);
+    if (!facts_.block_reachable(f, block)) {
+      violation_ = fn.name + "() block " + std::to_string(block) +
+                   " executed but statically unreachable";
+    }
+  }
+
+  void on_branch(const interp::Interpreter&, const ir::Function& fn,
+                 ir::BlockId block, bool taken) override {
+    if (!violation_.empty()) return;
+    const ir::FuncId f = ids_.at(fn.name);
+    const analysis::BranchFact bf = facts_.branch(f, block);
+    if ((bf == analysis::BranchFact::kAlwaysTrue && !taken) ||
+        (bf == analysis::BranchFact::kAlwaysFalse && taken)) {
+      violation_ = fn.name + "() block " + std::to_string(block) +
+                   " branch went " + (taken ? "true" : "false") +
+                   " against the statically-decided direction";
+    }
+  }
+
+  const std::string& violation() const { return violation_; }
+
+ private:
+  const analysis::ProgramFacts& facts_;
+  std::map<std::string, ir::FuncId> ids_;
+  std::string violation_;
+};
+
+// Oracle (e), runtime half: the facts may not be contradicted by any of the
+// concrete runs, and a program whose faults are all input-conditional (the
+// generator's invariant for non-definite programs) may carry no definite-bug
+// finding. Non-empty description on violation.
+std::string check_static_facts(const GeneratedProgram& prog,
+                               const ir::Module& module,
+                               const std::vector<interp::RuntimeInput>& inputs) {
+  const analysis::ProgramFacts facts = analysis::analyze(module);
+
+  for (const auto& f : facts.findings()) {
+    if (f.kind == analysis::FindingKind::kUseBeforeDef) continue;
+    if (!prog.definite_bug) {
+      return "definite finding in a program whose faults are all "
+             "input-conditional: " +
+             analysis::format_finding(module, f);
+    }
+  }
+
+  for (const auto& input : inputs) {
+    FactsObserver obs(module, facts);
+    interp::Interpreter it(module, input);
+    it.set_listener(&obs);
+    it.run();
+    if (!obs.violation().empty()) {
+      const std::int64_t len =
+          input.argv.size() > 1
+              ? static_cast<std::int64_t>(input.argv[1].size())
+              : -1;
+      return "len=" + std::to_string(len) + ": " + obs.violation();
+    }
+  }
+  return {};
+}
+
+// Oracle (e), lint half, run on the seed's force_definite_bug sibling: the
+// analysis must prove the planted unconditional bug (so `statsym lint`
+// reports it) and the finding must replay concretely — fault kind and
+// function must match the finding, on an input that reaches the sink.
+std::string check_lint_ground_truth(const GeneratedProgram& variant) {
+  const ir::Module& module = variant.app.module;
+  const analysis::ProgramFacts facts = analysis::analyze(module);
+
+  const analysis::Finding* planted = nullptr;
+  for (const auto& f : facts.findings()) {
+    if (f.kind == analysis::FindingKind::kUseBeforeDef) continue;
+    if (module.function(f.func).name == variant.app.vuln_function &&
+        finding_fault(f.kind) == variant.app.vuln_kind) {
+      planted = &f;
+      break;
+    }
+  }
+  if (planted == nullptr) {
+    return "lint missed the planted definite " +
+           std::string(interp::fault_kind_name(variant.app.vuln_kind)) +
+           " in " + variant.app.vuln_function + " (" +
+           std::to_string(facts.findings().size()) + " findings)";
+  }
+
+  // Any input reaches the sink (stages fall through unconditionally), so
+  // the definite finding must replay on a minimal payload.
+  interp::Interpreter it(module, payload_input(1));
+  const interp::RunResult rr = it.run();
+  if (rr.outcome != interp::RunOutcome::kFault ||
+      rr.fault.function != variant.app.vuln_function ||
+      rr.fault.kind != variant.app.vuln_kind) {
+    return "lint finding '" + analysis::format_finding(module, *planted) +
+           "' does not replay: interpreter " +
+           (rr.outcome == interp::RunOutcome::kFault
+                ? std::string(interp::fault_kind_name(rr.fault.kind)) +
+                      " in " + rr.fault.function
+                : std::string("clean"));
+  }
+  return {};
+}
+
+// Oracle (e), pipeline half: re-runs the full pipeline with the static
+// analysis disabled; the verdict — found, fault identity, winning candidate,
+// explored paths — must be identical. Pruning skips work, never answers.
+std::string check_pipeline_equivalence(const GeneratedProgram& prog,
+                                       const ir::Module& module,
+                                       const core::EngineResult& on,
+                                       const DiffOptions& opts) {
+  core::EngineOptions eo = engine_options(prog, opts);
+  eo.static_analysis = false;
+  core::StatSymEngine engine(module, prog.app.sym_spec, eo);
+  engine.collect_logs(prog.app.workload);
+  const core::EngineResult off = engine.run();
+
+  if (off.found != on.found) {
+    return std::string("pipeline verdict flips with analysis off: on=") +
+           (on.found ? "found" : "not-found") +
+           " off=" + (off.found ? "found" : "not-found");
+  }
+  if (on.found && (off.vuln->function != on.vuln->function ||
+                   off.vuln->kind != on.vuln->kind)) {
+    return "pipeline fault identity changes with analysis off: on=" +
+           on.vuln->function + "/" + interp::fault_kind_name(on.vuln->kind) +
+           " off=" + off.vuln->function + "/" +
+           interp::fault_kind_name(off.vuln->kind);
+  }
+  if (off.winning_candidate != on.winning_candidate) {
+    return "winning candidate changes with analysis off: on=#" +
+           std::to_string(on.winning_candidate) + " off=#" +
+           std::to_string(off.winning_candidate);
+  }
+  if (off.paths_explored != on.paths_explored) {
+    return "explored paths change with analysis off: on=" +
+           std::to_string(on.paths_explored) +
+           " off=" + std::to_string(off.paths_explored);
+  }
+  return {};
+}
+
 // --- shrinking ------------------------------------------------------------
 
 std::size_t total_instrs(const ir::Module& m) {
@@ -551,6 +734,31 @@ ProgramVerdict run_program_seed(std::size_t index, std::uint64_t program_seed,
     }
   }
 
+  // --- oracle (e), concrete half: facts vs runtime + lint ground truth ----
+  if (opts.check_static_facts) {
+    std::string err = check_static_facts(prog, prog.app.module, inputs);
+    if (!err.empty()) {
+      auto still_fails = [&prog, &inputs](const ir::Module& m) {
+        return !check_static_facts(prog, m, inputs).empty();
+      };
+      fail_program(v, prog, Oracle::kStaticFacts, err, still_fails, opts);
+      return v;
+    }
+    GenOptions dgen = opts.gen;
+    dgen.force_definite_bug = true;
+    const GeneratedProgram variant = generate_program(program_seed, dgen);
+    err = check_lint_ground_truth(variant);
+    if (!err.empty()) {
+      auto still_fails = [&variant](const ir::Module& m) {
+        GeneratedProgram p = variant;
+        p.app.module = m;
+        return !check_lint_ground_truth(p).empty();
+      };
+      fail_program(v, variant, Oracle::kStaticFacts, err, still_fails, opts);
+      return v;
+    }
+  }
+
   if (!opts.check_pipeline) return v;
 
   // --- oracle (b): the pipeline must verify exactly the planted fault -----
@@ -571,6 +779,20 @@ ProgramVerdict run_program_seed(std::size_t index, std::uint64_t program_seed,
     };
     fail_program(v, prog, Oracle::kPipeline, pipe.failure, still_fails, opts);
     return v;
+  }
+
+  // --- oracle (e), pipeline half: identical verdict with analysis off -----
+  if (opts.check_static_facts) {
+    const std::string err =
+        check_pipeline_equivalence(prog, prog.app.module, pipe.result, opts);
+    if (!err.empty()) {
+      auto still_fails = [&prog, &opts](const ir::Module& m) {
+        const PipelineOutcome p = run_pipeline(prog, m, opts);
+        return !check_pipeline_equivalence(prog, m, p.result, opts).empty();
+      };
+      fail_program(v, prog, Oracle::kStaticFacts, err, still_fails, opts);
+      return v;
+    }
   }
 
   // --- oracle (c): guided findings must be pure-reachable -----------------
@@ -643,6 +865,7 @@ CampaignResult run_campaign(const DiffOptions& opts) {
       case Oracle::kPipeline: ++cr.pipeline_misses; break;
       case Oracle::kGuidedSoundness: ++cr.soundness_failures; break;
       case Oracle::kCrossEngine: ++cr.cross_engine_failures; break;
+      case Oracle::kStaticFacts: ++cr.static_facts_failures; break;
     }
   }
   return cr;

@@ -33,6 +33,16 @@
 //       all must agree on the fault function and kind. Disagreements are
 //       shrunk and dumped as reproducers like any other oracle failure.
 //
+//   (e) Static-facts soundness (src/analysis/) — the whole-program abstract
+//       interpretation's claims are checked against concrete execution: no
+//       run may enter a block the analysis proved unreachable, no concrete
+//       branch may go against a statically-decided direction, a program
+//       whose only fault is input-conditional may carry no definite-bug
+//       finding, the seed's force_definite_bug sibling must lint with the
+//       planted finding and replay it concretely, and the full pipeline
+//       must return the identical verdict with the analysis on and off
+//       (pruning is work-skipping, never answer-changing).
+//
 // Campaigns fan programs out over a worker pool; every program derives its
 // RNG streams from (campaign seed, program index) via derive_seed, so
 // per-program verdicts are bit-identical for any --jobs value. A failing
@@ -55,6 +65,7 @@ enum class Oracle : std::uint8_t {
   kPipeline,         // (b) pipeline missed the planted fault (or hallucinated)
   kGuidedSoundness,  // (c) guided found a vuln pure execution cannot reach
   kCrossEngine,      // (d) engine disagreement / unconfirmed witness
+  kStaticFacts,      // (e) static-analysis claim contradicted at runtime
 };
 
 const char* oracle_name(Oracle o);
@@ -82,6 +93,9 @@ struct DiffOptions {
 
   bool check_pipeline{true};
   bool check_soundness{true};
+  // Oracle (e): static-facts soundness (`--no-static-facts` to disable).
+  // The pipeline-equivalence half additionally requires check_pipeline.
+  bool check_static_facts{true};
 
   // Oracle (d): the engines under comparison (`--engines` in the CLI). The
   // list also becomes the Phase-3 lane race inside the pipeline run. With
@@ -130,6 +144,7 @@ struct CampaignResult {
   std::size_t pipeline_misses{0};
   std::size_t soundness_failures{0};
   std::size_t cross_engine_failures{0};
+  std::size_t static_facts_failures{0};
   std::size_t planted{0};
   std::size_t pipeline_verified{0};
   std::size_t concolic_verified{0};  // planted faults the concolic lane found
@@ -148,7 +163,7 @@ struct CampaignResult {
   }
   bool passed(const DiffOptions& opts) const {
     return divergences == 0 && soundness_failures == 0 &&
-           cross_engine_failures == 0 &&
+           cross_engine_failures == 0 && static_facts_failures == 0 &&
            pipeline_rate() >= opts.min_pipeline_rate;
   }
 };

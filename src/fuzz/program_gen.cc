@@ -10,8 +10,17 @@ namespace statsym::fuzz {
 
 namespace {
 
-// Kinds of planted fault (kNone = benign sink).
-enum class PlantKind : std::uint8_t { kNone, kOob, kAssert };
+// Kinds of planted fault (kNone = benign sink). The kDefinite* kinds are
+// unconditional — the fault needs no input predicate, which is what makes
+// it provable by the static analysis and reportable by `statsym lint`.
+enum class PlantKind : std::uint8_t {
+  kNone,
+  kOob,
+  kAssert,
+  kDefiniteAssert,  // assert(0)
+  kDefiniteDiv,     // n / 0
+  kDefiniteOob,     // buf[7] with |buf| = 4
+};
 
 // Everything the per-function emitters need. All register values derived
 // from the input are non-negative by construction (lengths, byte values,
@@ -213,6 +222,26 @@ void emit_segments(FnCtx& c, std::size_t count, bool allow_leaf_calls) {
 //            cannot fault.
 void emit_sink(ir::ModuleBuilder& mb, PlantKind plant, std::int64_t threshold,
                std::int64_t cap) {
+  if (plant == PlantKind::kDefiniteAssert || plant == PlantKind::kDefiniteDiv ||
+      plant == PlantKind::kDefiniteOob) {
+    auto f = mb.func("sink", {"s", "n"});
+    const ir::Reg n = f.param(1);
+    switch (plant) {
+      case PlantKind::kDefiniteAssert:
+        f.assert_true(f.ci(0));
+        break;
+      case PlantKind::kDefiniteDiv:
+        f.bin(ir::BinOp::kDiv, n, f.ci(0));
+        break;
+      default: {  // kDefiniteOob
+        const ir::Reg buf = f.alloca_buf(4);
+        f.store(buf, f.ci(7), f.ci(1));
+        break;
+      }
+    }
+    f.ret(n);
+    return;
+  }
   if (plant == PlantKind::kAssert) {
     auto f = mb.func("sink", {"s", "n"});
     const ir::Reg n = f.param(1);
@@ -256,12 +285,23 @@ GeneratedProgram generate_program(std::uint64_t seed, const GenOptions& opts) {
       rng.uniform(static_cast<std::int64_t>(opts.min_leaves),
                   static_cast<std::int64_t>(opts.max_leaves)));
   out.fault_planted = rng.chance(opts.fault_probability);
-  const PlantKind plant =
+  PlantKind plant =
       !out.fault_planted ? PlantKind::kNone
       : rng.chance(opts.assert_fault_probability) ? PlantKind::kAssert
                                                   : PlantKind::kOob;
   out.threshold = rng.uniform(opts.min_threshold, opts.max_threshold);
   out.capacity = out.threshold + opts.capacity_slack;
+  if (opts.force_definite_bug) {
+    // Same RNG draws as above so the chaff is identical to the seed's
+    // conditional-fault sibling; only the sink differs.
+    static constexpr PlantKind kDefinite[] = {PlantKind::kDefiniteAssert,
+                                              PlantKind::kDefiniteDiv,
+                                              PlantKind::kDefiniteOob};
+    plant = kDefinite[rng.uniform(0, 2)];
+    out.fault_planted = true;
+    out.definite_bug = true;
+    out.threshold = 0;  // fires for every input reaching the sink
+  }
 
   const std::string name = "fuzz-" + std::to_string(seed);
   ir::ModuleBuilder mb(name);
@@ -341,9 +381,18 @@ GeneratedProgram generate_program(std::uint64_t seed, const GenOptions& opts) {
   };
   if (out.fault_planted) {
     out.app.vuln_function = "sink";
-    out.app.vuln_kind = plant == PlantKind::kAssert
-                            ? interp::FaultKind::kAssertFail
-                            : interp::FaultKind::kOobStore;
+    switch (plant) {
+      case PlantKind::kAssert:
+      case PlantKind::kDefiniteAssert:
+        out.app.vuln_kind = interp::FaultKind::kAssertFail;
+        break;
+      case PlantKind::kDefiniteDiv:
+        out.app.vuln_kind = interp::FaultKind::kDivByZero;
+        break;
+      default:
+        out.app.vuln_kind = interp::FaultKind::kOobStore;
+        break;
+    }
     out.app.crash_threshold = out.threshold;
   }
   return out;

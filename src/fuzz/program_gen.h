@@ -52,6 +52,15 @@ struct GenOptions {
 
   bool allow_loops{true};
   bool allow_memory_ops{true};
+
+  // Replace the sink with an *unconditional* definite bug — assert(0),
+  // division by a constant zero, or an OOB store at a constant index — that
+  // the static analysis (src/analysis/) must prove and `statsym lint` must
+  // report. Every input reaching the sink faults (crash_threshold becomes
+  // 0), so these programs are ground truth for the lint/static-facts fuzz
+  // oracle, not for the sampled-log pipeline. Deliberately NOT part of the
+  // corpus key/value format: corpus entries describe pipeline regressions.
+  bool force_definite_bug{false};
 };
 
 struct GeneratedProgram {
@@ -59,6 +68,8 @@ struct GeneratedProgram {
   std::uint64_t seed{0};
   GenOptions opts;
   bool fault_planted{false};
+  // force_definite_bug: the planted fault is unconditional (threshold 0).
+  bool definite_bug{false};
   // When planted: fault fires iff len(input) >= threshold
   // (== app.crash_threshold). Always: workload lengths are < capacity.
   std::int64_t threshold{0};

@@ -84,6 +84,7 @@ void Interpreter::enter_function(ir::FuncId id, std::vector<Value> args,
   stack_.push_back(std::move(f));
   if (listener_ != nullptr) {
     listener_->on_enter(*this, fn, stack_.back().params);
+    listener_->on_block(*this, fn, 0);
   }
 }
 
@@ -183,8 +184,8 @@ bool Interpreter::step() {
         fault(FaultKind::kNullDeref, "negate reference");
         return false;
       }
-      set(in.dst, Value::make_int(
-                      -static_cast<std::int64_t>(static_cast<std::uint64_t>(a.i))));
+      set(in.dst, Value::make_int(static_cast<std::int64_t>(
+                      -static_cast<std::uint64_t>(a.i))));
       advance();
       break;
     }
@@ -252,11 +253,22 @@ bool Interpreter::step() {
     case ir::Opcode::kJmp:
       f.block = in.t0;
       f.idx = 0;
+      if (listener_ != nullptr) {
+        listener_->on_block(*this, m_.function(f.func), f.block);
+      }
       break;
-    case ir::Opcode::kBr:
-      f.block = r(in.a).truthy() ? in.t0 : in.t1;
+    case ir::Opcode::kBr: {
+      const bool taken = r(in.a).truthy();
+      if (listener_ != nullptr) {
+        listener_->on_branch(*this, m_.function(f.func), f.block, taken);
+      }
+      f.block = taken ? in.t0 : in.t1;
       f.idx = 0;
+      if (listener_ != nullptr) {
+        listener_->on_block(*this, m_.function(f.func), f.block);
+      }
       break;
+    }
     case ir::Opcode::kCall: {
       if (static_cast<std::int32_t>(stack_.size()) >= opts_.max_call_depth) {
         fault(FaultKind::kStackOverflow, in.str);

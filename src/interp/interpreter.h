@@ -74,6 +74,25 @@ class InterpListener {
   virtual void on_leave(const Interpreter& interp, const ir::Function& fn,
                         std::span<const Value> params,
                         const std::optional<Value>& ret) = 0;
+  // Fine-grained control-flow observation (default no-ops so the sampling
+  // monitor is untouched): on_block fires whenever control enters a basic
+  // block — function entry (block 0) and every kJmp/kBr transfer; on_branch
+  // fires at each kBr with the concrete decision. The static-facts fuzz
+  // oracle implements these to check that no provably-unreachable block
+  // executes and no statically-decided branch flips at runtime.
+  virtual void on_block(const Interpreter& interp, const ir::Function& fn,
+                        ir::BlockId block) {
+    (void)interp;
+    (void)fn;
+    (void)block;
+  }
+  virtual void on_branch(const Interpreter& interp, const ir::Function& fn,
+                         ir::BlockId block, bool taken) {
+    (void)interp;
+    (void)fn;
+    (void)block;
+    (void)taken;
+  }
 };
 
 // Models external calls (libc/syscall stand-ins). Returns the call's result;

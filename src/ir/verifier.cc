@@ -34,6 +34,137 @@ bool needs_dst(Opcode op) {
   }
 }
 
+// The register an instruction writes, or kNoReg. kCall/kCallExt may discard
+// their result (dst == kNoReg).
+Reg def_reg(const Instr& in) {
+  if (needs_dst(in.op) || in.op == Opcode::kCall || in.op == Opcode::kCallExt) {
+    return in.dst;
+  }
+  return kNoReg;
+}
+
+// Appends the registers an instruction reads.
+void use_regs(const Instr& in, std::vector<Reg>& out) {
+  switch (in.op) {
+    case Opcode::kMove:
+    case Opcode::kNot:
+    case Opcode::kNeg:
+    case Opcode::kBufSize:
+    case Opcode::kArg:
+    case Opcode::kStoreG:
+    case Opcode::kAssert:
+    case Opcode::kMakeSymBuf:
+    case Opcode::kBr:
+      out.push_back(in.a);
+      break;
+    case Opcode::kBin:
+    case Opcode::kLoad:
+      out.push_back(in.a);
+      out.push_back(in.b);
+      break;
+    case Opcode::kStore:
+      out.push_back(in.a);
+      out.push_back(in.b);
+      out.push_back(in.c);
+      break;
+    case Opcode::kRet:
+      if (in.a != kNoReg) out.push_back(in.a);
+      break;
+    case Opcode::kCall:
+    case Opcode::kCallExt:
+      for (Reg r : in.args) out.push_back(r);
+      break;
+    default:
+      break;
+  }
+}
+
+// Reachability + may-reaching-defs over one structurally-valid function.
+// Returns the first violation: an unreachable block, or a register read
+// that no entry path defines first.
+std::string verify_dataflow(const Function& fn) {
+  const std::size_t nblocks = fn.blocks.size();
+
+  std::vector<bool> reach(nblocks, false);
+  std::vector<BlockId> work{0};
+  reach[0] = true;
+  while (!work.empty()) {
+    const BlockId b = work.back();
+    work.pop_back();
+    const Instr& t = fn.blocks[static_cast<std::size_t>(b)].instrs.back();
+    const BlockId succs[2] = {
+        t.op == Opcode::kJmp || t.op == Opcode::kBr ? t.t0 : kNoBlock,
+        t.op == Opcode::kBr ? t.t1 : kNoBlock};
+    for (const BlockId s : succs) {
+      if (s != kNoBlock && !reach[static_cast<std::size_t>(s)]) {
+        reach[static_cast<std::size_t>(s)] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  for (std::size_t bi = 0; bi < nblocks; ++bi) {
+    if (!reach[bi]) {
+      return fn.name + " block " + std::to_string(bi) +
+             ": unreachable from entry";
+    }
+  }
+
+  // Forward union (may) dataflow: defined-at-entry[b] = ∪ defined-at-exit of
+  // predecessors; parameters seed the entry block. Monotone, so the loop
+  // terminates in O(blocks²) set unions at worst.
+  const auto nregs = static_cast<std::size_t>(fn.num_regs);
+  std::vector<std::vector<bool>> in_def(nblocks,
+                                        std::vector<bool>(nregs, false));
+  for (std::int32_t p = 0; p < fn.num_params; ++p) {
+    in_def[0][static_cast<std::size_t>(p)] = true;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t bi = 0; bi < nblocks; ++bi) {
+      std::vector<bool> out = in_def[bi];
+      for (const Instr& in : fn.blocks[bi].instrs) {
+        const Reg d = def_reg(in);
+        if (d != kNoReg) out[static_cast<std::size_t>(d)] = true;
+      }
+      const Instr& t = fn.blocks[bi].instrs.back();
+      const BlockId succs[2] = {
+          t.op == Opcode::kJmp || t.op == Opcode::kBr ? t.t0 : kNoBlock,
+          t.op == Opcode::kBr ? t.t1 : kNoBlock};
+      for (const BlockId s : succs) {
+        if (s == kNoBlock) continue;
+        std::vector<bool>& dst = in_def[static_cast<std::size_t>(s)];
+        for (std::size_t r = 0; r < nregs; ++r) {
+          if (out[r] && !dst[r]) {
+            dst[r] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Reg> uses;
+  for (std::size_t bi = 0; bi < nblocks; ++bi) {
+    std::vector<bool> defined = in_def[bi];
+    for (std::size_t ii = 0; ii < fn.blocks[bi].instrs.size(); ++ii) {
+      const Instr& in = fn.blocks[bi].instrs[ii];
+      uses.clear();
+      use_regs(in, uses);
+      for (const Reg r : uses) {
+        if (!defined[static_cast<std::size_t>(r)]) {
+          return where(fn, bi, ii) + "use of r" + std::to_string(r) +
+                 " which no path from entry defines (" + opcode_name(in.op) +
+                 ")";
+        }
+      }
+      const Reg d = def_reg(in);
+      if (d != kNoReg) defined[static_cast<std::size_t>(d)] = true;
+    }
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string verify(const Module& m) {
@@ -151,6 +282,11 @@ std::string verify(const Module& m) {
         }
       }
     }
+
+    // The structural pass above guarantees every register index is in range
+    // and every block ends in exactly one terminator, which is what the
+    // flow-sensitive pass assumes.
+    if (auto e = verify_dataflow(fn); !e.empty()) return e;
   }
   // main must take no parameters: program inputs flow through
   // argc/arg/env/make_symbolic, not the entry function's signature.

@@ -18,7 +18,15 @@ namespace statsym::ir {
 //     callee's parameter count,
 //   - kLoadG/kStoreG name declared globals,
 //   - instructions that must produce a value have a dst, and store-like
-//     instructions have their operands.
+//     instructions have their operands,
+//   - every block is reachable from the function's entry block (unreachable
+//     blocks are dead weight the builder cannot produce and usually mark a
+//     broken rewrite),
+//   - every register read is preceded by a definition on at least one path
+//     from the entry block (parameters count as defined). This is the *may*
+//     direction: registers are zero-initialised at runtime, so a
+//     conditionally-defined register is legal, but one no path ever defines
+//     is a use-before-def bug in the producer.
 std::string verify(const Module& m);
 
 }  // namespace statsym::ir

@@ -28,6 +28,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kEngineLaneEnd: return "engine-lane-end";
     case EventKind::kConcolicRun: return "concolic-run";
     case EventKind::kConcolicNegation: return "concolic-negation";
+    case EventKind::kStaticPrune: return "static-prune";
     case EventKind::kNote: return "note";
   }
   return "?";
@@ -149,6 +150,7 @@ FieldNames fields_of(EventKind k) {
     case EventKind::kConcolicRun: return {"run", "decisions", "faulted", false};
     case EventKind::kConcolicNegation:
       return {"run", "decision", "verdict", false};
+    case EventKind::kStaticPrune: return {"func", "block", "dir", true};
     case EventKind::kNote: return {"a", "b", "c", true};
   }
   return {"a", "b", "c", true};

@@ -110,6 +110,9 @@ struct SolverStats {
   double solve_seconds{0.0};          // wall time inside those invocations
   std::uint64_t search_nodes{0};
   std::uint64_t propagation_rounds{0};
+  // Branch queries the symbolic executor never issued because the static
+  // analysis (src/analysis/) had already decided the branch.
+  std::uint64_t static_prunes{0};
 
   SolverStats& operator+=(const SolverStats& o) {
     queries += o.queries;
@@ -125,6 +128,7 @@ struct SolverStats {
     solve_seconds += o.solve_seconds;
     search_nodes += o.search_nodes;
     propagation_rounds += o.propagation_rounds;
+    static_prunes += o.static_prunes;
     return *this;
   }
 

@@ -107,6 +107,16 @@ void StatSymEngine::fill_metrics(EngineResult& res,
   m.add("solver.local_cache_hits", ss.cache_hits);
   m.add("solver.model_reuse_hits", ss.model_reuse_hits);
   m.add("solver.canonical", ss.shared_cache_hits + ss.solves);
+  m.add("solver.static_prunes", ss.static_prunes);
+
+  // Static-analysis counters appear only when the analysis ran, so
+  // analysis-off metric renderings are byte-identical to before.
+  if (facts_.has_value()) {
+    m.add("analysis.unreachable_blocks", facts_->num_unreachable_blocks());
+    m.add("analysis.decided_branches", facts_->num_decided_branches());
+    m.add("analysis.findings", facts_->findings().size());
+    m.add("analysis.candidates_pruned", res.candidates_pruned);
+  }
 
   m.set_gauge("phase.log.seconds", res.log_seconds);
   m.set_gauge("phase.stat.seconds", res.stat_seconds);
@@ -322,6 +332,15 @@ EngineResult StatSymEngine::run_on(const stats::SuffStats& suff) {
   }
   res.construction = std::move(*construction);
 
+  // --- Whole-program static analysis -------------------------------------
+  // Pure function of the module, so one computation serves every Phase-3
+  // run of this engine. The facts are sound over-approximations: consulting
+  // them skips work (branch feasibility queries, dead candidates) without
+  // ever changing a verdict, witness, or trace-visible ordering decision.
+  if (opts_.static_analysis && !facts_.has_value()) {
+    facts_ = analysis::analyze(m_);
+  }
+
   // --- Statistics-guided symbolic execution ------------------------------
   if (trace != nullptr) {
     trace->emit(obs::EventKind::kPhaseBegin, 0, 0, 0, "symexec");
@@ -364,6 +383,7 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
 
   struct Slot {
     bool completed{false};  // ran to its natural termination (not cancelled)
+    bool pruned{false};     // dropped by static analysis, never executed
     symexec::ExecResult result;
   };
   std::vector<Slot> slots(n_try);
@@ -417,6 +437,31 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     if (env.stop != nullptr && env.stop->load(std::memory_order_relaxed)) {
       return;
     }
+    // Candidate pre-filter: a path that visits a function the static
+    // analysis proved unreachable can never replay, so racing it is pure
+    // waste. The candidate keeps its rank slot (and its derived seed), it
+    // just completes instantly with empty stats — pruning never shifts any
+    // sibling's identity, which is what keeps traces jobs-invariant.
+    if (facts_.has_value()) {
+      ir::FuncId dead_fn = -1;
+      for (const monitor::LocId loc : res.construction.candidates[ci].nodes) {
+        const ir::FuncId fid = monitor::loc_function(loc);
+        if (!facts_->function_reachable(fid)) {
+          dead_fn = fid;
+          break;
+        }
+      }
+      if (dead_fn >= 0) {
+        slots[ci].completed = true;
+        slots[ci].pruned = true;
+        if (tracer_ != nullptr) {
+          slot_traces[ci].emit(obs::EventKind::kStaticPrune,
+                               static_cast<std::int64_t>(dead_fn), -1,
+                               static_cast<std::int64_t>(ci + 1), "candidate");
+        }
+        return;
+      }
+    }
     CandidateGuidance guidance(m_, res.construction.candidates[ci],
                                res.predicates, opts_.guidance);
     symexec::ExecOptions exec_opts = opts_.exec;
@@ -435,6 +480,7 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
     // current run to pure symbolic execution.
     exec_opts.wake_suspended = false;
     symexec::SymExecutor ex(m_, spec_, exec_opts);
+    if (facts_.has_value()) ex.set_facts(&*facts_);
     ex.set_guidance(&guidance);
     ex.set_searcher(std::make_unique<GuidedSearcher>());
     ex.set_stop_flag(&cancel[ci]);
@@ -486,6 +532,7 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
   const std::size_t counted = winner < n_try ? winner + 1 : n_try;
   for (std::size_t ci = 0; ci < counted; ++ci) {
     ++res.candidates_tried;
+    if (slots[ci].pruned) ++res.candidates_pruned;
     res.paths_explored += slots[ci].result.stats.paths_explored;
     res.instructions += slots[ci].result.stats.instructions;
     res.solver_stats += slots[ci].result.solver_stats;
@@ -548,6 +595,7 @@ void StatSymEngine::run_engines(EngineResult& res, monitor::LocId failure,
     // Guided-lane bookkeeping, applied to `res` only if the lane counts.
     std::size_t candidates_tried{0};
     std::size_t candidates_cancelled{0};
+    std::size_t candidates_pruned{0};
     std::size_t winning_candidate{0};
     symexec::ExecStats last_exec_stats;
   };
@@ -596,6 +644,7 @@ void StatSymEngine::run_engines(EngineResult& res, monitor::LocId failure,
         L.solver_stats = gres.solver_stats;
         L.candidates_tried = gres.candidates_tried;
         L.candidates_cancelled = gres.candidates_cancelled;
+        L.candidates_pruned = gres.candidates_pruned;
         L.winning_candidate = gres.winning_candidate;
         L.last_exec_stats = gres.last_exec_stats;
         L.termination =
@@ -613,6 +662,7 @@ void StatSymEngine::run_engines(EngineResult& res, monitor::LocId failure,
         eo.seed = derive_seed(opts_.exec.seed, 1000 + p);
         if (eo.target_function.empty()) eo.target_function = target;
         symexec::SymExecutor ex(m_, spec_, eo);
+        if (facts_.has_value()) ex.set_facts(&*facts_);
         ex.set_stop_flag(&lane_cancel[p]);
         ex.set_shared_budget(&budget);
         if (opts_.share_solver_cache) {
@@ -715,6 +765,7 @@ void StatSymEngine::run_engines(EngineResult& res, monitor::LocId failure,
     if (lanes[p] == EngineKind::kGuided) {
       res.candidates_tried = L.candidates_tried;
       res.candidates_cancelled = L.candidates_cancelled;
+      res.candidates_pruned = L.candidates_pruned;
       res.winning_candidate = L.winning_candidate;
       res.last_exec_stats = L.last_exec_stats;
     }
@@ -793,8 +844,10 @@ std::vector<EngineResult> StatSymEngine::run_all(std::size_t max_vulns) {
 symexec::ExecResult run_pure_symbolic(const ir::Module& m,
                                       const symexec::SymInputSpec& spec,
                                       const symexec::ExecOptions& opts,
-                                      obs::TraceBuffer* trace) {
+                                      obs::TraceBuffer* trace,
+                                      const analysis::ProgramFacts* facts) {
   symexec::SymExecutor ex(m, spec, opts);
+  if (facts != nullptr) ex.set_facts(facts);
   if (trace != nullptr) {
     trace->emit(obs::EventKind::kExecBegin, 0);
     ex.set_trace(trace);

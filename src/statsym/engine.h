@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/facts.h"
 #include "monitor/monitor.h"
 #include "monitor/shard.h"
 #include "obs/metrics.h"
@@ -109,6 +110,16 @@ struct EngineOptions {
   // Concrete executions the concolic lane may perform.
   std::size_t concolic_max_runs{512};
 
+  // --- static analysis ----------------------------------------------------
+  // Run the whole-program abstract interpretation (src/analysis/) once per
+  // module and feed its ProgramFacts into Phase 3: statically-decided
+  // branches skip their solver feasibility queries (SolverStats::
+  // static_prunes) and candidate paths that visit a provably-unreachable
+  // function are dropped before racing. Sound facts only — turning this off
+  // (`--no-static-analysis`) never changes any verdict or witness, only the
+  // amount of work done to reach it.
+  bool static_analysis{true};
+
   std::uint64_t seed{42};
 };
 
@@ -164,6 +175,10 @@ struct EngineResult {
   // Candidates ranked after the winner that the portfolio started (or would
   // have started) and cut short once the winner was known.
   std::size_t candidates_cancelled{0};
+  // Counted candidates dropped before execution because their path visits a
+  // statically-unreachable function (EngineOptions::static_analysis). They
+  // still occupy their rank slot — pruning never shifts seeds or ranks.
+  std::size_t candidates_pruned{0};
   symexec::ExecStats last_exec_stats;
 
   // Engine-race accounting; empty when Phase 3 ran the default single
@@ -277,6 +292,9 @@ class StatSymEngine {
   const ir::Module& m_;
   symexec::SymInputSpec spec_;
   EngineOptions opts_;
+  // Whole-program facts, computed lazily before the first Phase-3 run when
+  // EngineOptions::static_analysis is on (pure function of the module).
+  std::optional<analysis::ProgramFacts> facts_;
   std::vector<monitor::RunLog> logs_;  // batch mode (and pre-fold staging)
   // Streaming state: per-cluster sufficient statistics ("" keys faulty runs
   // without a fault tag; correct runs have their own accumulator).
@@ -293,10 +311,13 @@ class StatSymEngine {
 // Pure-KLEE baseline on the same module/input spec: unguided symbolic
 // execution with the given options (Table IV's right-hand columns).
 // `trace`, when non-null, receives the execution's state/solver events
-// (kExecBegin carries candidate rank 0 = pure run).
+// (kExecBegin carries candidate rank 0 = pure run). `facts`, when non-null,
+// enables static branch pruning exactly as in the engine's own lanes.
 symexec::ExecResult run_pure_symbolic(const ir::Module& m,
                                       const symexec::SymInputSpec& spec,
                                       const symexec::ExecOptions& opts,
-                                      obs::TraceBuffer* trace = nullptr);
+                                      obs::TraceBuffer* trace = nullptr,
+                                      const analysis::ProgramFacts* facts =
+                                          nullptr);
 
 }  // namespace statsym::core

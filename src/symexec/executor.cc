@@ -287,6 +287,32 @@ SymExecutor::StepResult SymExecutor::exec_branch(State& st,
     st.depth++;
     return StepResult::kContinue;
   }
+  if (facts_ != nullptr) {
+    const analysis::BranchFact bf = facts_->branch(f.func, f.block);
+    if (bf != analysis::BranchFact::kUndecided) {
+      // The analysis proved the condition for every execution reaching this
+      // block, so pc ∧ taken-side is equisatisfiable with pc: skip both
+      // feasibility queries and never fork the statically-dead sibling. The
+      // constraint still narrows the propagation domains (and keeps the
+      // pc-unsat detection of the add path), but stays out of the canonical
+      // constraint list — it is implied, so every downstream solve works on
+      // a smaller set with the identical solution space.
+      const bool take_true = bf == analysis::BranchFact::kAlwaysTrue;
+      if (st.pc.add_implied(pool_, take_true ? te : fe) ==
+          PathConstraints::Quick::kUnsat) {
+        return StepResult::kInfeasible;  // pc was already unsat
+      }
+      ++validator_stats_.static_prunes;
+      if (trace_ != nullptr) {
+        trace_->emit(obs::EventKind::kStaticPrune, f.func, f.block,
+                     take_true ? 1 : 0, "branch");
+      }
+      f.block = take_true ? in.t0 : in.t1;
+      f.idx = 0;
+      st.depth++;
+      return StepResult::kContinue;
+    }
+  }
   const bool ok_t = feasible(st, te);
   const bool ok_f = feasible(st, fe);
   if (ok_t && ok_f) {

@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/facts.h"
 #include "interp/interpreter.h"
 #include "monitor/log.h"
 #include "obs/trace.h"
@@ -233,6 +234,12 @@ class SymExecutor {
     follow_input_ = std::move(input);
   }
   bool follow_mode() const { return follow_; }
+  // Static program facts (must outlive the run): branches the whole-program
+  // analysis decided are taken without a feasibility query and without
+  // creating the statically-dead sibling (counted in
+  // SolverStats::static_prunes, traced as static-prune events). Follow mode
+  // ignores the facts — the driving input dictates every direction anyway.
+  void set_facts(const analysis::ProgramFacts* facts) { facts_ = facts; }
   // Opt this executor into a cross-worker budget (must outlive the run).
   void set_shared_budget(SharedBudget* budget) { budget_ = budget; }
   // Opt this executor's solvers (fork-time and fault validation) into a
@@ -354,6 +361,7 @@ class SymExecutor {
   std::unordered_map<std::uint64_t, std::unique_ptr<State>> owned_;
   std::vector<State*> suspended_;
   GuidanceHook* hook_{nullptr};
+  const analysis::ProgramFacts* facts_{nullptr};
   const std::atomic<bool>* stop_flag_{nullptr};
   const std::atomic<bool>* stop_flag2_{nullptr};
   obs::TraceBuffer* trace_{nullptr};

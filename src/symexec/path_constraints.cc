@@ -17,6 +17,20 @@ PathConstraints::Quick PathConstraints::add(solver::ExprPool& pool,
   return Quick::kUnknown;
 }
 
+PathConstraints::Quick PathConstraints::add_implied(solver::ExprPool& pool,
+                                                    solver::ExprId e) {
+  if (pool.is_const(e)) {
+    return pool.const_val(e) != 0 ? Quick::kSat : Quick::kUnsat;
+  }
+  if (present_.contains(e)) return Quick::kSat;
+  present_.insert(e);  // but NOT list_: implied constraints don't solve
+  if (!solver::propagate(pool, e, true, domains_)) return Quick::kUnsat;
+  const solver::Interval iv = solver::eval_interval(pool, e, domains_);
+  if (iv.is_empty() || (iv.lo == 0 && iv.hi == 0)) return Quick::kUnsat;
+  if (!iv.contains(0)) return Quick::kSat;
+  return Quick::kUnknown;
+}
+
 PathConstraints::Quick PathConstraints::probe(solver::ExprPool& pool,
                                               solver::ExprId e) const {
   if (pool.is_const(e)) {

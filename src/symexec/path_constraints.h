@@ -25,6 +25,13 @@ class PathConstraints {
   //              escalate to the full solver).
   Quick add(solver::ExprPool& pool, solver::ExprId e);
 
+  // Same narrowing and contradiction detection as add(), but `e` is already
+  // implied by the recorded constraints (a statically-decided branch, see
+  // src/analysis/), so it is kept out of list(): the solution set is
+  // unchanged and every downstream canonical solve works on a smaller
+  // constraint set.
+  Quick add_implied(solver::ExprPool& pool, solver::ExprId e);
+
   // Quick feasibility test of `e` against the current domains without
   // recording it.
   Quick probe(solver::ExprPool& pool, solver::ExprId e) const;

@@ -13,12 +13,17 @@
 //       Only collect logs and write them in the monitor's text format.
 //   statsym dump <app>
 //       Print the application's mini-IR and its Table-I statistics.
+//   statsym lint <app> [--facts]
+//       Run the whole-program static analysis and print every definite-bug
+//       diagnostic (provable OOB, division by zero, failing assert,
+//       use-before-def). Exits non-zero when anything is found.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "analysis/facts.h"
 #include "apps/registry.h"
 #include "fuzz/program_gen.h"
 #include "ir/printer.h"
@@ -33,7 +38,7 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: statsym <list|run|pure|collect|dump> [args]\n"
+               "usage: statsym <list|run|pure|collect|dump|lint> [args]\n"
                "  statsym list\n"
                "  statsym run <app> [--sampling R] [--seed N] [--logs FILE] "
                "[--all]\n"
@@ -45,6 +50,7 @@ int usage() {
                "  statsym collect <app> <out-file> [--sampling R] [--seed N] "
                "[--jobs/-j N]\n"
                "  statsym dump <app>\n"
+               "  statsym lint <app> [--facts]\n"
                "\n"
                "  --jobs/-j N     worker threads for log collection and the\n"
                "                  candidate portfolio (0 = all hardware "
@@ -63,6 +69,10 @@ int usage() {
                "                  (default guided); first win cancels worse\n"
                "                  lanes, results identical at any --jobs\n"
                "  --concolic      shorthand: append a concolic lane\n"
+               "  --no-static-analysis  skip the whole-program static\n"
+               "                  analysis (no branch pruning / candidate\n"
+               "                  drops); verdicts are identical either way\n"
+               "  --facts         (lint) also dump the full per-block facts\n"
                "  --trace-out F   write the deterministic JSONL event trace\n"
                "                  (byte-identical at any --jobs)\n"
                "  --trace-chrome F  write a chrome://tracing JSON timeline\n"
@@ -85,6 +95,8 @@ struct Flags {
   bool log_shard_size_set{false};  // explicit --log-shard-size (for checks)
   std::vector<core::EngineKind> engines{core::EngineKind::kGuided};
   bool concolic{false};      // append a concolic lane
+  bool static_analysis{true};  // --no-static-analysis turns this off
+  bool dump_facts{false};      // lint --facts: full per-block fact dump
   std::string trace_out;     // deterministic JSONL event stream
   std::string trace_chrome;  // Chrome about://tracing JSON (wall-clocked)
   std::string metrics_out;   // metrics registry as JSON
@@ -156,6 +168,10 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
       f.engines = *parsed;
     } else if (a == "--concolic") {
       f.concolic = true;
+    } else if (a == "--no-static-analysis") {
+      f.static_analysis = false;
+    } else if (a == "--facts") {
+      f.dump_facts = true;
     } else if (a == "--trace-out") {
       if (i + 1 >= argc) return false;
       f.trace_out = argv[++i];
@@ -225,6 +241,7 @@ core::EngineOptions engine_options(const Flags& f) {
   o.log_shard_size = f.log_shard_size;
   o.engines = f.engines;
   o.enable_concolic = f.concolic;
+  o.static_analysis = f.static_analysis;
   return o;
 }
 
@@ -368,9 +385,12 @@ int cmd_pure(const std::string& name, const Flags& f) {
   obs::TraceOptions topts;
   topts.wall_clock = !f.trace_chrome.empty();
   obs::Tracer tracer(topts);
+  std::optional<analysis::ProgramFacts> facts;
+  if (f.static_analysis) facts = analysis::analyze(app.module);
   const auto r = core::run_pure_symbolic(
       app.module, app.sym_spec, opts,
-      want_trace(f) ? &tracer.buffer() : nullptr);
+      want_trace(f) ? &tracer.buffer() : nullptr,
+      facts.has_value() ? &*facts : nullptr);
   std::printf("pure[%s]: %s — %llu paths, %llu forks, %.1fs, peak %zu "
               "states / %zu MB\n",
               symexec::searcher_kind_name(opts.searcher),
@@ -392,6 +412,7 @@ int cmd_pure(const std::string& name, const Flags& f) {
   pm.add("solver.model_reuse_hits", r.solver_stats.model_reuse_hits);
   pm.add("solver.canonical",
          r.solver_stats.shared_cache_hits + r.solver_stats.solves);
+  pm.add("solver.static_prunes", r.solver_stats.static_prunes);
   pm.set_gauge("symexec.seconds", r.stats.seconds);
   const int obs_rc =
       write_observability(f, want_trace(f) ? &tracer : nullptr, &pm);
@@ -412,6 +433,28 @@ int cmd_collect(const std::string& name, const std::string& out,
   os << monitor::serialize(engine.logs());
   std::printf("wrote %zu logs to %s\n", engine.logs().size(), out.c_str());
   return 0;
+}
+
+// `statsym lint`: the static analysis as a standalone checker. Prints one
+// line per definite-bug site (these are proofs, not heuristics — every
+// diagnostic corresponds to a fault some input actually triggers, except
+// use-before-def which is a data-flow diagnostic) and exits 1 when any
+// exist, so the command composes with shell `&&` chains and CI steps.
+int cmd_lint(const std::string& name, const Flags& f) {
+  const apps::AppSpec app = apps::make_app(name);
+  const analysis::ProgramFacts facts = analysis::analyze(app.module);
+  if (f.dump_facts) {
+    std::printf("%s\n", facts.to_string(app.module).c_str());
+  }
+  for (const auto& finding : facts.findings()) {
+    std::printf("%s\n",
+                analysis::format_finding(app.module, finding).c_str());
+  }
+  std::printf("lint: %zu finding(s), %zu unreachable block(s), "
+              "%zu decided branch(es)\n",
+              facts.findings().size(), facts.num_unreachable_blocks(),
+              facts.num_decided_branches());
+  return facts.findings().empty() ? 0 : 1;
 }
 
 int cmd_dump(const std::string& name) {
@@ -445,5 +488,8 @@ int main(int argc, char** argv) {
     return cmd_collect(argv[2], argv[3], f);
   }
   if (cmd == "dump" && argc >= 3) return cmd_dump(argv[2]);
+  if (cmd == "lint" && argc >= 3 && parse_flags(argc, argv, 3, f)) {
+    return cmd_lint(argv[2], f);
+  }
   return usage();
 }

@@ -45,6 +45,7 @@ int usage() {
       "    --no-pipeline        skip oracle (b) (and (c), (d))\n"
       "    --no-soundness       skip oracle (c)\n"
       "    --no-cross-engine    skip oracle (d)\n"
+      "    --no-static-facts    skip oracle (e) (static-analysis soundness)\n"
       "    --repro-dir DIR      write reproducers here (default "
       "fuzz-repros)\n"
       "    --print-programs     one verdict line per program\n"
@@ -103,6 +104,8 @@ bool parse_flags(int argc, char** argv, int start, CliFlags& f) {
       f.opts.check_soundness = false;
     } else if (a == "--no-cross-engine") {
       f.opts.check_cross_engine = false;
+    } else if (a == "--no-static-facts") {
+      f.opts.check_static_facts = false;
     } else if ((a == "--engines" && i + 1 < argc) ||
                a.rfind("--engines=", 0) == 0) {
       const std::string list =
@@ -145,10 +148,11 @@ int cmd_campaign(const CliFlags& f) {
   std::printf(
       "campaign seed=%llu: %zu programs (%zu planted), "
       "%zu divergences, %zu pipeline misses, %zu soundness failures, "
-      "pipeline rate %.0f%% (bar %.0f%%)\n",
+      "%zu static-facts failures, pipeline rate %.0f%% (bar %.0f%%)\n",
       static_cast<unsigned long long>(f.opts.seed), cr.programs.size(),
       cr.planted, cr.divergences, cr.pipeline_misses, cr.soundness_failures,
-      cr.pipeline_rate() * 100.0, f.opts.min_pipeline_rate * 100.0);
+      cr.static_facts_failures, cr.pipeline_rate() * 100.0,
+      f.opts.min_pipeline_rate * 100.0);
   const bool multi_engine =
       f.opts.engines.size() > 1 ||
       (f.opts.engines.size() == 1 &&

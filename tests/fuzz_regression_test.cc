@@ -10,9 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "analysis/facts.h"
 #include "fuzz/diff_driver.h"
 #include "gtest/gtest.h"
 #include "interp/interpreter.h"
+#include "ir/verifier.h"
 
 namespace statsym::fuzz {
 namespace {
@@ -146,6 +148,41 @@ TEST(FuzzCampaign, BenignProgramsProduceNoFinding) {
   for (const auto& v : cr.programs) {
     EXPECT_TRUE(v.ok()) << format_verdict(v);
     EXPECT_FALSE(v.pipeline_found);
+  }
+}
+
+TEST(FuzzGenerator, EveryGeneratedModulePassesTheVerifier) {
+  // Generator self-check: the extended verifier (reachability + may-direction
+  // use-before-def, ir/verifier.h) must accept everything the generator
+  // emits, in both the normal and the force_definite_bug configurations.
+  for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+    GenOptions gen;
+    const GeneratedProgram p = generate_program(seed, gen);
+    EXPECT_EQ(ir::verify(p.app.module), "") << "seed " << seed;
+
+    GenOptions definite = gen;
+    definite.force_definite_bug = true;
+    const GeneratedProgram d = generate_program(seed, definite);
+    EXPECT_EQ(ir::verify(d.app.module), "") << "definite seed " << seed;
+    EXPECT_TRUE(d.fault_planted);
+    EXPECT_TRUE(d.definite_bug);
+  }
+}
+
+TEST(FuzzGenerator, DefiniteBugVariantLintsAndReplays) {
+  // The force_definite_bug sibling of any seed must carry a static finding
+  // in the planted function — the ground-truth half of fuzz oracle (e).
+  GenOptions gen;
+  gen.force_definite_bug = true;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const GeneratedProgram p = generate_program(seed, gen);
+    const analysis::ProgramFacts facts = analysis::analyze(p.app.module);
+    const ir::FuncId vuln = p.app.module.find_function(p.app.vuln_function);
+    ASSERT_NE(vuln, ir::kNoFunc);
+    bool matched = false;
+    for (const auto& f : facts.findings()) matched |= (f.func == vuln);
+    EXPECT_TRUE(matched) << "seed " << seed << ": no finding in "
+                         << p.app.vuln_function;
   }
 }
 

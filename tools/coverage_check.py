@@ -1,6 +1,6 @@
 #!/usr/bin/env python3
 """Line-coverage gate for the analysis core (src/monitor + src/stats +
-src/statsym + src/obs + src/concolic).
+src/statsym + src/obs + src/concolic + src/analysis).
 
 Aggregates gcov JSON output from a --coverage build and fails when line
 coverage of the watched directories drops below the committed floor. The
@@ -10,7 +10,7 @@ raise it when coverage improves, never lower it to make a PR pass.
 Usage:
   tools/coverage_check.py --build-dir build-cov \
       [--watch src/monitor --watch src/stats --watch src/statsym \
-       --watch src/obs --watch src/concolic] \
+       --watch src/obs --watch src/concolic --watch src/analysis] \
       [--min-percent 90.0] [--summary-out coverage-summary.txt]
 
 Requires only `gcov` (matching the compiler that produced the .gcda files)
@@ -94,14 +94,15 @@ def main():
         os.path.dirname(os.path.abspath(__file__))))
     ap.add_argument("--watch", action="append", default=[],
                     help="repo-relative dir to gate (repeatable); default "
-                         "src/stats + src/statsym + src/obs + src/concolic")
+                         "src/stats + src/statsym + src/obs + src/concolic + "
+                         "src/analysis")
     ap.add_argument("--min-percent", type=float, default=None,
                     help="fail when total watched line coverage is below this")
     ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
     ap.add_argument("--summary-out", default=None)
     args = ap.parse_args()
     watch = args.watch or ["src/monitor", "src/stats", "src/statsym",
-                           "src/obs", "src/concolic"]
+                           "src/obs", "src/concolic", "src/analysis"]
 
     gcda = find_gcda(args.build_dir)
     if not gcda:

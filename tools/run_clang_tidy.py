@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Baseline-gated clang-tidy runner (CI job `clang-tidy`).
+
+Runs clang-tidy (config in .clang-tidy) over every first-party source file
+under src/ using the compile database of an existing build directory, then
+compares the findings against the committed suppression baseline
+tools/clang_tidy_baseline.txt.
+
+Findings are normalised to `<relative-file>:<check-name>` pairs before the
+comparison, so line drift from unrelated edits never invalidates the
+baseline; a pair only appears when a file genuinely gains a new class of
+finding. The gate fails (exit 1) on any pair absent from the baseline and
+reports baseline entries that no longer fire so they can be pruned.
+
+Usage:
+  tools/run_clang_tidy.py --build build            # gate against baseline
+  tools/run_clang_tidy.py --build build --update-baseline
+"""
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BASELINE = os.path.join(REPO, "tools", "clang_tidy_baseline.txt")
+LINT_DIRS = ["src"]
+
+# warning line: /abs/path/file.cc:12:3: warning: ... [check-name]
+WARNING_RE = re.compile(r"^(/[^:]+):\d+:\d+: warning: .* \[([\w.,-]+)\]$")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def source_files():
+    files = []
+    for d in LINT_DIRS:
+        for root, _, names in os.walk(os.path.join(REPO, d)):
+            for n in sorted(names):
+                if n.endswith(".cc"):
+                    files.append(os.path.join(root, n))
+    return sorted(files)
+
+
+def run_one(clang_tidy, build_dir, path):
+    proc = subprocess.run(
+        [clang_tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True, cwd=REPO)
+    pairs = set()
+    for line in proc.stdout.splitlines():
+        m = WARNING_RE.match(line.strip())
+        if not m:
+            continue
+        abspath, checks = m.group(1), m.group(2)
+        rel = os.path.relpath(abspath, REPO)
+        if rel.startswith(".."):  # system/third-party header
+            continue
+        for check in checks.split(","):
+            pairs.add((rel, check))
+    return pairs, proc.stdout
+
+
+def load_baseline():
+    pairs = set()
+    if not os.path.exists(BASELINE):
+        return pairs
+    with open(BASELINE, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            rel, _, check = line.partition(":")
+            pairs.add((rel, check))
+    return pairs
+
+
+def write_baseline(pairs):
+    with open(BASELINE, "w", encoding="utf-8") as f:
+        f.write("# clang-tidy suppression baseline — one `file:check` pair "
+                "per line.\n")
+        f.write("# Regenerate with: tools/run_clang_tidy.py --build <dir> "
+                "--update-baseline\n")
+        f.write("# New code must be clean; entries here are pre-existing "
+                "findings to burn down.\n")
+        for rel, check in sorted(pairs):
+            f.write(f"{rel}:{check}\n")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--build", required=True,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--clang-tidy", default=None)
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    args = ap.parse_args()
+
+    clang_tidy = find_clang_tidy(args.clang_tidy)
+    if not clang_tidy:
+        print("error: clang-tidy not found on PATH", file=sys.stderr)
+        return 2
+    build_dir = os.path.abspath(args.build)
+    if not os.path.exists(os.path.join(build_dir, "compile_commands.json")):
+        print(f"error: {build_dir}/compile_commands.json missing "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+
+    files = source_files()
+    print(f"linting {len(files)} files with {clang_tidy}")
+    found = set()
+    raw_by_file = {}
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = {pool.submit(run_one, clang_tidy, build_dir, f): f
+                   for f in files}
+        for fut in concurrent.futures.as_completed(futures):
+            pairs, raw = fut.result()
+            found |= pairs
+            if pairs:
+                raw_by_file[futures[fut]] = raw
+
+    if args.update_baseline:
+        write_baseline(found)
+        print(f"wrote {len(found)} entries to {BASELINE}")
+        return 0
+
+    baseline = load_baseline()
+    new = sorted(found - baseline)
+    stale = sorted(baseline - found)
+    if stale:
+        print(f"note: {len(stale)} baseline entries no longer fire "
+              "(prune with --update-baseline):")
+        for rel, check in stale:
+            print(f"  {rel}:{check}")
+    if new:
+        print(f"FAIL: {len(new)} finding(s) not in the baseline:")
+        for rel, check in new:
+            print(f"  {rel}:{check}")
+        print("\nfull clang-tidy output for affected files:")
+        for path in sorted(raw_by_file):
+            rel = os.path.relpath(path, REPO)
+            if any(r == rel for r, _ in new):
+                print(raw_by_file[path])
+        return 1
+    print(f"clang-tidy gate green ({len(found)} baselined finding(s), "
+          "0 new)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
