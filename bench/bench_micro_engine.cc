@@ -163,6 +163,52 @@ void BM_MonitoredRun(benchmark::State& state) {
 }
 BENCHMARK(BM_MonitoredRun)->Arg(0)->Arg(30)->Arg(100);
 
+void BM_CollectVars(benchmark::State& state) {
+  // Variable collection runs on every solver query (slicing + canonical
+  // orderings); the small-buffer fast path must keep shallow expressions —
+  // the overwhelmingly common case — allocation-free past the output vector.
+  solver::ExprPool pool;
+  const auto x = pool.var_expr(pool.new_var("x", 0, 255));
+  const auto y = pool.var_expr(pool.new_var("y", 0, 255));
+  solver::ExprId deep = pool.constant(0);
+  for (int i = 0; i < 48; ++i) {
+    deep = pool.add(deep, pool.mul(x, pool.add(y, pool.constant(i))));
+  }
+  std::vector<solver::VarId> out;
+  for (auto _ : state) {
+    out.clear();
+    pool.collect_vars(deep, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_CollectVars);
+
+void BM_CowForkState(benchmark::State& state) {
+  // Cost of one copy-on-write fork (clone_state's substrate): freeze the
+  // parent's tails, share every prefix, account the shallow/eager byte gap.
+  // The eager_clone_bytes term deliberately includes approx_bytes() — the
+  // accounting walk is part of the real per-fork cost being tracked.
+  solver::ExprPool pool;
+  symexec::State parent;
+  const auto obj = parent.mem.alloc(512, "buf");
+  for (std::int64_t i = 0; i < 511; ++i) {
+    const auto v = pool.new_var("buf[" + std::to_string(i) + "]", 0, 255);
+    parent.mem.write(obj, i, symexec::SymByte::symbolic(pool.var_expr(v)));
+    if (i < 64) {
+      parent.pc.add(pool, pool.ne(pool.var_expr(v), pool.constant(0)));
+    }
+  }
+  parent.stack.emplace_back();
+  parent.stack.back().regs.assign(16, symexec::SymValue::concrete_int(0));
+  for (auto _ : state) {
+    symexec::State child;
+    parent.fork_into(child);
+    benchmark::DoNotOptimize(parent.approx_bytes());
+    benchmark::DoNotOptimize(child.shallow_clone_bytes());
+  }
+}
+BENCHMARK(BM_CowForkState);
+
 void BM_SymbolicThroughput(benchmark::State& state) {
   // Instructions per second through the symbolic executor on the fig2
   // program (bounded exploration).

@@ -84,8 +84,10 @@ class TraceBuffer {
   void append(TraceBuffer&& other);
 
   void set_lane(std::uint32_t lane) { lane_ = lane; }
+  std::uint32_t lane() const { return lane_; }
   // Optional wall-clock stamping; the clock must outlive the buffer.
   void set_clock(const Stopwatch* clock) { clock_ = clock; }
+  const Stopwatch* clock() const { return clock_; }
 
   std::size_t size() const { return ring_.size(); }
   std::uint64_t total() const { return total_; }

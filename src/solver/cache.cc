@@ -10,36 +10,6 @@ bool ids_equal(std::span<const ExprId> a, const std::vector<ExprId>& b) {
   return std::equal(a.begin(), a.end(), b.begin(), b.end());
 }
 
-// SplitMix64 finalizer — the diffusion step between ingredients.
-std::uint64_t mix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-Fp128 fp_absorb(Fp128 h, std::uint64_t v) {
-  // Two lanes with independent round constants; each absorbs the value
-  // against the other lane so the halves never degenerate into copies.
-  h.lo = mix64(h.lo ^ v ^ 0x2545f4914f6cdd1dULL);
-  h.hi = mix64(h.hi ^ v ^ 0x9e6c63d0876a9a62ULL ^ (h.lo >> 1));
-  return h;
-}
-
-Fp128 fp_absorb(Fp128 h, const Fp128& v) {
-  h = fp_absorb(h, v.lo);
-  return fp_absorb(h, v.hi);
-}
-
-std::uint64_t hash_str(const std::string& s) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : s) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 }  // namespace
 
 // --- QueryCache ------------------------------------------------------------
@@ -91,45 +61,6 @@ void QueryCache::insert_with_key(std::uint64_t key,
 
 // --- ExprFingerprinter -----------------------------------------------------
 
-Fp128 ExprFingerprinter::of(ExprId e) {
-  if (const auto it = memo_.find(e); it != memo_.end()) return it->second;
-
-  Fp128 h{0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL};
-  h = fp_absorb(h, static_cast<std::uint64_t>(pool_.op(e)));
-  switch (pool_.op(e)) {
-    case ExprOp::kConst:
-      h = fp_absorb(h, static_cast<std::uint64_t>(pool_.const_val(e)));
-      break;
-    case ExprOp::kVar: {
-      const VarId v = pool_.var_of(e);
-      const VarInfo& vi = pool_.var(v);
-      // VarId *and* declaration bind the identity: a fingerprint match
-      // across pools certifies both sides mean the same variable, which is
-      // what lets models transfer by VarId.
-      h = fp_absorb(h, static_cast<std::uint64_t>(v));
-      h = fp_absorb(h, hash_str(vi.name));
-      h = fp_absorb(h, static_cast<std::uint64_t>(vi.lo));
-      h = fp_absorb(h, static_cast<std::uint64_t>(vi.hi));
-      break;
-    }
-    case ExprOp::kIte:
-      h = fp_absorb(h, of(pool_.lhs(e)));
-      h = fp_absorb(h, of(pool_.rhs(e)));
-      h = fp_absorb(h, of(pool_.third(e)));
-      break;
-    case ExprOp::kNeg:
-    case ExprOp::kNot:
-      h = fp_absorb(h, of(pool_.lhs(e)));
-      break;
-    default:
-      h = fp_absorb(h, of(pool_.lhs(e)));
-      h = fp_absorb(h, of(pool_.rhs(e)));
-      break;
-  }
-  memo_.emplace(e, h);
-  return h;
-}
-
 Fp128 ExprFingerprinter::combine(std::span<const Fp128> sorted_fps,
                                  const Fp128& salt) {
   Fp128 h{0x3c6ef372fe94f82bULL, 0xa54ff53a5f1d36f1ULL};
@@ -144,26 +75,45 @@ Fp128 ExprFingerprinter::combine(std::span<const Fp128> sorted_fps,
 SharedQueryCache::SharedQueryCache(std::size_t shards)
     : shards_(shards == 0 ? 1 : shards) {}
 
-bool SharedQueryCache::lookup(const Fp128& key, std::span<const Fp128> cs_fps,
+bool SharedQueryCache::lookup(const ExprPool& pool, const Fp128& key,
+                              std::span<const Fp128> cs_fps,
                               SolveResult& out) const {
   Shard& s = shard_of(key);
   std::lock_guard<std::mutex> lock(s.mu);
   const auto it = s.map.find(key.lo);
   if (it != s.map.end()) {
     for (const Entry& e : it->second) {
-      if (std::equal(cs_fps.begin(), cs_fps.end(), e.cs_fps.begin(),
-                     e.cs_fps.end())) {
-        out = e.result;
-        ++s.hits;
-        return true;
+      if (!std::equal(cs_fps.begin(), cs_fps.end(), e.cs_fps.begin(),
+                      e.cs_fps.end())) {
+        continue;
       }
+      // Re-bind the fingerprint-keyed model to this pool's VarIds. A
+      // variable the looking pool never declared means the entry cannot be
+      // expressed here; fall through to a miss rather than return a model
+      // with holes.
+      SolveResult res;
+      res.sat = e.sat;
+      bool bindable = true;
+      for (const auto& [vfp, val] : e.model) {
+        const auto v = pool.find_var(vfp);
+        if (!v) {
+          bindable = false;
+          break;
+        }
+        res.model.emplace(*v, val);
+      }
+      if (!bindable) break;
+      out = std::move(res);
+      ++s.hits;
+      return true;
     }
   }
   ++s.misses;
   return false;
 }
 
-void SharedQueryCache::insert(const Fp128& key, std::span<const Fp128> cs_fps,
+void SharedQueryCache::insert(const ExprPool& pool, const Fp128& key,
+                              std::span<const Fp128> cs_fps,
                               const SolveResult& result) {
   Shard& s = shard_of(key);
   std::lock_guard<std::mutex> lock(s.mu);
@@ -176,7 +126,15 @@ void SharedQueryCache::insert(const Fp128& key, std::span<const Fp128> cs_fps,
       return;
     }
   }
-  bucket.push_back(Entry{{cs_fps.begin(), cs_fps.end()}, result});
+  Entry entry;
+  entry.cs_fps.assign(cs_fps.begin(), cs_fps.end());
+  entry.sat = result.sat;
+  entry.model.reserve(result.model.size());
+  for (const auto& [v, val] : result.model) {
+    entry.model.emplace_back(pool.var(v).fp, val);
+  }
+  std::sort(entry.model.begin(), entry.model.end());
+  bucket.push_back(std::move(entry));
   ++s.insertions;
 }
 

@@ -11,11 +11,11 @@
 //  * SharedQueryCache — one instance shared by every worker of a parallel
 //    portfolio. ExprIds are pool-local, so keys are 128-bit *structural
 //    fingerprints* of the sliced sub-query: a digest over the expression
-//    DAG in which variables contribute (VarId, name, domain). A fingerprint
-//    match therefore certifies that both pools agree on the identity of
-//    every variable involved, which makes the stored model (VarId → value)
-//    directly reusable by the looking pool. Shards with independent locks
-//    keep worker contention low.
+//    DAG in which variables contribute (name, domain) — never VarId. Stored
+//    models are therefore keyed by variable fingerprint and re-bound to the
+//    looking pool's VarIds on lookup (ExprPool::find_var), which lets hits
+//    transfer between pools that allocated their variables in different
+//    orders. Shards with independent locks keep worker contention low.
 //
 // Only *canonical* results enter the shared cache — results computed by the
 // deterministic per-query decision procedure, never model-reuse fast-path
@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "solver/expr.h"
+#include "solver/fp128.h"
 #include "solver/result.h"
 
 namespace statsym::solver {
@@ -70,28 +71,16 @@ class QueryCache {
   std::size_t entries_{0};
 };
 
-// 128-bit structural digest. Two lanes mixed with independent constants;
-// treated as collision-free for cache identity (≈2^-128 per pair), with
-// SAT-model hits additionally verified by concrete re-evaluation.
-struct Fp128 {
-  std::uint64_t lo{0};
-  std::uint64_t hi{0};
-
-  bool operator==(const Fp128&) const = default;
-  bool operator<(const Fp128& o) const {
-    return hi != o.hi ? hi < o.hi : lo < o.lo;
-  }
-};
-
-// Memoizing structural fingerprinter over one pool. Digests are
-// pool-independent: constants contribute their value, variables contribute
-// (VarId, name, domain), interior nodes contribute their operator and child
-// digests. Memo entries stay valid because pool nodes are immutable.
+// Structural fingerprint access over one pool. The pool computes every
+// node's digest at intern time (constants contribute their value, variables
+// contribute (name, domain), interior nodes their operator and child
+// digests), so `of` is an O(1) read — this class survives as the query-level
+// combiner plus a stable seam for the solver.
 class ExprFingerprinter {
  public:
   explicit ExprFingerprinter(const ExprPool& pool) : pool_(pool) {}
 
-  Fp128 of(ExprId e);
+  Fp128 of(ExprId e) const { return pool_.fp(e); }
 
   // Combines a sequence of constraint digests (pre-sorted by the caller for
   // a canonical key) into one query digest. `salt` namespaces the key — the
@@ -101,7 +90,6 @@ class ExprFingerprinter {
 
  private:
   const ExprPool& pool_;
-  std::unordered_map<ExprId, Fp128> memo_;
 };
 
 // Thread-safe sharded cache shared across the workers of a portfolio.
@@ -109,13 +97,16 @@ class SharedQueryCache {
  public:
   explicit SharedQueryCache(std::size_t shards = 16);
 
-  // On hit copies the stored result into `out`. `cs_fps` (the sorted
-  // per-constraint digests) is compared against the stored vector, so even
-  // a combined-key collision cannot cross-wire two queries.
-  bool lookup(const Fp128& key, std::span<const Fp128> cs_fps,
-              SolveResult& out) const;
-  void insert(const Fp128& key, std::span<const Fp128> cs_fps,
-              const SolveResult& result);
+  // On hit rebuilds the stored result against `pool` (models are stored
+  // keyed by variable fingerprint and re-bound via ExprPool::find_var) and
+  // copies it into `out`. `cs_fps` (the sorted per-constraint digests) is
+  // compared against the stored vector, so even a combined-key collision
+  // cannot cross-wire two queries; a model variable the looking pool never
+  // declared turns the probe into a miss.
+  bool lookup(const ExprPool& pool, const Fp128& key,
+              std::span<const Fp128> cs_fps, SolveResult& out) const;
+  void insert(const ExprPool& pool, const Fp128& key,
+              std::span<const Fp128> cs_fps, const SolveResult& result);
 
   std::size_t size() const;
 
@@ -129,7 +120,9 @@ class SharedQueryCache {
  private:
   struct Entry {
     std::vector<Fp128> cs_fps;
-    SolveResult result;
+    Sat sat{Sat::kUnknown};
+    // Model keyed by variable fingerprint, sorted — pool-independent.
+    std::vector<std::pair<Fp128, std::int64_t>> model;
   };
   struct Shard {
     mutable std::mutex mu;

@@ -1,6 +1,5 @@
 #include "solver/expr.h"
 
-#include <algorithm>
 #include <cassert>
 #include <functional>
 #include <sstream>
@@ -42,15 +41,15 @@ bool is_bool_op(ExprOp op) {
          op == ExprOp::kNot;
 }
 
-std::size_t ExprPool::NodeHash::operator()(const Node& n) const {
-  std::size_t h = std::hash<int>()(static_cast<int>(n.op));
+std::size_t ExprPool::NodeKeyHash::operator()(const NodeKey& k) const {
+  std::size_t h = std::hash<int>()(static_cast<int>(k.op));
   auto mix = [&h](std::size_t v) {
     h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
   };
-  mix(std::hash<std::int64_t>()(n.imm));
-  mix(n.a);
-  mix(n.b);
-  mix(n.c);
+  mix(std::hash<std::int64_t>()(k.imm));
+  mix(k.a);
+  mix(k.b);
+  mix(k.c);
   return h;
 }
 
@@ -61,18 +60,60 @@ ExprPool::ExprPool() {
 
 VarId ExprPool::new_var(std::string name, std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
-  vars_.push_back({std::move(name), lo, hi});
-  return static_cast<VarId>(vars_.size() - 1);
+  std::lock_guard<std::mutex> lock(var_mu_);
+  auto key = std::make_tuple(name, lo, hi);
+  if (const auto it = var_intern_.find(key); it != var_intern_.end()) {
+    return it->second;
+  }
+  VarInfo vi{std::move(name), lo, hi, {}};
+  Fp128 fp{0x9159015a3070dd17ULL, 0x152fecd8f70e5939ULL};
+  fp = fp_absorb(fp, fp_hash_str(vi.name));
+  fp = fp_absorb(fp, static_cast<std::uint64_t>(lo));
+  fp = fp_absorb(fp, static_cast<std::uint64_t>(hi));
+  vi.fp = fp;
+  const auto v = static_cast<VarId>(vars_.push(std::move(vi)));
+  var_intern_.emplace(std::move(key), v);
+  var_by_fp_.emplace(fp, v);
+  return v;
+}
+
+std::optional<VarId> ExprPool::find_var(const Fp128& fp) const {
+  std::lock_guard<std::mutex> lock(var_mu_);
+  const auto it = var_by_fp_.find(fp);
+  if (it == var_by_fp_.end()) return std::nullopt;
+  return it->second;
 }
 
 ExprId ExprPool::intern(ExprOp op, std::int64_t imm, ExprId a, ExprId b,
                         ExprId c) {
-  Node n{op, imm, a, b, c};
-  auto it = interned_.find(n);
-  if (it != interned_.end()) return it->second;
-  const ExprId id = static_cast<ExprId>(nodes_.size());
-  nodes_.push_back(n);
-  interned_.emplace(n, id);
+  const NodeKey key{op, imm, a, b, c};
+  InternShard& s = shards_[NodeKeyHash{}(key) & (kShards - 1)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (const auto it = s.map.find(key); it != s.map.end()) return it->second;
+
+  // Fingerprint from the children's fingerprints — children are already
+  // published, so these reads are lock-free. Holding the shard mutex through
+  // creation means the key is interned exactly once.
+  Fp128 fp{0x6a09e667f3bcc908ULL, 0xbb67ae8584caa73bULL};
+  fp = fp_absorb(fp, static_cast<std::uint64_t>(op));
+  switch (op) {
+    case ExprOp::kConst:
+      fp = fp_absorb(fp, static_cast<std::uint64_t>(imm));
+      break;
+    case ExprOp::kVar:
+      // Identify by declaration, not VarId: fingerprints (and everything
+      // keyed on them) agree across pools with different numbering.
+      fp = fp_absorb(fp, vars_[static_cast<std::size_t>(imm)].fp);
+      break;
+    default:
+      if (a != kNoExpr) fp = fp_absorb(fp, nodes_[a].fp);
+      if (b != kNoExpr) fp = fp_absorb(fp, nodes_[b].fp);
+      if (c != kNoExpr) fp = fp_absorb(fp, nodes_[c].fp);
+      break;
+  }
+
+  const auto id = static_cast<ExprId>(nodes_.push(Node{op, imm, a, b, c, fp}));
+  s.map.emplace(key, id);
   return id;
 }
 
@@ -104,27 +145,52 @@ ExprId ExprPool::truthy(ExprId e) {
 }
 
 void ExprPool::collect_vars(ExprId e, std::vector<VarId>& out) const {
-  const std::size_t base = out.size();
-  std::vector<ExprId> work{e};
+  // First-occurrence DFS order: a pure function of the tree, so every worker
+  // reports the same sequence regardless of the ids it allocated. Small
+  // fixed-capacity seen-buffer covers the common shallow expressions without
+  // hashing; the set engages only past that.
+  constexpr std::size_t kSmall = 24;
+  ExprId small_seen[kSmall];
+  std::size_t n_small = 0;
   std::unordered_set<ExprId> seen;
+  auto mark = [&](ExprId id) -> bool {  // returns true when newly seen
+    if (n_small < kSmall) {
+      for (std::size_t i = 0; i < n_small; ++i) {
+        if (small_seen[i] == id) return false;
+      }
+      small_seen[n_small++] = id;
+      return true;
+    }
+    if (n_small == kSmall) {  // spill to the set once
+      seen.insert(small_seen, small_seen + kSmall);
+      ++n_small;
+    }
+    return seen.insert(id).second;
+  };
+
+  std::vector<ExprId> work;
+  work.reserve(16);
+  work.push_back(e);
   while (!work.empty()) {
     const ExprId cur = work.back();
     work.pop_back();
-    if (!seen.insert(cur).second) continue;
+    if (!mark(cur)) continue;
     const Node& n = nodes_[cur];
     if (n.op == ExprOp::kVar) {
-      out.push_back(static_cast<VarId>(n.imm));
+      const auto v = static_cast<VarId>(n.imm);
+      bool dup = false;
+      for (const VarId prev : out) {
+        if (prev == v) { dup = true; break; }
+      }
+      if (!dup) out.push_back(v);
       continue;
     }
-    if (n.a != kNoExpr) work.push_back(n.a);
-    if (n.b != kNoExpr) work.push_back(n.b);
+    // Push in reverse so a, b, c pop in source order (stable first-occurrence
+    // sequencing for the variables).
     if (n.c != kNoExpr) work.push_back(n.c);
+    if (n.b != kNoExpr) work.push_back(n.b);
+    if (n.a != kNoExpr) work.push_back(n.a);
   }
-  // Deduplicate the appended range.
-  std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end());
-  out.erase(std::unique(out.begin() + static_cast<std::ptrdiff_t>(base),
-                        out.end()),
-            out.end());
 }
 
 std::int64_t ExprPool::eval(

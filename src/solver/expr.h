@@ -7,6 +7,21 @@
 // applies algebraic simplification (solver/simplify.cc) so the pool only
 // contains canonical nodes.
 //
+// The pool is shared by every worker of a parallel executor run, so it is
+// thread-safe by construction (DESIGN.md §13):
+//   * nodes and variables live in append-only chunked stores — a published
+//     id stays valid forever and reads are lock-free;
+//   * interning runs under a small array of hash-sharded mutexes (one
+//     variable mutex), so concurrent construction of the same tree yields
+//     the same id and the node *set* of a run is schedule-invariant;
+//   * every node carries its structural fingerprint, computed once at intern
+//     time from the children's fingerprints. Variables fingerprint by
+//     (name, lo, hi) — never by VarId — which is what lets canonical forms,
+//     slice keys and cached models agree across workers and across pools.
+//   * variables intern by (name, lo, hi): re-declaring the same symbolic
+//     input on a sibling path returns the same VarId, so sibling constraint
+//     sets share structure instead of renaming.
+//
 // The theory is integer arithmetic with comparisons and boolean structure —
 // the fragment needed for the mini-IR's path constraints. String-length
 // constraints are expressed over per-byte variables exactly as the paper's
@@ -14,11 +29,19 @@
 // resides").
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <limits>
+#include <map>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
+
+#include "solver/fp128.h"
 
 namespace statsym::solver {
 
@@ -56,16 +79,78 @@ struct VarInfo {
   std::string name;
   std::int64_t lo{std::numeric_limits<std::int64_t>::min()};
   std::int64_t hi{std::numeric_limits<std::int64_t>::max()};
+  // Structural identity: fingerprint of (name, lo, hi). VarId deliberately
+  // does not contribute, so the same declaration in two pools (or on two
+  // sibling paths) has the same fingerprint.
+  Fp128 fp{};
 };
+
+namespace detail {
+
+// Append-only chunked store: publish-once slots behind a fixed directory of
+// atomically installed chunks. Reads are lock-free; writers must serialise
+// externally per logical key (the pool's intern mutexes do) but may append
+// from different shards concurrently, which the atomic size cursor resolves.
+template <typename T, unsigned ChunkBits, std::size_t MaxChunks>
+class ChunkedStore {
+ public:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << ChunkBits;
+
+  ChunkedStore() = default;
+  ChunkedStore(const ChunkedStore&) = delete;
+  ChunkedStore& operator=(const ChunkedStore&) = delete;
+  ~ChunkedStore() {
+    for (auto& cp : chunks_) delete[] cp.load(std::memory_order_relaxed);
+  }
+
+  std::size_t push(T v) {
+    const std::size_t i = size_.fetch_add(1, std::memory_order_relaxed);
+    T* chunk = ensure_chunk(i >> ChunkBits);
+    chunk[i & (kChunkSize - 1)] = std::move(v);
+    return i;
+  }
+
+  const T& operator[](std::size_t i) const {
+    return chunks_[i >> ChunkBits].load(std::memory_order_acquire)
+                                  [i & (kChunkSize - 1)];
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  T* ensure_chunk(std::size_t ci) {
+    T* c = chunks_.at(ci).load(std::memory_order_acquire);
+    if (c != nullptr) return c;
+    T* fresh = new T[kChunkSize];
+    if (chunks_[ci].compare_exchange_strong(c, fresh,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      return fresh;
+    }
+    delete[] fresh;  // another shard won the install race
+    return c;
+  }
+
+  std::array<std::atomic<T*>, MaxChunks> chunks_{};
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace detail
 
 class ExprPool {
  public:
   ExprPool();
 
   // --- variables ---------------------------------------------------------
+  // Interned: an exact (name, lo, hi) re-declaration returns the existing
+  // VarId. Different bounds under the same name still mint a fresh variable.
   VarId new_var(std::string name, std::int64_t lo, std::int64_t hi);
   const VarInfo& var(VarId v) const { return vars_[v]; }
   std::size_t num_vars() const { return vars_.size(); }
+  // Reverse lookup by structural fingerprint — how a cross-pool cached model
+  // (var-fp keyed) is re-bound to this pool's VarIds. nullopt when this pool
+  // never declared the variable.
+  std::optional<VarId> find_var(const Fp128& fp) const;
 
   // --- construction (simplifying) ----------------------------------------
   ExprId constant(std::int64_t v);
@@ -104,7 +189,14 @@ class ExprPool {
   ExprId rhs(ExprId e) const { return nodes_[e].b; }
   ExprId third(ExprId e) const { return nodes_[e].c; }
 
-  // Collects the variables occurring in `e` into `out` (deduplicated).
+  // Structural fingerprint, computed once at intern time. Equal structure —
+  // with variables identified by declaration, not VarId — means equal
+  // fingerprint, in this pool or any other.
+  const Fp128& fp(ExprId e) const { return nodes_[e].fp; }
+
+  // Collects the variables occurring in `e` into `out`, deduplicated, in
+  // first-occurrence DFS order (a pure function of the tree's structure, so
+  // the order agrees across workers whatever ids they saw first).
   void collect_vars(ExprId e, std::vector<VarId>& out) const;
 
   // Concrete evaluation under a total assignment (missing vars read 0).
@@ -121,18 +213,34 @@ class ExprPool {
 
  private:
   struct Node {
-    ExprOp op;
-    std::int64_t imm;  // kConst value / kVar VarId
-    ExprId a, b, c;
-    bool operator==(const Node& o) const = default;
+    ExprOp op{ExprOp::kConst};
+    std::int64_t imm{0};  // kConst value / kVar VarId
+    ExprId a{kNoExpr}, b{kNoExpr}, c{kNoExpr};
+    Fp128 fp{};
   };
-  struct NodeHash {
-    std::size_t operator()(const Node& n) const;
+  struct NodeKey {
+    ExprOp op;
+    std::int64_t imm;
+    ExprId a, b, c;
+    bool operator==(const NodeKey& o) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const;
   };
 
-  std::vector<Node> nodes_;
-  std::unordered_map<Node, ExprId, NodeHash> interned_;
-  std::vector<VarInfo> vars_;
+  static constexpr std::size_t kShards = 8;
+  struct InternShard {
+    std::mutex mu;
+    std::unordered_map<NodeKey, ExprId, NodeKeyHash> map;
+  };
+
+  detail::ChunkedStore<Node, 12, 8192> nodes_;   // ≤ 33.5M nodes
+  detail::ChunkedStore<VarInfo, 10, 1024> vars_;  // ≤ 1M variables
+  mutable std::array<InternShard, kShards> shards_;
+  mutable std::mutex var_mu_;
+  std::map<std::tuple<std::string, std::int64_t, std::int64_t>, VarId>
+      var_intern_;
+  std::unordered_map<Fp128, VarId, Fp128Hash> var_by_fp_;
   ExprId true_{kNoExpr};
   ExprId false_{kNoExpr};
 };

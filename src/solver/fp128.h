@@ -1,0 +1,66 @@
+// 128-bit structural fingerprints.
+//
+// Fp128 digests identify expression structure, constraint slices and solver
+// option blocks across workers (and, for the shared query cache, across
+// pools). The two 64-bit lanes are absorbed with independent round constants
+// so the halves never degenerate into copies; collisions at 128 bits are
+// negligible against the cache sizes involved, and every cross-worker cache
+// hit is additionally verified (per-constraint fingerprint comparison plus a
+// concrete model re-proof), so a collision can cost work but never
+// correctness.
+//
+// This header is include-cycle-free on purpose: expr.h needs fingerprints at
+// intern time and cache.h needs them for keys, so both pull the primitive
+// from here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace statsym::solver {
+
+struct Fp128 {
+  std::uint64_t lo{0};
+  std::uint64_t hi{0};
+  bool operator==(const Fp128&) const = default;
+  bool operator<(const Fp128& o) const {
+    return hi != o.hi ? hi < o.hi : lo < o.lo;
+  }
+};
+
+struct Fp128Hash {
+  std::size_t operator()(const Fp128& f) const {
+    return static_cast<std::size_t>(f.lo ^ (f.hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+// SplitMix64 finalizer — the diffusion step between ingredients.
+inline std::uint64_t fp_mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline Fp128 fp_absorb(Fp128 h, std::uint64_t v) {
+  h.lo = fp_mix64(h.lo ^ v ^ 0x2545f4914f6cdd1dULL);
+  h.hi = fp_mix64(h.hi ^ v ^ 0x9e6c63d0876a9a62ULL ^ (h.lo >> 1));
+  return h;
+}
+
+inline Fp128 fp_absorb(Fp128 h, const Fp128& v) {
+  h = fp_absorb(h, v.lo);
+  return fp_absorb(h, v.hi);
+}
+
+inline std::uint64_t fp_hash_str(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace statsym::solver

@@ -80,9 +80,14 @@ ExprId simplify_binary(ExprPool& p, ExprOp op, ExprId a, ExprId b) {
     return p.constant(fold(op, p.const_val(a), p.const_val(b)));
   }
   // Canonical operand order: constant to the right for commutative ops, and
-  // otherwise order by id so x==y and y==x intern to one node.
+  // otherwise order by structural fingerprint so x==y and y==x intern to one
+  // node. Ids are allocation-order handles and differ between schedules of a
+  // parallel run; fingerprints are structural, so the canonical form — and
+  // with it everything keyed on structure — is schedule-invariant.
   if (commutative(op)) {
-    if (p.is_const(a) || (!p.is_const(b) && a > b)) std::swap(a, b);
+    if (p.is_const(a) || (!p.is_const(b) && p.fp(b) < p.fp(a))) {
+      std::swap(a, b);
+    }
   }
 
   const bool a_const = p.is_const(a);

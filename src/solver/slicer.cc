@@ -1,7 +1,7 @@
 #include "solver/slicer.h"
 
-#include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace statsym::solver {
 
@@ -31,9 +31,18 @@ struct UnionFind {
   }
 };
 
+// Deduplicates the accumulated variable list keeping first-occurrence order.
+// VarIds are allocation-order handles and may differ across workers, so a
+// numeric sort here would leak scheduling into the slice; the order of first
+// mention is a pure function of the constraint sequence.
 void finish_slice(Slice& s) {
-  std::sort(s.vars.begin(), s.vars.end());
-  s.vars.erase(std::unique(s.vars.begin(), s.vars.end()), s.vars.end());
+  std::unordered_set<VarId> seen;
+  seen.reserve(s.vars.size());
+  std::size_t w = 0;
+  for (const VarId v : s.vars) {
+    if (seen.insert(v).second) s.vars[w++] = v;
+  }
+  s.vars.resize(w);
 }
 
 }  // namespace

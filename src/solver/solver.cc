@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <numeric>
+#include <unordered_set>
 
 namespace statsym::solver {
 
@@ -716,7 +717,7 @@ SolveResult Solver::solve_slice(const Slice& slice) {
   for (std::size_t i = 0; i < order.size(); ++i) sorted_fps[i] = fps[order[i]];
   const Fp128 slice_fp = ExprFingerprinter::combine(sorted_fps, opts_salt_);
 
-  if (shared_ != nullptr && shared_->lookup(slice_fp, sorted_fps, res)) {
+  if (shared_ != nullptr && shared_->lookup(pool_, slice_fp, sorted_fps, res)) {
     // Defense in depth: a SAT model is re-proved by concrete evaluation, so
     // even a digest collision cannot smuggle in a wrong model. A failed
     // proof falls through to the canonical solve.
@@ -755,7 +756,7 @@ SolveResult Solver::solve_slice(const Slice& slice) {
     // kUnknown stays out of both caches: it can depend on the wall-clock
     // deadline, and a bigger-budget sharer (the fault validator) must not
     // inherit a smaller budget's give-up.
-    if (shared_ != nullptr) shared_->insert(slice_fp, sorted_fps, res);
+    if (shared_ != nullptr) shared_->insert(pool_, slice_fp, sorted_fps, res);
     if (cache_ != nullptr) cache_->insert(sorted, res);
   }
   if (res.sat == Sat::kSat && opts_.enable_model_reuse &&
@@ -782,7 +783,21 @@ SolveResult Solver::solve_canonical(const Slice& slice,
     ctx.cs.push_back(slice.cs[idx]);
     ctx.cs_vars.push_back(slice.cs_vars[idx]);
   }
-  ctx.all_vars = slice.vars;
+  // Canonical variable order: first occurrence across the *digest-sorted*
+  // constraint sequence. slice.vars carries the caller's constraint order,
+  // which differs between workers that reached this slice along different
+  // paths; rebuilding from ctx.cs_vars makes the model-guess and
+  // branch-variable iteration a pure function of the slice's structure.
+  ctx.all_vars.reserve(slice.vars.size());
+  {
+    std::unordered_set<VarId> seen;
+    seen.reserve(slice.vars.size());
+    for (const auto& cvs : ctx.cs_vars) {
+      for (const VarId v : cvs) {
+        if (seen.insert(v).second) ctx.all_vars.push_back(v);
+      }
+    }
+  }
 
   SolveResult res;
   DomainMap d;

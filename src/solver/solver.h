@@ -19,6 +19,7 @@
 // solve it replaces; see DESIGN.md §"Solver" for the determinism argument.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -36,36 +37,105 @@
 namespace statsym::solver {
 
 // Sparse variable-domain map layered over the pool's declared domains.
+//
+// Two-tier copy-on-write (DESIGN.md §13): a mutable overlay private to the
+// owner plus an optional frozen chain of immutable base layers shared with
+// fork siblings. Solver-internal maps never fork, keep a null chain and
+// behave exactly like the old flat map (plain copies stay cheap: the copy
+// shares the chain pointer and duplicates only the overlay). Path-constraint
+// maps fork at every state clone, so a fork copies O(overlay) entries
+// instead of every domain ever narrowed on the path.
 class DomainMap {
  public:
   Interval get(VarId v, const ExprPool& p) const {
-    auto it = map_.find(v);
-    if (it != map_.end()) return it->second;
+    if (const auto it = map_.find(v); it != map_.end()) return it->second;
+    for (const Layer* l = base_.get(); l != nullptr; l = l->prev.get()) {
+      if (const auto it = l->map.find(v); it != l->map.end()) {
+        return it->second;
+      }
+    }
     const VarInfo& vi = p.var(v);
     return {vi.lo, vi.hi};
   }
 
   void set(VarId v, Interval iv) {
     auto [it, inserted] = map_.try_emplace(v, iv);
-    if (inserted || !(it->second == iv)) {
-      it->second = iv;
-      ++version_;
+    if (!inserted) {
+      if (!(it->second == iv)) {
+        it->second = iv;
+        ++version_;
+      }
+      return;
     }
+    // First overlay write for v: the change counter moves only when the
+    // value differs from what the frozen chain already recorded, preserving
+    // the flat map's quiescence semantics across forks.
+    for (const Layer* l = base_.get(); l != nullptr; l = l->prev.get()) {
+      if (const auto cit = l->map.find(v); cit != l->map.end()) {
+        if (!(cit->second == iv)) ++version_;
+        return;
+      }
+    }
+    ++version_;
   }
 
   // Monotone change counter: compare across a propagation sweep to detect
   // quiescence without snapshotting the map.
   std::uint64_t version() const { return version_; }
 
-  const std::unordered_map<VarId, Interval>& entries() const { return map_; }
+  // Freezes the overlay into the shared chain and returns a sibling sharing
+  // every narrowing recorded so far. Flattens when the chain gets deep so
+  // get() stays O(small).
+  DomainMap fork() {
+    if (!map_.empty()) {
+      const std::uint32_t depth = base_ ? base_->depth + 1 : 0;
+      auto layer = std::make_shared<Layer>();
+      if (depth >= kMaxDepth) {
+        // Merge oldest→newest so newer narrowings win.
+        std::vector<const Layer*> chain;
+        for (const Layer* l = base_.get(); l != nullptr; l = l->prev.get()) {
+          chain.push_back(l);
+        }
+        for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+          for (const auto& [v, iv] : (*rit)->map) layer->map[v] = iv;
+        }
+        for (const auto& [v, iv] : map_) layer->map[v] = iv;
+        base_count_ = layer->map.size();
+      } else {
+        layer->prev = base_;
+        layer->depth = depth;
+        layer->map = std::move(map_);
+        base_count_ += layer->map.size();
+      }
+      base_ = std::move(layer);
+      map_.clear();
+    }
+    return *this;
+  }
 
   // Approximate heap footprint, used for KLEE-style state memory accounting.
+  // Counts the full logical contents (chain + overlay): the budget tracks
+  // what the path retains, shared or not.
   std::size_t byte_size() const {
+    return (map_.size() + base_count_) * (sizeof(VarId) + sizeof(Interval) + 16);
+  }
+
+  // Bytes a fork/copy actually duplicates (the overlay; the chain is shared).
+  std::size_t shallow_bytes() const {
     return map_.size() * (sizeof(VarId) + sizeof(Interval) + 16);
   }
 
  private:
-  std::unordered_map<VarId, Interval> map_;
+  struct Layer {
+    std::shared_ptr<const Layer> prev;
+    std::unordered_map<VarId, Interval> map;
+    std::uint32_t depth{0};
+  };
+  static constexpr std::uint32_t kMaxDepth = 8;
+
+  std::unordered_map<VarId, Interval> map_;  // mutable overlay
+  std::shared_ptr<const Layer> base_;        // frozen shared chain
+  std::size_t base_count_{0};  // entries across the chain (with shadowing)
   std::uint64_t version_{0};
 };
 

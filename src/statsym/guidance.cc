@@ -66,17 +66,22 @@ symexec::GuidanceHook::Action CandidateGuidance::on_location(
     ++st.guide.matched;
     st.guide.diverted = 0;
     st.guide.alien_seen.clear();
-    if (st.guide.matched > max_matched_) {
-      max_matched_ = st.guide.matched;
-      if (getenv("STATSYM_DEBUG_SCHED")) {
-        fprintf(stderr, "MATCH state=%llu m=%d loc=%s\n",
-                (unsigned long long)st.id, st.guide.matched,
-                monitor::loc_name(m_, loc).c_str());
-      }
+    std::int32_t seen = max_matched_.load(std::memory_order_relaxed);
+    while (st.guide.matched > seen &&
+           !max_matched_.compare_exchange_weak(seen, st.guide.matched,
+                                               std::memory_order_relaxed)) {
+    }
+    if (st.guide.matched > seen && getenv("STATSYM_DEBUG_SCHED")) {
+      fprintf(stderr, "MATCH state=%llu m=%d loc=%s\n",
+              (unsigned long long)st.id, st.guide.matched,
+              monitor::loc_name(m_, loc).c_str());
     }
     if (opts_.inject_predicates && !inject_at(ex, st, loc)) {
-      ++conflict_susp_;
-      ++conflict_by_loc_[loc];
+      conflict_susp_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(conflict_mu_);
+        ++conflict_by_loc_[loc];
+      }
       return Action::kSuspend;
     }
     return Action::kContinue;
@@ -102,7 +107,7 @@ symexec::GuidanceHook::Action CandidateGuidance::on_location(
   }
   seen.push_back(loc);
   if (++st.guide.diverted > opts_.tau) {
-    ++diverted_susp_;
+    diverted_susp_.fetch_add(1, std::memory_order_relaxed);
     return Action::kSuspend;
   }
   return Action::kContinue;

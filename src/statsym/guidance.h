@@ -17,6 +17,8 @@
 //     constraining string lengths.
 #pragma once
 
+#include <atomic>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -61,11 +63,20 @@ class CandidateGuidance final : public symexec::GuidanceHook {
   void on_wake(symexec::State& st) override;
 
   // Number of states this guidance suspended for diverging / conflicting.
-  std::uint64_t diverted_suspensions() const { return diverted_susp_; }
-  std::uint64_t conflict_suspensions() const { return conflict_susp_; }
+  // Schedule-invariant (every drawn task runs to completion in every
+  // schedule) but incremented concurrently by round workers, hence atomic.
+  std::uint64_t diverted_suspensions() const {
+    return diverted_susp_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t conflict_suspensions() const {
+    return conflict_susp_.load(std::memory_order_relaxed);
+  }
   // Deepest candidate-path progress any state achieved (diagnostics).
-  std::int32_t max_matched() const { return max_matched_; }
-  // Per-location conflict-suspension tallies (diagnostics).
+  std::int32_t max_matched() const {
+    return max_matched_.load(std::memory_order_relaxed);
+  }
+  // Per-location conflict-suspension tallies (diagnostics). Only safe to
+  // read once the run has finished.
   const std::unordered_map<monitor::LocId, std::uint64_t>& conflicts_by_loc()
       const {
     return conflict_by_loc_;
@@ -94,10 +105,11 @@ class CandidateGuidance final : public symexec::GuidanceHook {
   // already exploded at the node carrying the tightest threshold.
   std::unordered_map<std::string, double> len_gt_max_;
   GuidanceOptions opts_;
-  std::uint64_t diverted_susp_{0};
-  std::uint64_t conflict_susp_{0};
+  std::atomic<std::uint64_t> diverted_susp_{0};
+  std::atomic<std::uint64_t> conflict_susp_{0};
+  std::mutex conflict_mu_;  // guards conflict_by_loc_ during the run
   std::unordered_map<monitor::LocId, std::uint64_t> conflict_by_loc_;
-  std::int32_t max_matched_{0};
+  std::atomic<std::int32_t> max_matched_{0};
 };
 
 }  // namespace statsym::core

@@ -1,0 +1,117 @@
+// Copy-on-write append-only sequence for fork-tree state (DESIGN.md §13).
+//
+// A CowVec is a persistent list split into a frozen shared prefix (a
+// parent-pointer chain of immutable segments, shared_ptr-owned) and a small
+// mutable tail private to one owner. Appends go to the tail; fork() freezes
+// the tail into the chain and hands back a sibling sharing the whole prefix,
+// so a fork copies O(1) words instead of the full history — the state-clone
+// cost that made eager forking the bottleneck of parallel exploration.
+//
+// Deep chains are flattened opportunistically at fork time (kMaxDepth) so
+// reads stay O(segments) with a small constant. Segments are immutable after
+// freeze; concurrent readers of shared segments need no synchronisation
+// beyond the shared_ptr refcounts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace statsym::support {
+
+template <typename T>
+class CowVec {
+ public:
+  CowVec() = default;
+
+  std::size_t size() const { return base_len_ + tail_.size(); }
+  bool empty() const { return size() == 0; }
+
+  void push_back(T v) { tail_.push_back(std::move(v)); }
+
+  // Membership over the full logical sequence (tail first: recent
+  // constraints are the likeliest re-adds).
+  bool contains(const T& v) const {
+    for (const T& x : tail_) {
+      if (x == v) return true;
+    }
+    for (const Seg* s = base_.get(); s != nullptr; s = s->prev.get()) {
+      for (const T& x : s->items) {
+        if (x == v) return true;
+      }
+    }
+    return false;
+  }
+
+  // Visits every element in logical (append) order.
+  template <typename F>
+  void for_each(F&& f) const {
+    const Seg* segs[kMaxDepth + 2];
+    std::size_t n = 0;
+    for (const Seg* s = base_.get(); s != nullptr; s = s->prev.get()) {
+      segs[n++] = s;
+    }
+    while (n > 0) {
+      for (const T& x : segs[--n]->items) f(x);
+    }
+    for (const T& x : tail_) f(x);
+  }
+
+  std::vector<T> materialize() const {
+    std::vector<T> out;
+    out.reserve(size());
+    for_each([&out](const T& x) { out.push_back(x); });
+    return out;
+  }
+
+  // Freezes the tail into the shared chain and returns a sibling sharing the
+  // entire prefix. Both this and the sibling continue with empty tails;
+  // neither can observe the other's future appends.
+  CowVec fork() {
+    freeze();
+    CowVec c;
+    c.base_ = base_;
+    c.base_len_ = base_len_;
+    return c;
+  }
+
+  // Bytes a fork actually copies (the mutable tail; the chain is shared).
+  std::size_t shallow_bytes() const { return tail_.size() * sizeof(T); }
+  // Bytes an eager clone would copy: the whole logical sequence.
+  std::size_t logical_bytes() const { return size() * sizeof(T); }
+
+ private:
+  struct Seg {
+    std::shared_ptr<const Seg> prev;
+    std::vector<T> items;
+    std::uint32_t depth{0};
+  };
+
+  static constexpr std::uint32_t kMaxDepth = 16;
+
+  void freeze() {
+    if (tail_.empty()) return;
+    const std::uint32_t depth = base_ ? base_->depth + 1 : 0;
+    auto seg = std::make_shared<Seg>();
+    if (depth >= kMaxDepth) {
+      // Collapse into one wide segment so read cost stays bounded.
+      seg->items = materialize();
+      base_len_ = seg->items.size();
+    } else {
+      seg->prev = base_;
+      seg->items = std::move(tail_);
+      seg->depth = depth;
+      base_len_ += seg->items.size();
+    }
+    base_ = std::move(seg);
+    tail_.clear();
+  }
+
+  std::shared_ptr<const Seg> base_;
+  std::size_t base_len_{0};
+  std::vector<T> tail_;
+};
+
+}  // namespace statsym::support

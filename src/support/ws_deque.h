@@ -1,0 +1,74 @@
+// Chase–Lev work-stealing deque over a fixed-capacity ring.
+//
+// One owner thread push()es and pop()s at the bottom (LIFO); any number of
+// thieves steal() from the top (FIFO). The executor sizes each deque to the
+// round's task count, so the ring can never overflow and no growth path is
+// needed. Orderings are deliberately conservative (seq_cst on the indices):
+// rounds hold a handful of task ids, so the cost is unmeasurable, and the
+// classic fence-based formulation is both easy to get subtly wrong and
+// invisible to ThreadSanitizer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace statsym::support {
+
+class WsDeque {
+ public:
+  explicit WsDeque(std::size_t capacity) : buf_(capacity > 0 ? capacity : 1) {}
+
+  // Owner only; at most buf_.size() elements may ever be in flight.
+  void push(std::uint32_t v) {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    buf_[static_cast<std::size_t>(b) % buf_.size()].store(
+        v, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only; takes the most recently pushed element.
+  bool pop(std::uint32_t& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: restore
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return false;
+    }
+    out = buf_[static_cast<std::size_t>(b) % buf_.size()].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race the thieves for it via the top index.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_seq_cst);
+      bottom_.store(b + 1, std::memory_order_seq_cst);
+      return won;
+    }
+    return true;
+  }
+
+  // Any thread; takes the oldest element. A false return may be spurious
+  // (lost CAS) — callers treat it as "try elsewhere", not "empty forever".
+  bool steal(std::uint32_t& out) {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return false;
+    out = buf_[static_cast<std::size_t>(t) % buf_.size()].load(
+        std::memory_order_relaxed);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_seq_cst);
+  }
+
+  bool empty() const {
+    return top_.load(std::memory_order_seq_cst) >=
+           bottom_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::vector<std::atomic<std::uint32_t>> buf_;
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace statsym::support

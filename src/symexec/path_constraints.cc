@@ -7,8 +7,7 @@ PathConstraints::Quick PathConstraints::add(solver::ExprPool& pool,
   if (pool.is_const(e)) {
     return pool.const_val(e) != 0 ? Quick::kSat : Quick::kUnsat;
   }
-  if (present_.contains(e)) return Quick::kSat;  // already asserted
-  present_.insert(e);
+  if (present(e)) return Quick::kSat;  // already asserted
   list_.push_back(e);
   if (!solver::propagate(pool, e, true, domains_)) return Quick::kUnsat;
   const solver::Interval iv = solver::eval_interval(pool, e, domains_);
@@ -22,8 +21,8 @@ PathConstraints::Quick PathConstraints::add_implied(solver::ExprPool& pool,
   if (pool.is_const(e)) {
     return pool.const_val(e) != 0 ? Quick::kSat : Quick::kUnsat;
   }
-  if (present_.contains(e)) return Quick::kSat;
-  present_.insert(e);  // but NOT list_: implied constraints don't solve
+  if (present(e)) return Quick::kSat;
+  implied_.push_back(e);  // but NOT list_: implied constraints don't solve
   if (!solver::propagate(pool, e, true, domains_)) return Quick::kUnsat;
   const solver::Interval iv = solver::eval_interval(pool, e, domains_);
   if (iv.is_empty() || (iv.lo == 0 && iv.hi == 0)) return Quick::kUnsat;
@@ -36,6 +35,8 @@ PathConstraints::Quick PathConstraints::probe(solver::ExprPool& pool,
   if (pool.is_const(e)) {
     return pool.const_val(e) != 0 ? Quick::kSat : Quick::kUnsat;
   }
+  // Copies the overlay and shares the frozen chain — cheap even on deep
+  // paths, which is what keeps the per-branch probe O(recent narrowings).
   solver::DomainMap d = domains_;
   if (!solver::propagate(pool, e, true, d)) return Quick::kUnsat;
   const solver::Interval iv = solver::eval_interval(pool, e, d);

@@ -5,12 +5,17 @@
 // here are made by the incremental interval domain carried with the state
 // (O(1)-ish per added constraint). kUnknown answers escalate to the full
 // solver at the executor's discretion.
+//
+// Storage is copy-on-write (DESIGN.md §13): the constraint list and the
+// narrowed-domain map both split into a frozen prefix shared with fork
+// siblings and a private tail/overlay, so fork() copies only what the state
+// added since its own fork instead of the whole path history.
 #pragma once
 
-#include <unordered_set>
 #include <vector>
 
 #include "solver/solver.h"
+#include "support/cow_vec.h"
 
 namespace statsym::symexec {
 
@@ -36,16 +41,40 @@ class PathConstraints {
   // recording it.
   Quick probe(solver::ExprPool& pool, solver::ExprId e) const;
 
-  const std::vector<solver::ExprId>& list() const { return list_; }
+  // The asserted constraints in path order, materialized from the shared
+  // prefix plus the private tail. By value: the backing storage is chunked.
+  std::vector<solver::ExprId> list() const { return list_.materialize(); }
+  std::size_t size() const { return list_.size(); }
   const solver::DomainMap& domains() const { return domains_; }
 
+  // Freezes this state's private tails and returns a sibling sharing the
+  // whole recorded prefix (both continue copy-on-write).
+  PathConstraints fork() {
+    PathConstraints c;
+    c.list_ = list_.fork();
+    c.implied_ = implied_.fork();
+    c.domains_ = domains_.fork();
+    return c;
+  }
+
+  // Full logical footprint — what the path retains, shared or not.
   std::size_t approx_bytes() const {
-    return list_.size() * sizeof(solver::ExprId) + domains_.byte_size();
+    return list_.logical_bytes() + implied_.logical_bytes() +
+           domains_.byte_size();
+  }
+  // Bytes a fork actually duplicates (private tails + domain overlay).
+  std::size_t shallow_bytes() const {
+    return list_.shallow_bytes() + implied_.shallow_bytes() +
+           domains_.shallow_bytes();
   }
 
  private:
-  std::vector<solver::ExprId> list_;
-  std::unordered_set<solver::ExprId> present_;  // dedupe re-added constraints
+  bool present(solver::ExprId e) const {
+    return list_.contains(e) || implied_.contains(e);
+  }
+
+  support::CowVec<solver::ExprId> list_;     // asserted constraints
+  support::CowVec<solver::ExprId> implied_;  // narrowing-only (not solved)
   solver::DomainMap domains_;
 };
 

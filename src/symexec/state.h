@@ -7,10 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ir/module.h"
 #include "monitor/log.h"
+#include "support/cow_vec.h"
 #include "symexec/path_constraints.h"
 #include "symexec/sym_memory.h"
 #include "symexec/sym_value.h"
@@ -45,7 +48,9 @@ struct State {
   PathConstraints pc;
   SymMemory mem;
   std::vector<SymValue> globals;
-  std::vector<monitor::LocId> trace;  // function enter/leave event history
+  // Function enter/leave event history; copy-on-write so a fork shares the
+  // whole prefix walked so far.
+  support::CowVec<monitor::LocId> trace;
   std::uint64_t depth{0};             // branch decisions taken
   std::uint64_t instrs{0};            // instructions this state executed
   GuideInfo guide;
@@ -53,7 +58,24 @@ struct State {
   Frame& top() { return stack.back(); }
   const Frame& top() const { return stack.back(); }
 
-  // Approximate unique footprint for the executor's memory budget.
+  // Copy-on-write fork: freezes this state's private suffixes (constraint
+  // tail, domain overlay, trace tail) and fills `c` with a sibling sharing
+  // every frozen prefix. Stack/registers/globals are genuinely per-state and
+  // copy eagerly; memory shares objects through its own object-level COW.
+  // `c->id` is left untouched — the executor assigns ids in commit order.
+  void fork_into(State& c) {
+    c.stack = stack;
+    c.pc = pc.fork();
+    c.mem = mem;
+    c.globals = globals;
+    c.trace = trace.fork();
+    c.depth = depth;
+    c.instrs = instrs;
+    c.guide = guide;
+  }
+
+  // Approximate unique footprint for the executor's memory budget (full
+  // logical contents; shared prefixes count toward every sharer).
   std::size_t approx_bytes() const {
     std::size_t n = sizeof(State);
     for (const auto& f : stack) {
@@ -64,6 +86,60 @@ struct State {
     n += mem.approx_bytes();
     return n;
   }
+
+  // Bytes fork_into actually copies: the eager members plus the private
+  // COW suffixes. The gap between this and approx_bytes() is the clone
+  // traffic the copy-on-write representation saves per fork.
+  std::size_t shallow_clone_bytes() const {
+    std::size_t n = sizeof(State);
+    for (const auto& f : stack) {
+      n += sizeof(Frame) + (f.regs.size() + f.params.size()) * sizeof(SymValue);
+    }
+    n += globals.size() * sizeof(SymValue);
+    n += trace.shallow_bytes();
+    n += pc.shallow_bytes();
+    n += mem.table_bytes();  // objects themselves are shared until written
+    return n;
+  }
+};
+
+// Recycles State allocations across the fork/terminate churn of a run.
+// Terminated states return their shells here; a fork pops one instead of
+// paying a fresh allocation (and re-grows the member containers in place).
+// Thread-safe: workers release and acquire concurrently mid-round.
+class StateArena {
+ public:
+  std::unique_ptr<State> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        auto s = std::move(free_.back());
+        free_.pop_back();
+        return s;
+      }
+    }
+    return std::make_unique<State>();
+  }
+
+  void release(std::unique_ptr<State> s) {
+    if (s == nullptr) return;
+    s->id = 0;
+    s->stack.clear();  // keeps the outer vector's capacity
+    s->pc = PathConstraints{};
+    s->mem = SymMemory{};
+    s->globals.clear();
+    s->trace = support::CowVec<monitor::LocId>{};
+    s->depth = 0;
+    s->instrs = 0;
+    s->guide = GuideInfo{};
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_.size() < kMaxFree) free_.push_back(std::move(s));
+  }
+
+ private:
+  static constexpr std::size_t kMaxFree = 256;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<State>> free_;
 };
 
 }  // namespace statsym::symexec

@@ -6,7 +6,7 @@ namespace statsym::symexec {
 
 ObjId SymMemory::alloc(std::int64_t size, std::string label) {
   assert(size > 0);
-  const ObjId id = (*next_id_)++;
+  const ObjId id = next_id_++;
   auto obj = std::make_shared<SymObject>();
   obj->bytes.assign(static_cast<std::size_t>(size), SymByte::concrete(0));
   obj->label = std::move(label);

@@ -5,8 +5,11 @@
 // through shared_ptr and clone on first write after a fork — the same
 // object-level copy-on-write KLEE uses, and the thing whose failure mode
 // (memory exhaustion under state explosion) the paper's Table IV reports for
-// pure symbolic execution. Object ids are drawn from a counter shared by all
-// forked copies so ids never collide across states.
+// pure symbolic execution. Object ids are drawn from a per-state counter
+// snapshotted at fork: sibling states may mint the same id for *different*
+// future objects, which is harmless — the object tables are per-state — and
+// keeps forked states free of any shared mutable word (a shared counter
+// would be a data race once siblings execute on different workers).
 #pragma once
 
 #include <memory>
@@ -37,10 +40,10 @@ struct SymObject {
 
 class SymMemory {
  public:
-  SymMemory() : next_id_(std::make_shared<ObjId>(0)) {}
+  SymMemory() = default;
 
-  // Value-copy shares all objects (and the id counter) with the source; the
-  // first write to a shared object clones it (copy-on-write).
+  // Value-copy shares all objects with the source; the first write to a
+  // shared object clones it (copy-on-write).
   SymMemory(const SymMemory&) = default;
   SymMemory& operator=(const SymMemory&) = default;
   SymMemory(SymMemory&&) = default;
@@ -69,12 +72,19 @@ class SymMemory {
   // quantity counted against the executor's memory budget.
   std::size_t approx_bytes() const;
 
+  // Bytes a value-copy actually duplicates: the object *table* (the objects
+  // themselves are shared until written).
+  std::size_t table_bytes() const {
+    return objects_.size() *
+           (sizeof(ObjId) + sizeof(std::shared_ptr<SymObject>) + 16);
+  }
+
   // Number of objects cloned by copy-on-write in this instance's lifetime.
   std::uint64_t cow_clones() const { return cow_clones_; }
 
  private:
   std::unordered_map<ObjId, std::shared_ptr<SymObject>> objects_;
-  std::shared_ptr<ObjId> next_id_;  // shared across forked copies
+  ObjId next_id_{0};  // per-state; snapshotted at fork
   std::uint64_t cow_clones_{0};
 };
 

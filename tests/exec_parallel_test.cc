@@ -1,0 +1,215 @@
+// Work-stealing intra-run parallelism: determinism and copy-on-write gates.
+//
+// The executor's contract (executor.h): with `batch` fixed, every
+// observable output — termination, stats, findings, the stitched event
+// trace — is byte-identical at any `jobs`. These tests pin that contract on
+// real apps at jobs {1,2,4,8}, and check the copy-on-write fork layer
+// actually copies less than an eager deep clone would.
+//
+// What is *deliberately not* compared: wall-clock seconds, SchedStats
+// (steal counts are schedule-dependent by design), and the raw
+// solves-vs-shared-cache-hits split (which worker solved first is the one
+// schedule-dependent part of the solver cascade; their sum and every result
+// are invariant).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/registry.h"
+#include "obs/trace.h"
+#include "statsym/engine.h"
+#include "symexec/executor.h"
+
+namespace statsym::core {
+namespace {
+
+struct RunOutput {
+  symexec::ExecResult result;
+  std::string trace_jsonl;
+};
+
+RunOutput run_app(const apps::AppSpec& app, std::size_t jobs,
+                  std::uint32_t batch, symexec::SearcherKind searcher,
+                  std::uint64_t max_instructions) {
+  symexec::ExecOptions opts;
+  opts.searcher = searcher;
+  // Wall-clock is the one schedule-dependent budget; keep it from binding
+  // even under TSan's ~15x slowdown so the instruction cap (schedule-
+  // invariant: committed counts, not worker progress) is the real bound.
+  opts.max_seconds = 900.0;
+  opts.max_instructions = max_instructions;
+  opts.max_memory_bytes = 256ull << 20;
+  opts.jobs = jobs;
+  opts.batch = batch;
+  obs::Tracer tracer;
+  RunOutput out;
+  out.result = run_pure_symbolic(app.module, app.sym_spec, opts,
+                                 &tracer.buffer());
+  EXPECT_EQ(tracer.buffer().dropped(), 0u);
+  out.trace_jsonl = tracer.to_jsonl();
+  return out;
+}
+
+// Every schedule-invariant surface of two runs must agree exactly.
+void expect_identical(const RunOutput& a, const RunOutput& b,
+                      const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.result.termination, b.result.termination);
+  const symexec::ExecStats& sa = a.result.stats;
+  const symexec::ExecStats& sb = b.result.stats;
+  EXPECT_EQ(sa.instructions, sb.instructions);
+  EXPECT_EQ(sa.forks, sb.forks);
+  EXPECT_EQ(sa.paths_completed, sb.paths_completed);
+  EXPECT_EQ(sa.paths_ok, sb.paths_ok);
+  EXPECT_EQ(sa.paths_infeasible, sb.paths_infeasible);
+  EXPECT_EQ(sa.faults_found, sb.faults_found);
+  EXPECT_EQ(sa.suspensions, sb.suspensions);
+  EXPECT_EQ(sa.wakes, sb.wakes);
+  EXPECT_EQ(sa.paths_explored, sb.paths_explored);
+  EXPECT_EQ(sa.peak_live_states, sb.peak_live_states);
+  EXPECT_EQ(sa.clone_bytes, sb.clone_bytes);
+  EXPECT_EQ(sa.eager_clone_bytes, sb.eager_clone_bytes);
+
+  const solver::SolverStats& qa = a.result.solver_stats;
+  const solver::SolverStats& qb = b.result.solver_stats;
+  EXPECT_EQ(qa.queries, qb.queries);
+  EXPECT_EQ(qa.sat, qb.sat);
+  EXPECT_EQ(qa.unsat, qb.unsat);
+  EXPECT_EQ(qa.unknown, qb.unknown);
+  EXPECT_EQ(qa.slices, qb.slices);
+  EXPECT_EQ(qa.static_prunes, qb.static_prunes);
+  // Which worker reaches a canonical slice first decides hit-vs-solve; the
+  // combined count (and the answers) are invariant.
+  EXPECT_EQ(qa.solves + qa.shared_cache_hits, qb.solves + qb.shared_cache_hits);
+
+  ASSERT_EQ(a.result.vuln.has_value(), b.result.vuln.has_value());
+  if (a.result.vuln.has_value()) {
+    const symexec::VulnPath& va = *a.result.vuln;
+    const symexec::VulnPath& vb = *b.result.vuln;
+    EXPECT_EQ(va.kind, vb.kind);
+    EXPECT_EQ(va.function, vb.function);
+    EXPECT_EQ(va.detail, vb.detail);
+    EXPECT_EQ(va.trace, vb.trace);
+    EXPECT_EQ(va.model_valid, vb.model_valid);
+    EXPECT_EQ(va.input.argv, vb.input.argv);
+    EXPECT_EQ(va.input.env, vb.input.env);
+    EXPECT_EQ(va.input.sym_ints, vb.input.sym_ints);
+    EXPECT_EQ(va.input.sym_bufs, vb.input.sym_bufs);
+  }
+
+  EXPECT_EQ(a.trace_jsonl, b.trace_jsonl) << what << ": trace drifted";
+}
+
+TEST(ExecParallel, Fig2IdenticalAtAnyJobs) {
+  const apps::AppSpec app = apps::make_fig2();
+  const RunOutput base = run_app(app, 1, 4, symexec::SearcherKind::kDFS,
+                                 400'000'000);
+  EXPECT_EQ(base.result.termination, symexec::Termination::kFoundFault);
+  for (std::size_t jobs : {2u, 4u, 8u}) {
+    const RunOutput r = run_app(app, jobs, 4, symexec::SearcherKind::kDFS,
+                                400'000'000);
+    expect_identical(base, r, "fig2 dfs jobs=" + std::to_string(jobs));
+  }
+}
+
+TEST(ExecParallel, PolymorphIdenticalAtAnyJobs) {
+  // Bounded slice of a real overflow hunt; the instruction cap keeps the
+  // run finite in either outcome, and the cap itself is schedule-invariant
+  // (committed instruction counts, not worker progress).
+  const apps::AppSpec app = apps::make_polymorph();
+  const RunOutput base =
+      run_app(app, 1, 8, symexec::SearcherKind::kDFS, 1'500'000);
+  for (std::size_t jobs : {4u, 8u}) {
+    const RunOutput r =
+        run_app(app, jobs, 8, symexec::SearcherKind::kDFS, 1'500'000);
+    expect_identical(base, r, "polymorph dfs jobs=" + std::to_string(jobs));
+  }
+}
+
+TEST(ExecParallel, RandomPathPolicyIsAlsoJobsInvariant) {
+  // The draw is sequential even at jobs>1, so stateful/randomized policies
+  // see the identical select() sequence and stay schedule-invariant too.
+  const apps::AppSpec app = apps::make_fig2();
+  const RunOutput one = run_app(app, 1, 4, symexec::SearcherKind::kRandomPath,
+                                400'000'000);
+  const RunOutput eight = run_app(app, 8, 4,
+                                  symexec::SearcherKind::kRandomPath,
+                                  400'000'000);
+  expect_identical(one, eight, "fig2 random-path jobs 1 vs 8");
+}
+
+TEST(ExecParallel, JobsZeroMeansHardwareAndStaysIdentical) {
+  const apps::AppSpec app = apps::make_fig2();
+  const RunOutput one = run_app(app, 1, 4, symexec::SearcherKind::kDFS,
+                                400'000'000);
+  const RunOutput hw = run_app(app, 0, 4, symexec::SearcherKind::kDFS,
+                               400'000'000);
+  expect_identical(one, hw, "fig2 jobs 0 (hardware)");
+}
+
+TEST(ExecParallel, CowForkCopiesStrictlyLessThanEagerClone) {
+  // The point of the copy-on-write state layer: per-fork copied bytes must
+  // be strictly below what eagerly deep-copying the parent would cost.
+  for (const char* name : {"fig2", "polymorph"}) {
+    const apps::AppSpec app = apps::make_app(name);
+    const RunOutput r =
+        run_app(app, 1, 1, symexec::SearcherKind::kDFS, 1'500'000);
+    SCOPED_TRACE(name);
+    ASSERT_GT(r.result.stats.forks, 0u);
+    EXPECT_GT(r.result.stats.clone_bytes, 0u);
+    EXPECT_LT(r.result.stats.clone_bytes, r.result.stats.eager_clone_bytes);
+  }
+}
+
+TEST(ExecParallel, BatchOneMatchesClassicSequentialExploration) {
+  // batch=1 must behave exactly like the pre-parallel sequential loop no
+  // matter what jobs says (workers are capped by the batch width).
+  const apps::AppSpec app = apps::make_fig2();
+  const RunOutput narrow1 = run_app(app, 1, 1, symexec::SearcherKind::kDFS,
+                                    400'000'000);
+  const RunOutput narrow8 = run_app(app, 8, 1, symexec::SearcherKind::kDFS,
+                                    400'000'000);
+  expect_identical(narrow1, narrow8, "fig2 batch=1 jobs 1 vs 8");
+}
+
+TEST(ExecParallel, GuidedEngineIdenticalAcrossExecJobs) {
+  // Full pipeline (workload -> statistics -> guided portfolio) with the
+  // intra-candidate executor running wide: the engine verdict, witness and
+  // accounting must not move with --exec-jobs.
+  const apps::AppSpec app = apps::make_fig2();
+  auto run_engine = [&](std::size_t exec_jobs) {
+    EngineOptions o;
+    o.monitor.sampling_rate = 0.5;
+    o.target_correct_logs = 40;
+    o.target_faulty_logs = 40;
+    o.candidate_timeout_seconds = 60.0;
+    o.exec.max_memory_bytes = 256ull << 20;
+    o.exec.jobs = exec_jobs;
+    o.exec.batch = 4;
+    o.seed = 424242;
+    StatSymEngine engine(app.module, app.sym_spec, o);
+    engine.collect_logs(app.workload);
+    return engine.run();
+  };
+  const EngineResult one = run_engine(1);
+  const EngineResult eight = run_engine(8);
+  EXPECT_EQ(one.found, eight.found);
+  EXPECT_TRUE(one.found);
+  EXPECT_EQ(one.winning_candidate, eight.winning_candidate);
+  EXPECT_EQ(one.candidates_tried, eight.candidates_tried);
+  EXPECT_EQ(one.paths_explored, eight.paths_explored);
+  EXPECT_EQ(one.instructions, eight.instructions);
+  EXPECT_EQ(one.solver_stats.queries, eight.solver_stats.queries);
+  EXPECT_EQ(one.solver_stats.solves + one.solver_stats.shared_cache_hits,
+            eight.solver_stats.solves + eight.solver_stats.shared_cache_hits);
+  ASSERT_TRUE(one.vuln.has_value());
+  ASSERT_TRUE(eight.vuln.has_value());
+  EXPECT_EQ(one.vuln->function, eight.vuln->function);
+  EXPECT_EQ(one.vuln->kind, eight.vuln->kind);
+  EXPECT_EQ(one.vuln->input.argv, eight.vuln->input.argv);
+  EXPECT_EQ(one.vuln->input.env, eight.vuln->input.env);
+}
+
+}  // namespace
+}  // namespace statsym::core

@@ -2,8 +2,8 @@
 // assertions. For every target application StatSym discovers the documented
 // vulnerability from sampled logs, generates a concretely-replayable
 // crashing input, and explores far fewer paths than pure symbolic
-// execution; pure symbolic execution fails (memory) on ctree/grep/thttpd
-// while succeeding on polymorph — the Table IV shape.
+// execution; pure symbolic execution fails (exhausts a budget) on
+// ctree/grep/thttpd while succeeding on polymorph — the Table IV shape.
 #include <gtest/gtest.h>
 
 #include "apps/registry.h"
@@ -81,7 +81,14 @@ TEST(TableIV, PureFailsOnTheThreeLargeTargets) {
     const apps::AppSpec app = apps::make_app(name);
     const auto r = core::run_pure_symbolic(app.module, app.sym_spec,
                                            pure_opts());
-    EXPECT_EQ(r.termination, symexec::Termination::kOutOfMemory) << name;
+    // The Table IV shape: pure exploration exhausts a resource budget
+    // without reaching the vulnerability. Historically that was always the
+    // 256 MiB state budget; with copy-on-write forked states the live
+    // frontier genuinely fits in it on these targets and the wall-clock
+    // budget binds first instead. Either way is the paper's "Failed".
+    EXPECT_TRUE(r.termination == symexec::Termination::kOutOfMemory ||
+                r.termination == symexec::Termination::kTimeout)
+        << name << ": " << symexec::termination_name(r.termination);
     EXPECT_FALSE(r.vuln.has_value()) << name;
   }
 }

@@ -514,18 +514,19 @@ TEST(Solver, SharedCacheOptionTiersDoNotAlias) {
 
 TEST(SharedQueryCache, FingerprintVectorVerifiedOnLookup) {
   SharedQueryCache shared;
+  ExprPool pool;
   const Fp128 key{0xAB, 0xCD};
   const std::vector<Fp128> fps1{{1, 2}, {3, 4}};
   const std::vector<Fp128> fps2{{5, 6}};
   SolveResult r;
   r.sat = Sat::kUnsat;
-  shared.insert(key, fps1, r);
+  shared.insert(pool, key, fps1, r);
   SolveResult out;
-  EXPECT_TRUE(shared.lookup(key, fps1, out));
+  EXPECT_TRUE(shared.lookup(pool, key, fps1, out));
   EXPECT_EQ(out.sat, Sat::kUnsat);
   // Same combined key, different per-constraint digests: a miss, never the
   // other query's verdict.
-  EXPECT_FALSE(shared.lookup(key, fps2, out));
+  EXPECT_FALSE(shared.lookup(pool, key, fps2, out));
   EXPECT_EQ(shared.counters().hits, 1u);
   EXPECT_EQ(shared.counters().misses, 1u);
 }
@@ -557,6 +558,74 @@ TEST(Solver, CheckWithAppendsConstraint) {
             Sat::kUnsat);
   EXPECT_EQ(s.check_with(cs, p.le(p.constant(2), p.var_expr(x))).sat,
             Sat::kSat);
+}
+
+// Aggregation-drift tripwire: SolverStats is summed in several places (the
+// executor's per-task commit, engine lane totals, portfolio roll-ups). A
+// field added to the struct but forgotten in operator+= silently drops its
+// counts from every report, so the round-trip below exercises *every* field
+// with a distinct value and the static_assert forces whoever grows the
+// struct to visit this test (and operator+=) deliberately.
+TEST(SolverStats, SumRoundTripCoversEveryField) {
+  static_assert(sizeof(SolverStats) == 14 * 8,
+                "SolverStats gained or lost a field: update operator+= and "
+                "the per-field checks in this test");
+  SolverStats a;
+  a.queries = 2;
+  a.sat = 3;
+  a.unsat = 5;
+  a.unknown = 7;
+  a.cache_hits = 11;
+  a.model_reuse_hits = 13;
+  a.shared_cache_hits = 17;
+  a.slices = 19;
+  a.multi_slice_queries = 23;
+  a.solves = 29;
+  a.solve_seconds = 0.5;
+  a.search_nodes = 31;
+  a.propagation_rounds = 37;
+  a.static_prunes = 41;
+
+  SolverStats b;
+  b.queries = 100;
+  b.sat = 200;
+  b.unsat = 300;
+  b.unknown = 400;
+  b.cache_hits = 500;
+  b.model_reuse_hits = 600;
+  b.shared_cache_hits = 700;
+  b.slices = 800;
+  b.multi_slice_queries = 900;
+  b.solves = 1000;
+  b.solve_seconds = 0.25;
+  b.search_nodes = 1100;
+  b.propagation_rounds = 1200;
+  b.static_prunes = 1300;
+
+  SolverStats sum;
+  sum += a;
+  sum += b;
+  EXPECT_EQ(sum.queries, 102u);
+  EXPECT_EQ(sum.sat, 203u);
+  EXPECT_EQ(sum.unsat, 305u);
+  EXPECT_EQ(sum.unknown, 407u);
+  EXPECT_EQ(sum.cache_hits, 511u);
+  EXPECT_EQ(sum.model_reuse_hits, 613u);
+  EXPECT_EQ(sum.shared_cache_hits, 717u);
+  EXPECT_EQ(sum.slices, 819u);
+  EXPECT_EQ(sum.multi_slice_queries, 923u);
+  EXPECT_EQ(sum.solves, 1029u);
+  EXPECT_DOUBLE_EQ(sum.solve_seconds, 0.75);
+  EXPECT_EQ(sum.search_nodes, 1131u);
+  EXPECT_EQ(sum.propagation_rounds, 1237u);
+  EXPECT_EQ(sum.static_prunes, 1341u);
+
+  // Summing a default-constructed stats object is the identity.
+  SolverStats id = a;
+  id += SolverStats{};
+  EXPECT_EQ(id.queries, a.queries);
+  EXPECT_EQ(id.static_prunes, a.static_prunes);
+  EXPECT_DOUBLE_EQ(id.solve_seconds, a.solve_seconds);
 }
 
 }  // namespace

@@ -373,13 +373,21 @@ TEST(SymMemory, CopyOnWriteIsolatesStates) {
   EXPECT_EQ(b.cow_clones(), 1u);
 }
 
-TEST(SymMemory, SharedIdCounterAvoidsCollisions) {
+TEST(SymMemory, ForkedStatesMintIdsIndependently) {
   SymMemory a;
   a.alloc(4, "x");
-  SymMemory b = a;  // fork shares the counter
+  SymMemory b = a;  // fork: shares objects, snapshots the id counter
   const ObjId in_b = b.alloc(4, "y");
-  const ObjId in_a = a.alloc(4, "z");
-  EXPECT_NE(in_a, in_b);
+  const ObjId in_a = a.alloc(8, "z");
+  // Sibling states may mint the same id for *different* objects — the
+  // object tables are per-state, so each state resolves the id to its own
+  // allocation and no shared mutable counter links forked states.
+  EXPECT_EQ(in_a, in_b);
+  EXPECT_EQ(a.label(in_a), "z");
+  EXPECT_EQ(b.label(in_b), "y");
+  EXPECT_EQ(a.size(in_a), 8);
+  EXPECT_EQ(b.size(in_b), 4);
+  EXPECT_FALSE(b.valid(in_b + 1));
 }
 
 TEST(SymExec, TraceRecordsEnterLeave) {

@@ -93,16 +93,23 @@ def main():
     ap.add_argument("--repo-root", default=os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
     ap.add_argument("--watch", action="append", default=[],
-                    help="repo-relative dir to gate (repeatable); default "
-                         "src/stats + src/statsym + src/obs + src/concolic + "
-                         "src/analysis")
+                    help="repo-relative dir or file to gate (repeatable); "
+                         "default src/stats + src/statsym + src/obs + "
+                         "src/concolic + src/analysis + "
+                         "src/symexec/searcher.cc")
     ap.add_argument("--min-percent", type=float, default=None,
                     help="fail when total watched line coverage is below this")
     ap.add_argument("--gcov", default=os.environ.get("GCOV", "gcov"))
     ap.add_argument("--summary-out", default=None)
     args = ap.parse_args()
+    # src/symexec is watched at file granularity: searcher.cc holds the
+    # exploration-order policies (DFS tie-breaks, guided ordering) that the
+    # parallel executor's determinism contract leans on, so its tests must
+    # not silently rot; the interpreter-heavy rest of symexec is gated by
+    # the golden traces instead.
     watch = args.watch or ["src/monitor", "src/stats", "src/statsym",
-                           "src/obs", "src/concolic", "src/analysis"]
+                           "src/obs", "src/concolic", "src/analysis",
+                           "src/symexec/searcher.cc"]
 
     gcda = find_gcda(args.build_dir)
     if not gcda:
