@@ -1,0 +1,206 @@
+// Cold-vs-warm service latency: the cross-run cache-reuse gates of the
+// `statsym serve` tentpole (ISSUE 10).
+//
+//   bench_serve [--quick] [--json FILE]
+//
+// Drives one persistent ServeSession through a cold request, warm repeats,
+// and a disk-store round trip into a second session per app, and enforces
+// three gates:
+//   (1) determinism — the reply body (verdict + warmth-invariant solver
+//       sums) is byte-identical cold, warm, and store-warmed;
+//   (2) reuse — warm repeats and store-warmed sessions actually hit the
+//       shared cache (warm slice hits > 0);
+//   (3) latency — total warm wall time is strictly below total cold wall
+//       time (the reason the service exists).
+// Wall clocks are reported per app for the record; the latency gate is the
+// cross-app sum, which keeps per-app scheduler noise out of CI. Exits
+// nonzero when any gate fails.
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+
+namespace statsym::bench {
+namespace {
+
+struct AppReport {
+  std::string app;
+  double cold_seconds{0.0};
+  double warm_seconds{0.0};   // best of the warm repeats
+  double store_seconds{0.0};  // warm-started from the serialized store
+  std::uint64_t warm_hits{0};
+  std::uint64_t store_hits{0};
+  std::uint64_t store_bytes{0};
+  std::uint64_t store_entries{0};
+  std::string verdict;
+  bool replies_identical{false};
+};
+
+serve::Frame request(const std::string& app) {
+  serve::Frame f;
+  f.id = "bench-" + app;
+  f.body = {"cmd|run", "app|" + app, "seed|424242", "jobs|1"};
+  return f;
+}
+
+double timed(serve::ServeSession& session, const serve::Frame& f,
+             std::string& reply) {
+  Stopwatch sw;
+  reply = session.handle(f);
+  return sw.elapsed_seconds();
+}
+
+AppReport run_app(const std::string& app, std::size_t warm_repeats) {
+  AppReport rep;
+  rep.app = app;
+  serve::ServeSession session{serve::ServeOptions{}};
+  const serve::Frame f = request(app);
+
+  std::string cold_reply;
+  rep.cold_seconds = timed(session, f, cold_reply);
+
+  const std::uint64_t hits_before =
+      session.metrics().counter("serve.warm_slice_hits");
+  std::string warm_reply;
+  rep.warm_seconds = rep.cold_seconds;
+  for (std::size_t i = 0; i < warm_repeats; ++i) {
+    std::string r;
+    const double s = timed(session, f, r);
+    if (s < rep.warm_seconds) rep.warm_seconds = s;
+    warm_reply = r;
+  }
+  rep.warm_hits =
+      session.metrics().counter("serve.warm_slice_hits") - hits_before;
+
+  // Disk-store round trip: a *new* session warmed only by the serialized
+  // store must reproduce the verdict and hit the imported entries.
+  const std::string store = session.store_text();
+  rep.store_bytes = store.size();
+  serve::ServeSession restored{serve::ServeOptions{}};
+  std::string error;
+  if (!restored.load_store_from_text(store, &error)) {
+    std::fprintf(stderr, "%s: store load failed: %s\n", app.c_str(),
+                 error.c_str());
+    rep.replies_identical = false;
+    return rep;
+  }
+  rep.store_entries =
+      restored.metrics().counter("serve.store_entries_loaded");
+  std::string store_reply;
+  rep.store_seconds = timed(restored, f, store_reply);
+  rep.store_hits = restored.metrics().counter("serve.warm_slice_hits");
+
+  rep.replies_identical = cold_reply == warm_reply &&
+                          cold_reply == store_reply;
+  serve::Reply parsed;
+  if (serve::parse_reply(cold_reply, parsed) && parsed.ok) {
+    if (const auto v = serve::body_value(parsed.body, "verdict")) {
+      rep.verdict = std::string(*v);
+    }
+  }
+  return rep;
+}
+
+void write_json(const std::vector<AppReport>& reports,
+                const std::string& path, bool latency_gate) {
+  std::ofstream os(path);
+  if (!os) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  os << "{\n  \"bench\": \"serve\",\n  \"warm_below_cold\": "
+     << (latency_gate ? "true" : "false") << ",\n  \"apps\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const AppReport& r = reports[i];
+    os << "    {\"app\": \"" << r.app << "\""
+       << ", \"verdict\": \"" << r.verdict << "\""
+       << ", \"cold_seconds\": " << fmt_double(r.cold_seconds, 4)
+       << ", \"warm_seconds\": " << fmt_double(r.warm_seconds, 4)
+       << ", \"store_seconds\": " << fmt_double(r.store_seconds, 4)
+       << ", \"warm_hits\": " << r.warm_hits
+       << ", \"store_hits\": " << r.store_hits
+       << ", \"store_bytes\": " << r.store_bytes
+       << ", \"store_entries\": " << r.store_entries
+       << ", \"replies_identical\": "
+       << (r.replies_identical ? "true" : "false") << "}"
+       << (i + 1 < reports.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::printf("wrote serve bench JSON to %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace statsym::bench
+
+int main(int argc, char** argv) {
+  using namespace statsym;
+  using namespace statsym::bench;
+
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_serve [--quick] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  print_header("statsym serve: cold vs warm request latency",
+               "ISSUE 10 service mode; Baldoni et al. on solver caching");
+
+  std::vector<std::string> apps{"fig2", "polymorph", "ctree", "grep"};
+  if (quick) apps = {"fig2", "polymorph"};
+  const std::size_t warm_repeats = quick ? 2 : 3;
+
+  std::vector<AppReport> reports;
+  bool determinism_gate = true;
+  bool reuse_gate = true;
+  double cold_total = 0.0;
+  double warm_total = 0.0;
+  for (const std::string& app : apps) {
+    AppReport rep = run_app(app, warm_repeats);
+    std::printf("%-12s cold %ss  warm %ss  store-warm %ss  hits %llu/%llu  "
+                "%s  %s\n",
+                rep.app.c_str(), seconds(rep.cold_seconds).c_str(),
+                seconds(rep.warm_seconds).c_str(),
+                seconds(rep.store_seconds).c_str(),
+                static_cast<unsigned long long>(rep.warm_hits),
+                static_cast<unsigned long long>(rep.store_hits),
+                rep.verdict.c_str(),
+                rep.replies_identical ? "identical" : "DIVERGED");
+    determinism_gate = determinism_gate && rep.replies_identical;
+    reuse_gate = reuse_gate && rep.warm_hits > 0 && rep.store_hits > 0;
+    cold_total += rep.cold_seconds;
+    warm_total += rep.warm_seconds;
+    reports.push_back(std::move(rep));
+  }
+
+  const bool latency_gate = warm_total < cold_total;
+  std::printf("total cold %ss, total warm %ss: warm %s cold\n",
+              seconds(cold_total).c_str(), seconds(warm_total).c_str(),
+              latency_gate ? "strictly below" : "NOT below");
+  if (!json_path.empty()) write_json(reports, json_path, latency_gate);
+
+  if (!determinism_gate) {
+    std::fprintf(stderr, "GATE FAILED: warm/cold replies diverged\n");
+    return 1;
+  }
+  if (!reuse_gate) {
+    std::fprintf(stderr, "GATE FAILED: warm runs did not hit the cache\n");
+    return 1;
+  }
+  if (!latency_gate) {
+    std::fprintf(stderr, "GATE FAILED: warm total not below cold total\n");
+    return 1;
+  }
+  std::printf("all gates passed\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <future>
+#include <memory>
+
+#include "support/thread_pool.h"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <streambuf>
+#endif
+
+namespace statsym::serve {
+
+namespace {
+
+// One request in flight: the reply future, resolved by a pool worker (or
+// already resolved inline for parse errors). Replies drain strictly in
+// this queue's order.
+struct Pending {
+  std::future<std::string> reply;
+};
+
+std::future<std::string> ready_reply(std::string text) {
+  std::promise<std::string> p;
+  p.set_value(std::move(text));
+  return p.get_future();
+}
+
+}  // namespace
+
+std::size_t serve_stream(std::istream& in, std::ostream& out,
+                         ServeSession& session, std::size_t jobs) {
+  ThreadPool pool(jobs);
+  FrameReader reader(in);
+  std::deque<Pending> pending;
+  std::size_t frames = 0;
+
+  auto drain = [&](bool all) {
+    while (!pending.empty()) {
+      if (!all &&
+          pending.front().reply.wait_for(std::chrono::seconds(0)) !=
+              std::future_status::ready) {
+        return;
+      }
+      out << pending.front().reply.get();
+      out.flush();
+      pending.pop_front();
+    }
+  };
+
+  ReadResult r;
+  while (reader.next(r)) {
+    ++frames;
+    if (r.error != FrameError::kNone) {
+      pending.push_back(Pending{ready_reply(format_error_reply(
+          r.frame.id, frame_error_name(r.error), r.message))});
+      drain(/*all=*/false);
+      continue;
+    }
+    const bool is_shutdown = body_value(r.frame.body, "cmd") == "shutdown";
+    auto prom = std::make_shared<std::promise<std::string>>();
+    pending.push_back(Pending{prom->get_future()});
+    const Frame frame = std::move(r.frame);
+    pool.submit([prom, frame, &session] {
+      prom->set_value(session.handle(frame));
+    });
+    drain(/*all=*/false);
+    if (is_shutdown) break;  // stop reading; in-flight requests still finish
+  }
+  drain(/*all=*/true);
+  return frames;
+}
+
+std::string check_serve_flags(bool has_trace_out, bool has_trace_chrome,
+                              bool has_metrics_out) {
+  const char* flag = nullptr;
+  const char* field = nullptr;
+  if (has_trace_out) {
+    flag = "--trace-out";
+    field = "trace|1";
+  } else if (has_trace_chrome) {
+    flag = "--trace-chrome";
+    field = "trace|1";
+  } else if (has_metrics_out) {
+    flag = "--metrics-out";
+    field = "metrics|1";
+  }
+  if (flag == nullptr) return "";
+  return std::string("error: ") + flag +
+         " cannot be combined with 'serve': the service writes one "
+         "observability payload per request, not per session. Put '" +
+         field + "' in the request body instead.";
+}
+
+#ifndef _WIN32
+
+namespace {
+
+// Minimal std::streambuf over a connected socket fd — enough for
+// std::getline on the way in and block writes on the way out.
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) {
+    setg(rbuf_, rbuf_, rbuf_);
+  }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, rbuf_, sizeof(rbuf_));
+    if (n <= 0) return traits_type::eof();
+    setg(rbuf_, rbuf_, rbuf_ + n);
+    return traits_type::to_int_type(rbuf_[0]);
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize sent = 0;
+    while (sent < n) {
+      const ssize_t w = ::write(fd_, s + sent, static_cast<size_t>(n - sent));
+      if (w <= 0) return sent;
+      sent += w;
+    }
+    return sent;
+  }
+
+  int_type overflow(int_type c) override {
+    if (traits_type::eq_int_type(c, traits_type::eof())) return c;
+    const char ch = traits_type::to_char_type(c);
+    return xsputn(&ch, 1) == 1 ? c : traits_type::eof();
+  }
+
+ private:
+  int fd_;
+  char rbuf_[4096];
+};
+
+}  // namespace
+
+int serve_unix_socket(const std::string& path, ServeSession& session,
+                      std::size_t jobs) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "serve: socket path too long: %s\n", path.c_str());
+    return 1;
+  }
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::fprintf(stderr, "serve: cannot create socket\n");
+    return 1;
+  }
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listener, 4) != 0) {
+    std::fprintf(stderr, "serve: cannot bind %s\n", path.c_str());
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "serve: listening on %s\n", path.c_str());
+  while (!session.shutdown_requested()) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) break;
+    FdStreamBuf buf(client);
+    std::istream in(&buf);
+    std::ostream out(&buf);
+    serve_stream(in, out, session, jobs);
+    ::close(client);
+  }
+  ::close(listener);
+  ::unlink(path.c_str());
+  return 0;
+}
+
+#else  // _WIN32
+
+int serve_unix_socket(const std::string& path, ServeSession&, std::size_t) {
+  std::fprintf(stderr, "serve: --socket is not supported on this platform "
+                       "(%s); use stdin/stdout framing\n",
+               path.c_str());
+  return 1;
+}
+
+#endif
+
+}  // namespace statsym::serve

@@ -1,0 +1,319 @@
+#include "serve/session.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "ir/printer.h"
+#include "statsym/engine.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace statsym::serve {
+
+namespace {
+
+// The request fields a `run` accepts. Anything else is a hard error — a
+// typo'd field silently falling back to a default would make the reply
+// answer a different question than the client asked.
+constexpr std::string_view kRunKeys[] = {"cmd",  "app",      "seed",
+                                         "jobs", "sampling", "trace",
+                                         "metrics"};
+
+bool known_run_key(std::string_view key) {
+  for (const std::string_view k : kRunKeys) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string u64s(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+solver::Fp128 program_fingerprint(const ir::Module& m) {
+  const std::string text = ir::to_string(m);
+  solver::Fp128 h;
+  h = solver::fp_absorb(h, solver::fp_hash_str(text));
+  h = solver::fp_absorb(h, static_cast<std::uint64_t>(text.size()));
+  return h;
+}
+
+ServeSession::ServeSession(ServeOptions opts)
+    : opts_(std::move(opts)),
+      resolver_([](const std::string& name) { return apps::make_app(name); }) {
+}
+
+solver::SharedQueryCache& ServeSession::cache_for(const solver::Fp128& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = store_[fp];
+  if (!slot) slot = std::make_unique<solver::SharedQueryCache>();
+  return *slot;
+}
+
+void ServeSession::bump(const std::string& counter, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.add(counter, delta);
+}
+
+bool ServeSession::shutdown_requested() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutdown_;
+}
+
+obs::MetricsRegistry ServeSession::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+std::size_t ServeSession::num_programs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_.size();
+}
+
+std::string ServeSession::handle(const Frame& frame) {
+  bump("serve.requests");
+  std::string cmd = "run";
+  if (const auto v = body_value(frame.body, "cmd")) cmd = std::string(*v);
+  try {
+    if (cmd == "run") return handle_run(frame);
+    if (cmd == "ping") {
+      return format_reply(frame.id, true, {"pong|1"});
+    }
+    if (cmd == "stats") return handle_stats(frame);
+    if (cmd == "save") return handle_save(frame);
+    if (cmd == "shutdown") {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+      }
+      return format_reply(frame.id, true, {"shutdown|1"});
+    }
+    bump("serve.errors");
+    return format_error_reply(frame.id, "bad-request",
+                              "unknown cmd '" + cmd +
+                                  "' (want run|ping|stats|save|shutdown)");
+  } catch (const std::exception& e) {
+    // e.g. apps::make_app on an unknown app name. The request dies; the
+    // session does not.
+    bump("serve.errors");
+    return format_error_reply(frame.id, "bad-request", e.what());
+  }
+}
+
+std::string ServeSession::handle_run(const Frame& frame) {
+  for (const std::string& line : frame.body) {
+    const std::size_t bar = line.find('|');
+    const std::string_view key =
+        std::string_view(line).substr(0, bar == std::string::npos
+                                             ? line.size()
+                                             : bar);
+    if (bar == std::string::npos || !known_run_key(key)) {
+      bump("serve.errors");
+      return format_error_reply(
+          frame.id, "bad-request",
+          "unknown request field '" + std::string(key) + "'");
+    }
+  }
+  const auto app_name = body_value(frame.body, "app");
+  if (!app_name.has_value() || app_name->empty()) {
+    bump("serve.errors");
+    return format_error_reply(frame.id, "bad-request",
+                              "run request needs an 'app|<name>' field");
+  }
+
+  // Per-request nondeterminism isolation: the effective seed is a pure
+  // function of the request, so replaying a request id in any session, at
+  // any warmth, after any request history, reproduces the same run.
+  std::uint64_t seed =
+      derive_seed(opts_.session_seed, solver::fp_hash_str(frame.id));
+  if (const auto v = body_value(frame.body, "seed")) {
+    std::int64_t parsed = 0;
+    if (!parse_i64(*v, parsed) || parsed < 0) {
+      bump("serve.errors");
+      return format_error_reply(frame.id, "bad-request",
+                                "bad 'seed' value '" + std::string(*v) + "'");
+    }
+    seed = static_cast<std::uint64_t>(parsed);
+  }
+  std::size_t jobs = opts_.jobs;
+  if (const auto v = body_value(frame.body, "jobs")) {
+    std::int64_t parsed = 0;
+    if (!parse_i64(*v, parsed) || parsed < 0) {
+      bump("serve.errors");
+      return format_error_reply(frame.id, "bad-request",
+                                "bad 'jobs' value '" + std::string(*v) + "'");
+    }
+    jobs = static_cast<std::size_t>(parsed);
+  }
+  double sampling = opts_.sampling;
+  if (const auto v = body_value(frame.body, "sampling")) {
+    if (!parse_double(*v, sampling) || sampling <= 0.0 || sampling > 1.0) {
+      bump("serve.errors");
+      return format_error_reply(
+          frame.id, "bad-request",
+          "bad 'sampling' value '" + std::string(*v) + "' (want (0,1])");
+    }
+  }
+  const bool want_trace = body_value(frame.body, "trace") == "1";
+  const bool want_metrics = body_value(frame.body, "metrics") == "1";
+
+  const apps::AppSpec app = resolver_(std::string(*app_name));
+  solver::SharedQueryCache& cache = cache_for(program_fingerprint(app.module));
+
+  // Mirror statsym_cli's engine_options() defaults exactly — that identity
+  // is what the served-vs-oneshot equivalence test pins down.
+  core::EngineOptions o;
+  o.monitor.sampling_rate = sampling;
+  o.seed = seed;
+  o.candidate_timeout_seconds = opts_.time_s;
+  o.exec.max_memory_bytes = opts_.mem_mb << 20;
+  o.exec.jobs = 1;
+  o.exec.batch = 1;
+  o.num_threads = jobs;
+
+  core::StatSymEngine engine(app.module, app.sym_spec, o);
+  obs::Tracer tracer;  // deterministic rendering; no wall clock
+  if (want_trace) engine.set_tracer(&tracer);
+  engine.set_shared_solver_cache(&cache);
+
+  const auto before = cache.counters();
+  engine.collect_logs(app.workload);
+  const core::EngineResult res = engine.run();
+  const auto after = cache.counters();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    metrics_.add("serve.runs");
+    // Session-level warmth accounting. These are the *only* place the
+    // warm/cold split is visible — reply bodies carry invariant sums.
+    metrics_.add("serve.warm_slice_hits", after.hits - before.hits);
+    metrics_.add("serve.cold_slices", after.misses - before.misses);
+    metrics_.add("serve.cache_insertions",
+                 after.insertions - before.insertions);
+  }
+
+  std::vector<std::string> body;
+  body.push_back("app|" + std::string(*app_name));
+  body.push_back("seed|" + u64s(seed));
+  body.push_back(std::string("verdict|") +
+                 (res.found ? "found" : "not-found"));
+  if (res.found && res.vuln.has_value()) {
+    body.push_back(std::string("fault-kind|") +
+                   interp::fault_kind_name(res.vuln->kind));
+    body.push_back("fault-function|" + res.vuln->function);
+  }
+  body.push_back("winning-candidate|" + u64s(res.winning_candidate));
+  body.push_back("candidates-tried|" + u64s(res.candidates_tried));
+  body.push_back("logs|" + u64s(res.num_correct_logs + res.num_faulty_logs));
+  body.push_back("paths|" + u64s(res.paths_explored));
+  body.push_back("instructions|" + u64s(res.instructions));
+  // Solver sums, restricted to warmth-invariant combinations: the
+  // shared-hit vs canonical-solve split depends on what previous requests
+  // left in the cache, their sum does not (DESIGN.md §"Solver").
+  const solver::SolverStats& ss = res.solver_stats;
+  body.push_back("solver.queries|" + u64s(ss.queries));
+  body.push_back("solver.slices|" + u64s(ss.slices));
+  body.push_back("solver.local-hits|" + u64s(ss.cache_hits));
+  body.push_back("solver.model-reuse-hits|" + u64s(ss.model_reuse_hits));
+  body.push_back("solver.canonical|" + u64s(ss.shared_cache_hits + ss.solves));
+  body.push_back("solver.static-prunes|" + u64s(ss.static_prunes));
+  if (want_metrics) {
+    body.push_back("beginmetrics");
+    for (const std::string& l : split(res.metrics.to_json(), '\n')) {
+      if (!l.empty()) body.push_back(l);
+    }
+    body.push_back("endmetrics");
+  }
+  if (want_trace) {
+    body.push_back("begintrace");
+    for (const std::string& l : split(tracer.to_jsonl(), '\n')) {
+      if (!l.empty()) body.push_back(l);
+    }
+    body.push_back("endtrace");
+  }
+  return format_reply(frame.id, true, body);
+}
+
+std::string ServeSession::handle_stats(const Frame& frame) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> body;
+  body.push_back("programs|" + u64s(store_.size()));
+  std::uint64_t entries = 0;
+  for (const auto& [fp, cache] : store_) entries += cache->size();
+  body.push_back("cache-entries|" + u64s(entries));
+  for (const auto& [name, value] : metrics_.counters()) {
+    body.push_back("counter|" + name + "|" + u64s(value));
+  }
+  return format_reply(frame.id, true, body);
+}
+
+std::string ServeSession::handle_save(const Frame& frame) {
+  if (opts_.store_path.empty()) {
+    bump("serve.errors");
+    return format_error_reply(frame.id, "bad-request",
+                              "session has no --store path to save to");
+  }
+  std::string error;
+  if (!save_store(&error)) {
+    bump("serve.errors");
+    return format_error_reply(frame.id, "io-error", error);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return format_reply(
+      frame.id, true,
+      {"store|" + opts_.store_path,
+       "store-bytes|" + u64s(metrics_.counter("serve.store_bytes"))});
+}
+
+std::string ServeSession::store_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<solver::StoreBlockRef> blocks;
+  blocks.reserve(store_.size());
+  for (const auto& [fp, cache] : store_) {
+    blocks.push_back(solver::StoreBlockRef{fp, cache.get()});
+  }
+  return solver::serialize_store(blocks);
+}
+
+bool ServeSession::load_store_from_text(const std::string& text,
+                                        std::string* error) {
+  solver::CacheStoreStats stats;
+  const bool ok = solver::load_store_text(
+      text, [this](const solver::Fp128& fp) -> solver::SharedQueryCache& {
+        return cache_for(fp);
+      },
+      &stats, error);
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.add("serve.store_bytes", stats.bytes);
+  metrics_.add("serve.store_entries_loaded", stats.entries_loaded);
+  metrics_.add("serve.store_entries_rejected", stats.entries_rejected);
+  return ok;
+}
+
+bool ServeSession::load_store(std::string* error) {
+  if (opts_.store_path.empty()) return true;
+  std::ifstream in(opts_.store_path);
+  if (!in) return true;  // no store yet: clean cold start
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return load_store_from_text(ss.str(), error);
+}
+
+bool ServeSession::save_store(std::string* error) {
+  if (opts_.store_path.empty()) {
+    if (error != nullptr) *error = "no store path configured";
+    return false;
+  }
+  const std::string text = store_text();
+  std::ofstream os(opts_.store_path);
+  if (!os) {
+    if (error != nullptr) *error = "cannot write " + opts_.store_path;
+    return false;
+  }
+  os << text;
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_.add("serve.store_bytes", text.size());
+  return true;
+}
+
+}  // namespace statsym::serve

@@ -127,6 +127,7 @@ void SharedQueryCache::insert(const ExprPool& pool, const Fp128& key,
     }
   }
   Entry entry;
+  entry.key = key;
   entry.cs_fps.assign(cs_fps.begin(), cs_fps.end());
   entry.sat = result.sat;
   entry.model.reserve(result.model.size());
@@ -134,6 +135,43 @@ void SharedQueryCache::insert(const ExprPool& pool, const Fp128& key,
     entry.model.emplace_back(pool.var(v).fp, val);
   }
   std::sort(entry.model.begin(), entry.model.end());
+  bucket.push_back(std::move(entry));
+  ++s.insertions;
+}
+
+std::vector<PortableCacheEntry> SharedQueryCache::export_entries() const {
+  std::vector<PortableCacheEntry> out;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [lo, bucket] : s.map) {
+      for (const Entry& e : bucket) {
+        out.push_back(PortableCacheEntry{e.key, e.cs_fps, e.sat, e.model});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const PortableCacheEntry& a, const PortableCacheEntry& b) {
+              if (!(a.key == b.key)) return a.key < b.key;
+              return std::lexicographical_compare(
+                  a.cs_fps.begin(), a.cs_fps.end(), b.cs_fps.begin(),
+                  b.cs_fps.end());
+            });
+  return out;
+}
+
+void SharedQueryCache::import_entry(const PortableCacheEntry& e) {
+  if (e.sat == Sat::kUnknown) return;  // never cacheable, never importable
+  Shard& s = shard_of(e.key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto& bucket = s.map[e.key.lo];
+  for (const Entry& have : bucket) {
+    if (std::equal(e.cs_fps.begin(), e.cs_fps.end(), have.cs_fps.begin(),
+                   have.cs_fps.end())) {
+      return;  // live entry wins; imports never clobber
+    }
+  }
+  Entry entry{e.key, e.cs_fps, e.sat, e.model};
+  std::sort(entry.model.begin(), entry.model.end());  // lookup re-binds in order
   bucket.push_back(std::move(entry));
   ++s.insertions;
 }

@@ -92,6 +92,18 @@ class ExprFingerprinter {
   const ExprPool& pool_;
 };
 
+// One cache entry in pool-independent form: the full 128-bit combined key,
+// the sorted per-constraint digests it verifies against, and the result with
+// its model keyed by variable fingerprint. This is the unit the disk store
+// (solver/cache_store.h) serialises — nothing in it references an ExprPool,
+// so an entry written by one process is meaningful to any other.
+struct PortableCacheEntry {
+  Fp128 key;
+  std::vector<Fp128> cs_fps;
+  Sat sat{Sat::kUnknown};
+  std::vector<std::pair<Fp128, std::int64_t>> model;  // sorted by var fp
+};
+
 // Thread-safe sharded cache shared across the workers of a portfolio.
 class SharedQueryCache {
  public:
@@ -110,6 +122,19 @@ class SharedQueryCache {
 
   std::size_t size() const;
 
+  // Snapshot of every entry in pool-independent form, sorted by (key,
+  // cs_fps) so two caches holding the same entries serialise byte-identically
+  // regardless of insertion schedule. Used by the disk store.
+  std::vector<PortableCacheEntry> export_entries() const;
+
+  // Re-inserts a portable entry (e.g. one loaded from the disk store).
+  // Deduplicates exactly like insert(): an existing entry with the same key
+  // and constraint digests wins, so importing over a live cache never
+  // replaces a result a worker may already have observed. kUnknown results
+  // are refused — only canonical sat/unsat verdicts may enter, the same
+  // contract insert() relies on (DESIGN.md §"Solver").
+  void import_entry(const PortableCacheEntry& e);
+
   struct Counters {
     std::uint64_t hits{0};
     std::uint64_t misses{0};
@@ -119,6 +144,7 @@ class SharedQueryCache {
 
  private:
   struct Entry {
+    Fp128 key;  // full combined key (the map is bucketed by key.lo only)
     std::vector<Fp128> cs_fps;
     Sat sat{Sat::kUnknown};
     // Model keyed by variable fingerprint, sorted — pool-independent.

@@ -416,7 +416,9 @@ void StatSymEngine::run_portfolio(EngineResult& res, monitor::LocId failure,
   // engine race the cache comes from outside and additionally spans lanes.
   solver::SharedQueryCache own_queries;
   solver::SharedQueryCache& shared_queries =
-      env.shared_queries != nullptr ? *env.shared_queries : own_queries;
+      env.shared_queries != nullptr
+          ? *env.shared_queries
+          : (external_queries_ != nullptr ? *external_queries_ : own_queries);
 
   // Per-candidate trace buffers (lane = 1-based rank). Each is written only
   // by the worker running that candidate; after the join, the buffers of the
@@ -580,8 +582,11 @@ void StatSymEngine::run_engines(EngineResult& res, monitor::LocId failure,
 
   // One query cache for everything: a concolic negation solve warms a
   // symbolic lane's fork probe and vice versa (fingerprints are
-  // pool-independent, results pure functions of the slice).
-  solver::SharedQueryCache shared_queries;
+  // pool-independent, results pure functions of the slice). In service mode
+  // the session's persistent cache takes its place and outlives the race.
+  solver::SharedQueryCache own_queries;
+  solver::SharedQueryCache& shared_queries =
+      external_queries_ != nullptr ? *external_queries_ : own_queries;
 
   struct Lane {
     bool found{false};

@@ -224,6 +224,18 @@ class StatSymEngine {
   // test per would-be event.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  // Service mode (src/serve/): every Phase-3 solve goes through `cache`
+  // instead of a run-local one, so canonical results persist across engine
+  // instances and warm later requests for the same program. Safe for
+  // determinism by the same argument as share_solver_cache: only canonical
+  // pure-function results are published, so a warm hit returns exactly the
+  // bytes a cold solve would have produced — verdicts, stats sums and traces
+  // are unchanged at any warmth (DESIGN.md §14). The cache must outlive
+  // every run()/run_all() call. Null restores the run-local default.
+  void set_shared_solver_cache(solver::SharedQueryCache* cache) {
+    external_queries_ = cache;
+  }
+
   // Batch mode: the retained logs. Streaming mode: empty (logs are dropped
   // once folded) — use num_logs_collected() for the count.
   const std::vector<monitor::RunLog>& logs() const { return logs_; }
@@ -306,6 +318,9 @@ class StatSymEngine {
   std::size_t peak_retained_bytes_{0};
   double log_seconds_{0.0};
   obs::Tracer* tracer_{nullptr};
+  // Persistent cross-run cache supplied by a serve session (null outside
+  // service mode; never owned).
+  solver::SharedQueryCache* external_queries_{nullptr};
 };
 
 // Pure-KLEE baseline on the same module/input spec: unguided symbolic

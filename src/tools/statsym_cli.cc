@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -29,6 +30,7 @@
 #include "ir/printer.h"
 #include "ir/program_stats.h"
 #include "monitor/serialize.h"
+#include "serve/server.h"
 #include "statsym/engine.h"
 #include "statsym/report.h"
 
@@ -38,7 +40,8 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: statsym <list|run|pure|collect|dump|lint> [args]\n"
+               "usage: statsym <list|run|pure|collect|dump|lint|serve> "
+               "[args]\n"
                "  statsym list\n"
                "  statsym run <app> [--sampling R] [--seed N] [--logs FILE] "
                "[--all]\n"
@@ -53,6 +56,8 @@ int usage() {
                "[--jobs/-j N]\n"
                "  statsym dump <app>\n"
                "  statsym lint <app> [--facts]\n"
+               "  statsym serve [--store FILE] [--socket PATH] [--jobs N] "
+               "[--seed N]\n"
                "\n"
                "  --jobs/-j N     worker threads for log collection and the\n"
                "                  candidate portfolio (0 = all hardware "
@@ -89,7 +94,14 @@ int usage() {
                "  --trace-out F   write the deterministic JSONL event trace\n"
                "                  (byte-identical at any --jobs)\n"
                "  --trace-chrome F  write a chrome://tracing JSON timeline\n"
-               "  --metrics-out F write the named pipeline metrics as JSON\n");
+               "  --metrics-out F write the named pipeline metrics as JSON\n"
+               "  --store F       (serve) persistent query-cache store: "
+               "loaded\n"
+               "                  (with verification) at startup, saved at\n"
+               "                  shutdown and on 'cmd|save' requests\n"
+               "  --socket PATH   (serve) listen on an AF_UNIX socket "
+               "instead\n"
+               "                  of the stdin/stdout frame stream\n");
   return 2;
 }
 
@@ -115,6 +127,8 @@ struct Flags {
   std::string trace_out;     // deterministic JSONL event stream
   std::string trace_chrome;  // Chrome about://tracing JSON (wall-clocked)
   std::string metrics_out;   // metrics registry as JSON
+  std::string store_path;    // (serve) persistent query-cache store file
+  std::string socket_path;   // (serve) AF_UNIX listener path
 };
 
 bool parse_flags(int argc, char** argv, int start, Flags& f) {
@@ -205,6 +219,12 @@ bool parse_flags(int argc, char** argv, int start, Flags& f) {
     } else if (a == "--metrics-out") {
       if (i + 1 >= argc) return false;
       f.metrics_out = argv[++i];
+    } else if (a == "--store") {
+      if (i + 1 >= argc) return false;
+      f.store_path = argv[++i];
+    } else if (a == "--socket") {
+      if (i + 1 >= argc) return false;
+      f.socket_path = argv[++i];
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a.c_str());
       return false;
@@ -485,6 +505,46 @@ int cmd_lint(const std::string& name, const Flags& f) {
   return facts.findings().empty() ? 0 : 1;
 }
 
+// `statsym serve`: long-lived analysis service. Requests arrive as
+// line-delimited frames (serve/protocol.h) on stdin or an AF_UNIX socket;
+// the session keeps a program-fingerprint-keyed solver cache warm across
+// requests and optionally persists it to --store. Diagnostics go to stderr
+// only — stdout is the protocol channel.
+int cmd_serve(const Flags& f) {
+  serve::ServeOptions so;
+  so.session_seed = f.seed;
+  so.jobs = f.jobs;
+  so.sampling = f.sampling;
+  so.time_s = f.time_s;
+  so.mem_mb = f.mem_mb;
+  so.store_path = f.store_path;
+  serve::ServeSession session(so);
+  std::string err;
+  if (!session.load_store(&err)) {
+    std::fprintf(stderr, "serve: store rejected, starting cold: %s\n",
+                 err.c_str());
+  } else if (!err.empty()) {
+    std::fprintf(stderr, "serve: store loaded with warnings: %s\n",
+                 err.c_str());
+  }
+  int rc = 0;
+  if (!f.socket_path.empty()) {
+    rc = serve::serve_unix_socket(f.socket_path, session, f.jobs);
+  } else {
+    const std::size_t frames =
+        serve::serve_stream(std::cin, std::cout, session, f.jobs);
+    std::fprintf(stderr, "serve: %zu frame(s) handled\n", frames);
+  }
+  if (!f.store_path.empty()) {
+    std::string serr;
+    if (!session.save_store(&serr)) {
+      std::fprintf(stderr, "serve: %s\n", serr.c_str());
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}
+
 int cmd_dump(const std::string& name) {
   const apps::AppSpec app = apps::make_app(name);
   const auto s = ir::compute_stats(app.module);
@@ -514,6 +574,15 @@ int main(int argc, char** argv) {
   if (cmd == "collect" && argc >= 4 && parse_flags(argc, argv, 4, f)) {
     if (!check_stream_flags(cmd, f)) return 2;
     return cmd_collect(argv[2], argv[3], f);
+  }
+  if (cmd == "serve" && parse_flags(argc, argv, 2, f)) {
+    const std::string serr = serve::check_serve_flags(
+        !f.trace_out.empty(), !f.trace_chrome.empty(), !f.metrics_out.empty());
+    if (!serr.empty()) {
+      std::fprintf(stderr, "%s\n", serr.c_str());
+      return 2;
+    }
+    return cmd_serve(f);
   }
   if (cmd == "dump" && argc >= 3) return cmd_dump(argv[2]);
   if (cmd == "lint" && argc >= 3 && parse_flags(argc, argv, 3, f)) {

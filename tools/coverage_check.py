@@ -95,7 +95,7 @@ def main():
     ap.add_argument("--watch", action="append", default=[],
                     help="repo-relative dir or file to gate (repeatable); "
                          "default src/stats + src/statsym + src/obs + "
-                         "src/concolic + src/analysis + "
+                         "src/concolic + src/analysis + src/serve + "
                          "src/symexec/searcher.cc")
     ap.add_argument("--min-percent", type=float, default=None,
                     help="fail when total watched line coverage is below this")
@@ -109,7 +109,7 @@ def main():
     # the golden traces instead.
     watch = args.watch or ["src/monitor", "src/stats", "src/statsym",
                            "src/obs", "src/concolic", "src/analysis",
-                           "src/symexec/searcher.cc"]
+                           "src/serve", "src/symexec/searcher.cc"]
 
     gcda = find_gcda(args.build_dir)
     if not gcda:
